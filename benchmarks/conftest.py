@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index) and asserts the *shape* of the result — who wins, by
+what rough factor, which closed-form values match — rather than exact
+wall-clock-dependent numbers.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def small_trials() -> int:
+    """Trial count used by the random-fault table benchmarks (keeps runtime modest)."""
+    return 10

@@ -1,0 +1,26 @@
+"""E-A2A — Chapter 3 motivation: all-to-all broadcast over 1 vs psi(d) disjoint rings."""
+
+from repro.core import disjoint_hamiltonian_cycles, nodes_of_sequence
+from repro.network import all_to_all_cost_model, simulate_all_to_all
+
+
+def run_broadcasts():
+    d, n = 8, 2
+    rings = [nodes_of_sequence(c, n) for c in disjoint_hamiltonian_cycles(d, n)]
+    return d, n, simulate_all_to_all(rings[:1]), simulate_all_to_all(rings)
+
+
+def test_all_to_all_broadcast(benchmark):
+    d, n, single, multi = benchmark(run_broadcasts)
+    nodes = d**n
+    assert single.complete and multi.complete
+    # both take N-1 steps ...
+    assert single.steps == multi.steps == nodes - 1
+    # ... but the per-link traffic in full-message units drops by a factor psi(d)
+    assert multi.rings == 7
+    assert single.per_link_payload == nodes - 1
+    assert multi.per_link_payload / multi.rings < single.per_link_payload / 2
+    # alpha-beta model shows the bandwidth-bound speed-up approaching x rings
+    slow = all_to_all_cost_model(nodes, 8192, 1, alpha=1, beta=0.001)
+    fast = all_to_all_cost_model(nodes, 8192, multi.rings, alpha=1, beta=0.001)
+    assert slow / fast > 3

@@ -1,0 +1,60 @@
+"""E-F3.4/3.5, P3.5/3.6 — §3.4: butterfly structure and the transfer of ring results."""
+
+import itertools
+
+from repro.core import psi
+from repro.core.edge_faults import (
+    butterfly_disjoint_hamiltonian_cycles,
+    butterfly_edge_fault_free_hc,
+)
+from repro.graphs import ButterflyGraph, DeBruijnGraph, debruijn_node_class
+
+
+def test_figure_3_4_3_5_butterfly_partition(benchmark):
+    # Figure 3.4: F(2,3) has 24 nodes / 48 edges; Figure 3.5: contracting the
+    # classes S_x reproduces B(2,3).
+    def build():
+        f = ButterflyGraph(2, 3)
+        return f, f.quotient_is_debruijn()
+
+    f, is_quotient = benchmark(build)
+    assert f.num_nodes == 24 and f.num_edges == 48
+    assert is_quotient
+    b = DeBruijnGraph(2, 3)
+    classes = [debruijn_node_class(x, 2) for x in b.nodes()]
+    assert sum(len(c) for c in classes) == f.num_nodes
+
+
+def test_prop_3_5_butterfly_edge_faults(benchmark):
+    # gcd(d, n) = 1 cases: fault one butterfly link, recover a Hamiltonian ring
+    def run():
+        out = {}
+        for d, n in [(3, 2), (2, 3), (4, 3), (5, 2)]:
+            butterfly = ButterflyGraph(d, n)
+            faulty = list(itertools.islice(butterfly.edges(), 1))
+            out[(d, n)] = (butterfly, faulty, butterfly_edge_fault_free_hc(d, n, faulty))
+        return out
+
+    results = benchmark(run)
+    for (d, n), (butterfly, faulty, cycle) in results.items():
+        assert len(cycle) == n * d**n
+        assert butterfly.is_hamiltonian_cycle(cycle)
+        cycle_edges = set(zip(cycle, cycle[1:] + cycle[:1]))
+        assert not (cycle_edges & set(faulty))
+
+
+def test_prop_3_6_butterfly_disjoint_hcs(benchmark):
+    def run():
+        return {(d, n): butterfly_disjoint_hamiltonian_cycles(d, n) for d, n in [(4, 3), (5, 2)]}
+
+    results = benchmark(run)
+    for (d, n), cycles in results.items():
+        butterfly = ButterflyGraph(d, n)
+        assert len(cycles) >= psi(d)
+        edge_sets = []
+        for cycle in cycles:
+            assert butterfly.is_hamiltonian_cycle(cycle)
+            edge_sets.append(set(zip(cycle, cycle[1:] + cycle[:1])))
+        for i in range(len(edge_sets)):
+            for j in range(i + 1, len(edge_sets)):
+                assert not (edge_sets[i] & edge_sets[j])

@@ -1,0 +1,58 @@
+"""E-EX3.5/3.6, F3.3 — §3.2.2–3.2.3: Rees composition and Hamiltonian decompositions."""
+
+from repro.core import (
+    de_bruijn_sequence,
+    disjoint_hamiltonian_cycles,
+    is_hamiltonian_sequence,
+    modified_debruijn_decomposition,
+    psi,
+    rees_composition,
+    verify_pairwise_disjoint,
+)
+
+
+def test_example_3_5_rees_composition(benchmark):
+    # Example 3.5: composing HCs of B(2,2) and B(3,2) yields the printed HC of B(6,2)
+    a = [0, 0, 1, 1]
+    b = [0, 0, 2, 2, 1, 2, 0, 1, 1]
+    composed = benchmark(rees_composition, a, b, 2, 3, 2)
+    assert composed[:8] == [0, 0, 5, 5, 1, 2, 3, 4]
+    assert is_hamiltonian_sequence(composed, 6, 2)
+
+
+def test_composite_disjoint_families(benchmark):
+    def build():
+        return {d: disjoint_hamiltonian_cycles(d, 2) for d in (6, 10, 12, 15)}
+
+    families = benchmark(build)
+    for d, cycles in families.items():
+        assert len(cycles) >= psi(d)
+        assert verify_pairwise_disjoint(cycles, d, 2)
+
+
+def test_figure_3_3_hamiltonian_decomposition(benchmark):
+    def build():
+        return {
+            (2, 3): modified_debruijn_decomposition(2, 3),
+            (3, 3): modified_debruijn_decomposition(3, 3),
+            (5, 2): modified_debruijn_decomposition(5, 2),
+        }
+
+    decs = benchmark(build)
+    for (d, n), dec in decs.items():
+        assert len(dec.cycles) == d
+        assert dec.is_decomposition()
+        assert dec.is_regular()
+        assert dec.undirected_contains_ub()
+    # Figure 3.3 is the d=2, n=3 case: two HCs decomposing UMB(2,3)
+    assert decs[(2, 3)].cycles_edge_disjoint()
+
+
+def test_fkm_baseline_sequences(benchmark):
+    # baseline used throughout: the FKM De Bruijn sequence for arbitrary d
+    def build():
+        return {(d, n): de_bruijn_sequence(d, n) for d, n in [(2, 8), (3, 5), (6, 3), (10, 2)]}
+
+    seqs = benchmark(build)
+    for (d, n), seq in seqs.items():
+        assert is_hamiltonian_sequence(seq, d, n)

@@ -1,0 +1,63 @@
+"""E-F3.1/Ex3.1–3.4 — §3.2.1: maximal cycles, shifted HCs and conflict structure (Figures 3.1-3.2)."""
+
+from repro.core import (
+    conflict_function,
+    cycles_conflict,
+    disjoint_hamiltonian_cycles_prime_power,
+    psi,
+    strategy_for_prime,
+    verify_pairwise_disjoint,
+)
+from repro.gf import GF, LinearRecurrence, maximal_cycle
+
+CASES = [(4, 2), (5, 2), (8, 2), (9, 2), (13, 2), (4, 3)]
+
+
+def build_families():
+    return {(d, n): disjoint_hamiltonian_cycles_prime_power(d, n) for d, n in CASES}
+
+
+def test_disjoint_hc_prime_power(benchmark):
+    families = benchmark(build_families)
+    for (d, n), family in families.items():
+        cycles = family.as_list()
+        # Proposition 3.1: at least psi(d) pairwise disjoint Hamiltonian cycles
+        assert len(cycles) >= psi(d)
+        assert verify_pairwise_disjoint(cycles, d, n)
+    # Example 3.2 regime: powers of two reach the d-1 optimum (Strategy 1)
+    assert len(families[(4, 2)].as_list()) == 3
+    assert len(families[(8, 2)].as_list()) == 7
+    # Example 3.3 regime: d=13 reaches (d+1)/2 via Strategy 2 + H_0
+    assert len(families[(13, 2)].as_list()) == 7
+    # Example 3.4 regime: d=5 reaches (d-1)/2 via Strategy 3
+    assert len(families[(5, 2)].as_list()) == 2
+
+
+def test_example_3_1_maximal_cycle(benchmark):
+    # Example 3.1: x^2 - x - 3 over GF(5), initial (0,1)
+    rec = LinearRecurrence(GF(5), (3, 1))
+    cycle = benchmark(maximal_cycle, 5, 2, rec, (0, 1))
+    assert cycle == [0, 1, 1, 4, 2, 4, 0, 2, 2, 3, 4, 3, 0, 4, 4, 1, 3, 1, 0, 3, 3, 2, 1, 2]
+
+
+def test_figure_3_2_conflict_graph(benchmark):
+    # Figure 3.2: the conflict relation among {H_x} for d = 13 is 4-regular
+    def build():
+        fmap = conflict_function(13)
+        info = strategy_for_prime(13)
+        edges = {
+            (x, y)
+            for x in range(1, 13)
+            for y in range(1, 13)
+            if x < y and cycles_conflict(x, y, 13, fmap)
+        }
+        return info, edges
+
+    info, edges = benchmark(build)
+    assert info["strategy"] == 2
+    degree = {x: 0 for x in range(1, 13)}
+    for x, y in edges:
+        degree[x] += 1
+        degree[y] += 1
+    # every nonzero x conflicts with the four elements {l^A x, l^B x, l^-A x, l^-B x}
+    assert all(deg == 4 for deg in degree.values())

@@ -1,0 +1,29 @@
+"""E-DIST — §2.4/2.5: the distributed FFC protocol runs in O(K + n) communication steps."""
+
+from repro.core import find_fault_free_cycle
+from repro.network import run_distributed_ffc
+
+CASES = [
+    (2, 6, [(1, 1, 1, 1, 1, 1)]),
+    (2, 8, [(0, 1, 1, 0, 1, 0, 0, 1), (1, 1, 1, 1, 0, 0, 0, 0)]),
+    (3, 4, [(0, 1, 2, 2)]),
+    (4, 3, [(0, 1, 2), (3, 3, 1)]),
+]
+
+
+def run_cases():
+    return [(d, n, faults, run_distributed_ffc(d, n, faults)) for d, n, faults in CASES]
+
+
+def test_distributed_ffc_rounds(benchmark):
+    results = benchmark(run_cases)
+    for d, n, faults, dist in results:
+        central = find_fault_free_cycle(d, n, faults)
+        # the distributed and centralized algorithms agree node for node
+        assert list(dist.cycle) == list(central.cycle)
+        # step accounting: probe = n, broadcast = K <= 2n (Prop 2.2 regime),
+        # coordination <= 2n + 1, total O(K + n)
+        assert dist.probe_rounds == n
+        assert dist.broadcast_steps <= 2 * n
+        assert dist.coordination_rounds <= 2 * n + 1
+        assert dist.total_steps <= 5 * n + 1

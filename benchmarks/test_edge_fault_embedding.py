@@ -1,0 +1,38 @@
+"""E-P3.3/3.4 — Propositions 3.3/3.4: Hamiltonian rings under adversarial edge faults."""
+
+import numpy as np
+
+from repro.core import (
+    edge_fault_phi,
+    edge_fault_tolerance,
+    edges_of_sequence,
+    find_edge_fault_free_hc,
+    is_hamiltonian_sequence,
+)
+from repro.network import sample_edge_faults
+
+SWEEP = [(3, 2), (4, 2), (5, 2), (7, 2), (8, 2), (9, 2), (6, 2), (10, 2), (12, 2), (4, 3)]
+
+
+def run_sweep():
+    results = {}
+    for d, n in SWEEP:
+        tolerance = edge_fault_tolerance(d)
+        rng = np.random.default_rng(d * 10 + n)
+        faults = set(map(tuple, sample_edge_faults(d, n, tolerance, rng)))
+        seq = find_edge_fault_free_hc(d, n, faults, strict=True)
+        results[(d, n)] = (faults, seq)
+    return results
+
+
+def test_edge_fault_tolerance_sweep(benchmark):
+    results = benchmark(run_sweep)
+    for (d, n), (faults, seq) in results.items():
+        assert is_hamiltonian_sequence(seq, d, n)
+        assert not (set(edges_of_sequence(seq, n)) & faults)
+    # prime powers tolerate the optimal d-2 faults (phi(p^e) = p^e - 2)
+    for d in (3, 4, 5, 7, 8, 9):
+        assert edge_fault_phi(d) == d - 2
+    # composite d tolerate at least one fault (Section 3.3 remark)
+    for d in (6, 10, 12):
+        assert edge_fault_tolerance(d) >= 1

@@ -1,0 +1,54 @@
+"""Ablations on the FFC algorithm's design choices (DESIGN.md §5).
+
+Two choices the paper makes are varied here:
+
+* root selection — the paper's simulations fix R = 0...01; any canonical
+  necklace representative works.  The cycle *length* is invariant (it always
+  equals |B*|), only the broadcast eccentricity changes.
+* necklace-granularity removal — the paper removes whole faulty necklaces;
+  removing only the faulty nodes themselves keeps more processors but breaks
+  the balancedness that the necklace-stitching relies on.  The ablation
+  quantifies how many extra nodes the necklace convention gives up.
+"""
+
+import numpy as np
+
+from repro.core import find_fault_free_cycle
+from repro.graphs import residual_after_node_faults
+from repro.network import sample_node_faults
+
+
+def run_root_ablation():
+    d, n = 2, 8
+    faults = [(0, 1, 1, 0, 1, 0, 0, 1), (1, 1, 1, 1, 0, 0, 0, 0)]
+    roots = [(0,) * (n - 1) + (1,), (0, 1) * (n // 2), None]
+    return [find_fault_free_cycle(d, n, faults, root_hint=r) for r in roots]
+
+
+def test_root_selection_ablation(benchmark):
+    results = benchmark(run_root_ablation)
+    lengths = {r.length for r in results}
+    # the fault-free cycle length does not depend on the chosen root
+    assert len(lengths) == 1
+    for r in results:
+        r.embedding.validate()
+
+
+def test_necklace_vs_node_removal_ablation(benchmark):
+    def run():
+        d, n = 2, 10
+        rng = np.random.default_rng(0)
+        rows = []
+        for f in (1, 5, 10, 20):
+            faults = sample_node_faults(d, n, f, rng)
+            whole = residual_after_node_faults(d, n, faults, remove_whole_necklaces=True)
+            only = residual_after_node_faults(d, n, faults, remove_whole_necklaces=False)
+            rows.append((f, whole.num_alive, only.num_alive))
+        return rows
+
+    rows = benchmark(run)
+    for f, whole_alive, node_alive in rows:
+        # removing whole necklaces costs at most n-1 extra nodes per fault...
+        assert node_alive - whole_alive <= f * (10 - 1)
+        # ...and never keeps fewer nodes than the faults themselves require
+        assert whole_alive >= 2**10 - f * 10

@@ -1,0 +1,25 @@
+"""E-F1.1/1.2 — Figures 1.1 and 1.2: structure of B(2,3), B(2,4) and UB(2,3)."""
+
+from repro.graphs import DeBruijnGraph, UndirectedDeBruijnGraph, degree_census
+
+
+def build_figures():
+    b23 = DeBruijnGraph(2, 3)
+    b24 = DeBruijnGraph(2, 4)
+    ub23 = UndirectedDeBruijnGraph(2, 3)
+    return b23, b24, ub23
+
+
+def test_figure_1_graphs(benchmark):
+    b23, b24, ub23 = benchmark(build_figures)
+    # Figure 1.1(a): 8 nodes, 16 edges, loops at 000 and 111
+    assert b23.num_nodes == 8 and b23.num_edges == 16
+    assert b23.has_loop((0, 0, 0)) and b23.has_loop((1, 1, 1))
+    assert b23.has_edge((1, 0, 0), (0, 0, 0)) and b23.has_edge((0, 1, 1), (1, 1, 1))
+    # Figure 1.1(b): 16 nodes, 32 edges
+    assert b24.num_nodes == 16 and b24.num_edges == 32
+    assert b24.has_edge((1, 0, 0, 0), (0, 0, 0, 0))
+    # Figure 1.2: UB(2,3) drops loops, merges parallels; degree census from [PR82]
+    assert ub23.num_nodes == 8
+    assert ub23.degree_census() == degree_census(2, 3) == {2: 2, 3: 2, 4: 4}
+    assert ub23.is_connected()

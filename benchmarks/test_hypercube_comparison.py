@@ -1,0 +1,21 @@
+"""E-HC-CMP — Chapter 2 introduction: 4096-node hypercube vs De Bruijn B(4,6) with f=2."""
+
+from repro.analysis import compare_hypercube_debruijn, format_table
+
+
+def test_hypercube_comparison(benchmark):
+    cmp = benchmark.pedantic(
+        compare_hypercube_debruijn, kwargs={"trials": 3}, iterations=1, rounds=1
+    )
+    print("\n" + format_table(["quantity", "hypercube Q(12)", "De Bruijn B(4,6)"], cmp.as_rows()))
+    # the paper's quoted numbers
+    assert cmp.nodes == 4096
+    assert cmp.hypercube_cycle_bound == 4092
+    assert cmp.debruijn_cycle_bound == 4084
+    assert cmp.hypercube_edges == 24576
+    assert cmp.debruijn_edges == 16384
+    # "the hypercube has 50% more edges than the De Bruijn graph"
+    assert cmp.hypercube_edges == int(1.5 * cmp.debruijn_edges)
+    # the measured FFC cycles actually achieve the guarantee
+    assert cmp.debruijn_cycle_worst_case >= cmp.debruijn_cycle_bound
+    assert cmp.debruijn_cycle_random_avg >= cmp.debruijn_cycle_bound

@@ -1,0 +1,34 @@
+"""E-CH4 — Chapter 4: necklace-counting formulae vs the paper's worked examples."""
+
+from repro.core import (
+    brute_force_necklace_count,
+    count_necklaces_by_weight,
+    count_necklaces_by_weight_total,
+    count_necklaces_of_length,
+    count_necklaces_total,
+)
+
+
+def compute_examples():
+    return {
+        "length6_B2_12": count_necklaces_of_length(2, 12, 6),
+        "total_B2_12": count_necklaces_total(2, 12),
+        "w4_len6_B2_12": count_necklaces_by_weight(2, 12, 4, 6),
+        "w4_total_B2_12": count_necklaces_by_weight_total(2, 12, 4),
+        "w4_len4_B3_4": count_necklaces_by_weight(3, 4, 4, 4),
+        "total_B2_16": count_necklaces_total(2, 16),
+        "total_B4_8": count_necklaces_total(4, 8),
+    }
+
+
+def test_chapter_4_examples(benchmark):
+    values = benchmark(compute_examples)
+    # the five worked examples of Section 4.3
+    assert values["length6_B2_12"] == 9
+    assert values["total_B2_12"] == 352
+    assert values["w4_len6_B2_12"] == 2
+    assert values["w4_total_B2_12"] == 43
+    assert values["w4_len4_B3_4"] == 4
+    # closed form agrees with explicit enumeration on larger instances
+    assert values["total_B2_16"] == brute_force_necklace_count(2, 16)
+    assert values["total_B4_8"] == brute_force_necklace_count(4, 8)

@@ -1,0 +1,40 @@
+"""E-P2.2 / E-P2.3 — Propositions 2.2 and 2.3: worst-case cycle-length guarantees."""
+
+from repro.core import (
+    binary_single_fault_bound,
+    find_fault_free_cycle,
+    node_fault_cycle_bound,
+    worst_case_fault_placement,
+)
+
+SWEEP = [(3, 3, 1), (4, 3, 2), (4, 4, 2), (5, 3, 3), (6, 3, 4), (7, 3, 5), (5, 4, 3)]
+
+
+def run_sweep():
+    results = []
+    for d, n, f in SWEEP:
+        faults = worst_case_fault_placement(d, n, f)
+        results.append((d, n, f, find_fault_free_cycle(d, n, faults).length))
+    return results
+
+
+def test_prop_2_2_worst_case_sweep(benchmark):
+    results = benchmark(run_sweep)
+    for d, n, f, length in results:
+        bound = node_fault_cycle_bound(d, n, f)
+        # the guarantee holds, and on the adversarial placement it is tight
+        assert length >= bound
+        assert length == d**n - n * f
+
+
+def test_prop_2_3_binary_single_fault(benchmark):
+    def run():
+        out = []
+        for n in range(4, 11):
+            fault = (0, 1) * (n // 2) + (0,) * (n % 2)
+            out.append((n, find_fault_free_cycle(2, n, [fault]).length))
+        return out
+
+    results = benchmark(run)
+    for n, length in results:
+        assert length >= binary_single_fault_bound(n) == 2**n - (n + 1)

@@ -1,0 +1,26 @@
+"""E-T2.1 — Table 2.1: random node faults in B(2,10) (component size / eccentricity)."""
+
+from repro.analysis import format_fault_table, simulate_fault_table
+
+
+def test_table_2_1(benchmark, small_trials):
+    rows = benchmark.pedantic(
+        simulate_fault_table,
+        args=(2, 10),
+        kwargs={"trials": small_trials, "seed": 0, "fault_counts": (0, 1, 2, 5, 10, 20, 50)},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + format_fault_table(rows, "Table 2.1 (B(2,10), reproduced)"))
+
+    by_f = {row.f: row for row in rows}
+    # shape checks against the paper's Table 2.1
+    assert by_f[0].avg_size == 1024 and by_f[0].avg_ecc == 10
+    # sizes track d^n - nf closely for small f and decay monotonically
+    for f in (1, 2, 5, 10):
+        assert abs(by_f[f].avg_size - by_f[f].reference_size) <= 12
+    sizes = [row.avg_size for row in rows]
+    assert sizes == sorted(sizes, reverse=True)
+    # eccentricity grows slowly (paper: 10 -> ~20 at f=50)
+    assert by_f[50].avg_ecc <= 3 * by_f[0].avg_ecc
+    assert by_f[50].avg_size >= 400  # graph stays largely intact (paper: ~620)

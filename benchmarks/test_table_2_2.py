@@ -1,0 +1,26 @@
+"""E-T2.2 — Table 2.2: random node faults in B(4,5) (component size / eccentricity)."""
+
+from repro.analysis import format_fault_table, simulate_fault_table
+
+
+def test_table_2_2(benchmark, small_trials):
+    rows = benchmark.pedantic(
+        simulate_fault_table,
+        args=(4, 5),
+        kwargs={"trials": small_trials, "seed": 0, "fault_counts": (0, 1, 2, 5, 10, 20, 50)},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + format_fault_table(rows, "Table 2.2 (B(4,5), reproduced)"))
+
+    by_f = {row.f: row for row in rows}
+    assert by_f[0].avg_size == 1024 and by_f[0].avg_ecc == 5
+    # single fault removes exactly one length-5 necklace (paper row: 1019)
+    assert by_f[1].avg_size == 1019
+    for f in (1, 2, 5, 10):
+        assert abs(by_f[f].avg_size - by_f[f].reference_size) <= 8
+    # the d=4 graph is much better connected: eccentricity stays ~n..n+4
+    assert by_f[50].avg_ecc <= 10
+    assert by_f[50].avg_size >= 750  # paper: ~798
+    # compared with B(2,10) (Table 2.1), B(4,5) loses fewer nodes at f=50
+    assert by_f[50].avg_size > by_f[50].reference_size - 30

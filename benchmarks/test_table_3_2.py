@@ -1,0 +1,24 @@
+"""E-T3.2 — Table 3.2: max(psi(d)-1, varphi(d)) (tolerated edge faults) for 2 <= d <= 35."""
+
+from repro.analysis import format_mapping_table
+from repro.core import edge_fault_phi, psi, table_3_2
+
+
+def test_table_3_2(benchmark):
+    table = benchmark(table_3_2, 35)
+    print("\nTable 3.2 (reproduced)\n" + format_mapping_table(table, "d", "max(psi-1, phi)"))
+    # recomputed from the paper's definitions
+    expected = {d: max(psi(d) - 1, edge_fault_phi(d)) for d in range(2, 36)}
+    assert table == expected
+    # the paper's headline observations about this table:
+    # prime powers tolerate the maximum possible d-2 edge faults ...
+    for d in (3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27, 32):
+        assert table[d] == d - 2
+    # ... every non-binary d tolerates at least one fault ...
+    assert all(table[d] >= 1 for d in table if d > 2)
+    # ... and d = 28 is the sole value where the disjoint-HC bound wins.
+    for d in table:
+        if d == 28:
+            assert psi(d) - 1 > edge_fault_phi(d) and table[d] == 8
+        else:
+            assert table[d] == edge_fault_phi(d)

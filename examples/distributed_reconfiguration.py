@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Run the *distributed* FFC protocol on the message-passing simulator (Section 2.4).
+
+The paper's algorithm is a network-level protocol: every processor only talks
+to its De Bruijn neighbours and the whole reconfiguration costs O(K + n)
+communication steps (K = eccentricity of the root in the surviving
+component).  This example executes the three protocol stages on the
+synchronous simulator, reports the measured step counts, verifies the result
+against the centralized algorithm, and finishes with the all-to-all broadcast
+that motivates disjoint rings in Chapter 3.
+
+Run:  python examples/distributed_reconfiguration.py
+"""
+
+from repro.core import disjoint_hamiltonian_cycles, find_fault_free_cycle, nodes_of_sequence
+from repro.network import (
+    all_to_all_cost_model,
+    run_distributed_ffc,
+    simulate_all_to_all,
+)
+
+D, N = 2, 8
+FAULTS = [(0, 1, 1, 0, 1, 0, 0, 1), (1, 1, 1, 1, 0, 0, 0, 0)]
+
+
+def main() -> None:
+    print(f"Distributed FFC on B({D},{N}) ({D**N} processors), "
+          f"{len(FAULTS)} failed processors\n")
+    dist = run_distributed_ffc(D, N, FAULTS)
+    central = find_fault_free_cycle(D, N, FAULTS)
+
+    print(f"ring length (distributed)   : {len(dist.cycle)}")
+    print(f"ring length (centralized)   : {central.length}")
+    print(f"identical rings             : {list(dist.cycle) == list(central.cycle)}")
+    print("communication steps:")
+    print(f"  necklace probe            : {dist.probe_rounds}   (= n)")
+    print(f"  broadcast                 : {dist.broadcast_steps}   (= eccentricity K)")
+    print(f"  necklace coordination     : {dist.coordination_rounds}   (<= 2n + 1)")
+    print(f"  total                     : {dist.total_steps}   (O(K + n))")
+    print(f"messages delivered          : {dist.messages_delivered}")
+
+    # all-to-all broadcast over disjoint rings (Chapter 3 motivation)
+    d, n = 8, 2
+    rings = [nodes_of_sequence(c, n) for c in disjoint_hamiltonian_cycles(d, n)]
+    single = simulate_all_to_all(rings[:1])
+    multi = simulate_all_to_all(rings)
+    print(f"\nAll-to-all broadcast on B({d},{n}) ({d**n} nodes):")
+    print(f"  1 ring : {single.steps} steps, busiest link carries "
+          f"{single.per_link_payload} full messages")
+    print(f"  {multi.rings} rings: {multi.steps} steps, busiest link carries "
+          f"{multi.per_link_payload / multi.rings:.1f} full-message equivalents")
+    model_1 = all_to_all_cost_model(d**n, 4096, 1, alpha=1, beta=0.001)
+    model_t = all_to_all_cost_model(d**n, 4096, len(rings), alpha=1, beta=0.001)
+    print(f"  alpha-beta model: {model_1:.0f} vs {model_t:.0f} time units "
+          f"({model_1 / model_t:.2f}x speed-up)")
+
+
+if __name__ == "__main__":
+    main()

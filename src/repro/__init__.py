@@ -1,0 +1,24 @@
+"""repro — Fault-tolerant ring embedding in De Bruijn networks.
+
+A complete, from-scratch reproduction of *Fault-Tolerant Ring Embedding in
+De Bruijn Networks* (Rowley & Bose, ICPP 1991 / OSU thesis 1993).
+
+Layered architecture (lowest first):
+
+* :mod:`repro.words` — d-ary word and necklace combinatorics.
+* :mod:`repro.gf` — finite fields, primitive polynomials, shift registers.
+* :mod:`repro.graphs` — De Bruijn, butterfly, hypercube, Kautz and
+  shuffle-exchange topologies plus connectivity analysis.
+* :mod:`repro.core` — the paper's algorithms: the fault-free-cycle (FFC)
+  algorithm for node failures, disjoint Hamiltonian cycles and edge-fault
+  Hamiltonian embedding, Hamiltonian decompositions, necklace counting and
+  the theoretical bound tables.
+* :mod:`repro.network` — a synchronous message-passing simulator and the
+  distributed protocols of Section 2.4.
+* :mod:`repro.analysis` — experiment harnesses reproducing every table and
+  figure of the paper's evaluation.
+"""
+
+from ._version import __version__
+
+__all__ = ["__version__"]

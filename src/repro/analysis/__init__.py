@@ -1,0 +1,26 @@
+"""Experiment harnesses reproducing the paper's tables, figures and comparisons."""
+
+from .experiments import EXPERIMENTS, available_experiments, run_experiment
+from .fault_simulation import (
+    PAPER_FAULT_COUNTS,
+    FaultSimulationRow,
+    simulate_fault_row,
+    simulate_fault_table,
+)
+from .hypercube_comparison import HypercubeComparison, compare_hypercube_debruijn
+from .reporting import format_fault_table, format_mapping_table, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "available_experiments",
+    "run_experiment",
+    "PAPER_FAULT_COUNTS",
+    "FaultSimulationRow",
+    "simulate_fault_row",
+    "simulate_fault_table",
+    "HypercubeComparison",
+    "compare_hypercube_debruijn",
+    "format_fault_table",
+    "format_mapping_table",
+    "format_table",
+]

@@ -1,0 +1,169 @@
+"""The experiment registry: one runnable entry per table/figure of the paper.
+
+Each entry pairs an experiment identifier (e.g. ``"table_2_1"``) with a
+callable returning ``(description, text)`` where ``text`` is the regenerated
+table/figure rendered via :mod:`repro.analysis.reporting`.  The benchmark
+suite under ``benchmarks/`` and the ``examples/reproduce_paper_tables.py``
+script both drive this registry, and EXPERIMENTS.md records the outputs next
+to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..core.bounds import table_3_1, table_3_2
+from ..core.counting import (
+    count_necklaces_by_weight,
+    count_necklaces_by_weight_total,
+    count_necklaces_of_length,
+    count_necklaces_total,
+)
+from ..core.disjoint_hc import disjoint_hamiltonian_cycles, verify_pairwise_disjoint
+from ..core.ffc import find_fault_free_cycle
+from ..core.hamiltonian_decomposition import modified_debruijn_decomposition
+from ..graphs.undirected import UndirectedDeBruijnGraph, degree_census
+from .fault_simulation import simulate_fault_table
+from .hypercube_comparison import compare_hypercube_debruijn
+from .reporting import format_fault_table, format_mapping_table, format_table
+
+__all__ = ["EXPERIMENTS", "run_experiment", "available_experiments"]
+
+
+def _table_2_1(trials: int = 200, seed: int = 0) -> tuple[str, str]:
+    rows = simulate_fault_table(2, 10, trials=trials, seed=seed)
+    return (
+        "Table 2.1 — component size / eccentricity of R=0^9 1 in B(2,10) under random faults",
+        format_fault_table(rows),
+    )
+
+
+def _table_2_2(trials: int = 200, seed: int = 0) -> tuple[str, str]:
+    rows = simulate_fault_table(4, 5, trials=trials, seed=seed)
+    return (
+        "Table 2.2 — component size / eccentricity of R=0^4 1 in B(4,5) under random faults",
+        format_fault_table(rows),
+    )
+
+
+def _table_3_1() -> tuple[str, str]:
+    return (
+        "Table 3.1 — psi(d): guaranteed disjoint Hamiltonian cycles, 2 <= d <= 38",
+        format_mapping_table(table_3_1(38), "d", "psi(d)"),
+    )
+
+
+def _table_3_2() -> tuple[str, str]:
+    return (
+        "Table 3.2 — max(psi(d)-1, varphi(d)): tolerated edge faults, 2 <= d <= 35",
+        format_mapping_table(table_3_2(35), "d", "tolerance"),
+    )
+
+
+def _figure_1_graphs() -> tuple[str, str]:
+    rows = []
+    for d, n in [(2, 3), (2, 4)]:
+        rows.append((f"B({d},{n})", d**n, d ** (n + 1), "-"))
+    ub = UndirectedDeBruijnGraph(2, 3)
+    rows.append(("UB(2,3)", ub.num_nodes, ub.num_edges, dict(sorted(degree_census(2, 3).items()))))
+    return (
+        "Figures 1.1/1.2 — node/edge census of B(2,3), B(2,4) and UB(2,3)",
+        format_table(["graph", "nodes", "edges", "degree census"], rows),
+    )
+
+
+def _figure_2_ffc_example() -> tuple[str, str]:
+    result = find_fault_free_cycle(3, 3, [(0, 2, 0), (1, 1, 2)], root_hint=(0, 0, 0))
+    cycle = " ".join("".join(map(str, w)) for w in result.cycle)
+    rows = [
+        ("faulty nodes", "020, 112"),
+        ("|B*|", result.bstar.size),
+        ("necklaces in N*", len(result.adjacency.necklaces)),
+        ("spanning tree edges", len(result.spanning_tree.parent)),
+        ("modified tree edges", len(result.modified_tree.edges())),
+        ("cycle length", result.length),
+        ("cycle", cycle),
+    ]
+    return (
+        "Figures 2.1–2.4 / Example 2.1 — the FFC run on B(3,3) with faults {020, 112}",
+        format_table(["quantity", "value"], rows),
+    )
+
+
+def _figure_3_3_decomposition() -> tuple[str, str]:
+    rows = []
+    for d, n in [(2, 3), (3, 3), (5, 2)]:
+        dec = modified_debruijn_decomposition(d, n)
+        rows.append(
+            (
+                f"MB({d},{n})",
+                len(dec.cycles),
+                dec.is_decomposition(),
+                dec.undirected_contains_ub(),
+            )
+        )
+    return (
+        "Figure 3.3 / §3.2.3 — Hamiltonian decompositions of the modified graph",
+        format_table(["graph", "cycles", "is decomposition", "UB subgraph of UMB"], rows),
+    )
+
+
+def _disjoint_hc_summary() -> tuple[str, str]:
+    rows = []
+    for d, n in [(4, 2), (5, 2), (8, 2), (9, 2), (13, 2), (6, 2), (12, 2)]:
+        cycles = disjoint_hamiltonian_cycles(d, n)
+        rows.append((f"B({d},{n})", len(cycles), verify_pairwise_disjoint(cycles, d, n)))
+    return (
+        "§3.2 — constructed disjoint Hamiltonian cycle families",
+        format_table(["graph", "#cycles (>= psi)", "pairwise disjoint"], rows),
+    )
+
+
+def _hypercube_comparison() -> tuple[str, str]:
+    cmp = compare_hypercube_debruijn()
+    return (
+        "Ch. 2 intro — 4096-node hypercube Q(12) vs De Bruijn B(4,6) with f=2",
+        format_table(["quantity", "hypercube", "De Bruijn"], cmp.as_rows()),
+    )
+
+
+def _chapter_4_examples() -> tuple[str, str]:
+    rows = [
+        ("necklaces of length 6 in B(2,12)", 9, count_necklaces_of_length(2, 12, 6)),
+        ("necklaces in B(2,12)", 352, count_necklaces_total(2, 12)),
+        ("weight-4 necklaces of length 6 in B(2,12)", 2, count_necklaces_by_weight(2, 12, 4, 6)),
+        ("weight-4 necklaces in B(2,12)", 43, count_necklaces_by_weight_total(2, 12, 4)),
+        ("weight-4 necklaces of length 4 in B(3,4)", 4, count_necklaces_by_weight(3, 4, 4, 4)),
+    ]
+    return (
+        "Chapter 4 worked examples — necklace counts (paper value vs computed)",
+        format_table(["quantity", "paper", "computed"], rows),
+    )
+
+
+EXPERIMENTS: dict[str, Callable[..., tuple[str, str]]] = {
+    "table_2_1": _table_2_1,
+    "table_2_2": _table_2_2,
+    "table_3_1": _table_3_1,
+    "table_3_2": _table_3_2,
+    "figure_1_graphs": _figure_1_graphs,
+    "figure_2_ffc_example": _figure_2_ffc_example,
+    "figure_3_3_decomposition": _figure_3_3_decomposition,
+    "disjoint_hc_summary": _disjoint_hc_summary,
+    "hypercube_comparison": _hypercube_comparison,
+    "chapter_4_examples": _chapter_4_examples,
+}
+
+
+def available_experiments() -> list[str]:
+    """Names accepted by :func:`run_experiment`."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str, **kwargs) -> tuple[str, str]:
+    """Run one registered experiment and return ``(description, rendered table)``."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; choose from {available_experiments()}") from None
+    return runner(**kwargs)

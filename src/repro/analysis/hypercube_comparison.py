@@ -1,0 +1,75 @@
+"""The hypercube comparison quoted in the introduction to Chapter 2.
+
+"For example, a fault-free cycle of length 4092 can be found in the
+4096-node hypercube when f = 2.  By comparison, when there are two faults in
+the 4096-node De Bruijn graph B(4,6), a fault-free cycle of length at least
+4084 can be found.  It is worth mentioning that the hypercube has 50% more
+edges (24,576) than the De Bruijn graph (16,384) in this instance."
+
+The De Bruijn side of the comparison is also *measured* here by actually
+running the FFC algorithm on adversarially and randomly placed faults, so the
+benchmark reports both the analytic bounds and achieved cycle lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bounds import hypercube_vs_debruijn, node_fault_cycle_bound, worst_case_fault_placement
+from ..core.ffc import find_fault_free_cycle
+from ..graphs.hypercube import HypercubeGraph, fault_free_cycle_bound
+from ..network.faults import sample_node_faults
+
+__all__ = ["HypercubeComparison", "compare_hypercube_debruijn"]
+
+
+@dataclass(frozen=True)
+class HypercubeComparison:
+    """Side-by-side numbers for equally sized hypercube and De Bruijn networks."""
+
+    nodes: int
+    f: int
+    hypercube_edges: int
+    debruijn_edges: int
+    hypercube_cycle_bound: int
+    debruijn_cycle_bound: int
+    debruijn_cycle_worst_case: int
+    debruijn_cycle_random_avg: float
+
+    def as_rows(self) -> list[tuple]:
+        return [
+            ("nodes", self.nodes, self.nodes),
+            ("edges", self.hypercube_edges, self.debruijn_edges),
+            (f"guaranteed cycle, f={self.f}", self.hypercube_cycle_bound, self.debruijn_cycle_bound),
+            ("measured worst-case cycle", "-", self.debruijn_cycle_worst_case),
+            ("measured random-fault cycle (avg)", "-", round(self.debruijn_cycle_random_avg, 1)),
+        ]
+
+
+def compare_hypercube_debruijn(
+    n_cube: int = 12, d: int = 4, n: int = 6, f: int = 2, trials: int = 5, seed: int = 0
+) -> HypercubeComparison:
+    """Reproduce the Chapter 2 comparison, measuring the De Bruijn side with the FFC algorithm."""
+    bounds = hypercube_vs_debruijn(n_cube=n_cube, d=d, n=n, f=f)
+    cube = HypercubeGraph(n_cube)
+
+    worst = find_fault_free_cycle(d, n, worst_case_fault_placement(d, n, f)).length
+
+    rng = np.random.default_rng(seed)
+    lengths = []
+    for _ in range(trials):
+        faults = sample_node_faults(d, n, f, rng)
+        lengths.append(find_fault_free_cycle(d, n, faults).length)
+
+    return HypercubeComparison(
+        nodes=bounds["nodes"],
+        f=f,
+        hypercube_edges=cube.num_edges,
+        debruijn_edges=bounds["debruijn_edges"],
+        hypercube_cycle_bound=fault_free_cycle_bound(n_cube, f),
+        debruijn_cycle_bound=node_fault_cycle_bound(d, n, f),
+        debruijn_cycle_worst_case=worst,
+        debruijn_cycle_random_avg=float(np.mean(lengths)),
+    )

@@ -1,0 +1,44 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+Every experiment harness in :mod:`repro.analysis` and every benchmark in
+``benchmarks/`` funnels its results through these helpers so that the rows
+printed next to the paper's tables line up column for column.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .fault_simulation import FaultSimulationRow
+
+__all__ = ["format_table", "format_fault_table", "format_mapping_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    rows = [[str(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_fault_table(rows: Iterable[FaultSimulationRow], title: str = "") -> str:
+    """Render Table 2.1/2.2 rows with the paper's column layout."""
+    headers = ["f", "Avg. Size", "Max. Size", "Min. Size", "d^n - nf", "Avg. Ecc.", "Max. Ecc.", "Min. Ecc."]
+    body = format_table(headers, [row.as_tuple() for row in rows])
+    return f"{title}\n{body}" if title else body
+
+
+def format_mapping_table(mapping: dict, key_header: str, value_header: str) -> str:
+    """Render a ``{key: value}`` mapping (e.g. Table 3.1 / 3.2) as two rows."""
+    keys = sorted(mapping)
+    headers = [key_header] + [str(k) for k in keys]
+    row = [value_header] + [str(mapping[k]) for k in keys]
+    return format_table(headers, [row])

@@ -1,0 +1,148 @@
+"""The paper's algorithms: fault-tolerant ring embedding in De Bruijn networks.
+
+* :mod:`repro.core.ffc` — the fault-free cycle algorithm for node failures
+  (Chapter 2), built on the necklace adjacency machinery of
+  :mod:`repro.core.necklace_graph`.
+* :mod:`repro.core.disjoint_hc`, :mod:`repro.core.edge_faults`,
+  :mod:`repro.core.hamiltonian_decomposition` — disjoint Hamiltonian cycles,
+  edge-fault-tolerant Hamiltonian embedding and Hamiltonian decompositions of
+  the modified graph (Chapter 3), including the butterfly transfer.
+* :mod:`repro.core.counting` — necklace counting (Chapter 4).
+* :mod:`repro.core.bounds` — ψ(d), φ(d) and every closed-form guarantee the
+  paper tabulates.
+"""
+
+from .bounds import (
+    binary_single_fault_bound,
+    disjoint_hc_upper_bound,
+    edge_fault_phi,
+    edge_fault_tolerance,
+    hypercube_vs_debruijn,
+    node_fault_cycle_bound,
+    psi,
+    psi_prime_power,
+    strategy_for_prime,
+    table_3_1,
+    table_3_2,
+    worst_case_fault_placement,
+)
+from .counting import (
+    brute_force_necklace_count,
+    count_from_gamma,
+    count_necklaces_by_type,
+    count_necklaces_by_type_total,
+    count_necklaces_by_weight,
+    count_necklaces_by_weight_total,
+    count_necklaces_of_length,
+    count_necklaces_total,
+    dary_tuples_of_weight,
+    total_from_gamma,
+)
+from .disjoint_hc import (
+    PrimePowerHCFamily,
+    conflict_function,
+    cycles_conflict,
+    disjoint_hamiltonian_cycles,
+    disjoint_hamiltonian_cycles_prime_power,
+    maximal_cycle_shifts,
+    shifted_hamiltonian_cycle,
+    verify_pairwise_disjoint,
+)
+from .edge_faults import (
+    butterfly_disjoint_hamiltonian_cycles,
+    butterfly_edge_fault_free_hc,
+    edge_fault_free_hc_composite,
+    edge_fault_free_hc_prime_power,
+    find_edge_fault_free_hc,
+    normalize_edge_faults,
+    project_butterfly_edge,
+)
+from .ffc import (
+    FaultFreeCycleResult,
+    find_fault_free_cycle,
+    guaranteed_cycle_length,
+    necklaces_visited_in_order,
+)
+from .hamiltonian_decomposition import HamiltonianDecomposition, modified_debruijn_decomposition
+from .necklace_graph import (
+    BStar,
+    ModifiedTree,
+    NecklaceAdjacencyGraph,
+    SpanningTree,
+    build_bstar,
+)
+from .ring_embedding import RingEmbedding, embedding_congestion, embedding_dilation
+from .sequences import (
+    de_bruijn_sequence,
+    decompose_rees_edge,
+    edges_of_sequence,
+    is_cycle_sequence,
+    is_hamiltonian_sequence,
+    nodes_of_sequence,
+    rees_composition,
+    sequence_of_cycle,
+    sequences_edge_disjoint,
+)
+
+__all__ = [
+    "binary_single_fault_bound",
+    "disjoint_hc_upper_bound",
+    "edge_fault_phi",
+    "edge_fault_tolerance",
+    "hypercube_vs_debruijn",
+    "node_fault_cycle_bound",
+    "psi",
+    "psi_prime_power",
+    "strategy_for_prime",
+    "table_3_1",
+    "table_3_2",
+    "worst_case_fault_placement",
+    "brute_force_necklace_count",
+    "count_from_gamma",
+    "count_necklaces_by_type",
+    "count_necklaces_by_type_total",
+    "count_necklaces_by_weight",
+    "count_necklaces_by_weight_total",
+    "count_necklaces_of_length",
+    "count_necklaces_total",
+    "dary_tuples_of_weight",
+    "total_from_gamma",
+    "PrimePowerHCFamily",
+    "conflict_function",
+    "cycles_conflict",
+    "disjoint_hamiltonian_cycles",
+    "disjoint_hamiltonian_cycles_prime_power",
+    "maximal_cycle_shifts",
+    "shifted_hamiltonian_cycle",
+    "verify_pairwise_disjoint",
+    "butterfly_disjoint_hamiltonian_cycles",
+    "butterfly_edge_fault_free_hc",
+    "edge_fault_free_hc_composite",
+    "edge_fault_free_hc_prime_power",
+    "find_edge_fault_free_hc",
+    "normalize_edge_faults",
+    "project_butterfly_edge",
+    "FaultFreeCycleResult",
+    "find_fault_free_cycle",
+    "guaranteed_cycle_length",
+    "necklaces_visited_in_order",
+    "HamiltonianDecomposition",
+    "modified_debruijn_decomposition",
+    "BStar",
+    "ModifiedTree",
+    "NecklaceAdjacencyGraph",
+    "SpanningTree",
+    "build_bstar",
+    "RingEmbedding",
+    "embedding_congestion",
+    "embedding_dilation",
+    "de_bruijn_sequence",
+    "decompose_rees_edge",
+    "edges_of_sequence",
+    "is_cycle_sequence",
+    "is_hamiltonian_sequence",
+    "nodes_of_sequence",
+    "rees_composition",
+    "sequence_of_cycle",
+    "sequences_edge_disjoint",
+]

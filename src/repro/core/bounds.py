@@ -1,0 +1,208 @@
+"""Theoretical guarantees: ψ(d), φ(d), fault budgets and worst-case fault placements.
+
+This module collects the closed-form quantities the paper tabulates:
+
+* ``psi(d)`` — the guaranteed number of pairwise edge-disjoint Hamiltonian
+  cycles of ``B(d, n)`` produced by the constructions of Section 3.2
+  (Propositions 3.1/3.2; Table 3.1 lists ``psi(d)`` for ``2 <= d <= 38``).
+* ``edge_fault_phi(d)`` — written ``\\varphi(d)`` in Section 3.3:
+  ``p_1^{e_1} + ... + p_k^{e_k} - 2k`` for the prime factorisation of ``d``;
+  Proposition 3.3 guarantees a fault-free Hamiltonian cycle for up to
+  ``\\varphi(d)`` edge faults.
+* ``edge_fault_tolerance(d) = max(psi(d) - 1, \\varphi(d))`` — Proposition 3.4
+  and Table 3.2.
+* the node-fault cycle-length guarantees of Propositions 2.2/2.3 and the
+  adversarial fault placement showing they are tight (Section 2.5).
+* the hypercube comparison quoted in the introduction to Chapter 2.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..exceptions import InvalidParameterError
+from ..gf.modular import (
+    prime_factorization,
+    primitive_roots,
+    two_as_odd_power,
+    two_as_odd_power_sum,
+)
+from ..words.alphabet import Word
+
+__all__ = [
+    "psi_prime_power",
+    "psi",
+    "edge_fault_phi",
+    "edge_fault_tolerance",
+    "disjoint_hc_upper_bound",
+    "node_fault_cycle_bound",
+    "binary_single_fault_bound",
+    "worst_case_fault_placement",
+    "table_3_1",
+    "table_3_2",
+    "hypercube_vs_debruijn",
+    "strategy_for_prime",
+]
+
+
+@lru_cache(maxsize=None)
+def strategy_for_prime(p: int) -> dict:
+    """Select the disjoint-HC strategy of Section 3.2.1 for the prime ``p``.
+
+    Returns a dict with keys:
+
+    * ``"strategy"`` — 1, 2 or 3 (the paper's Strategy number);
+    * ``"lambda"`` — the primitive root used (absent for Strategy 1);
+    * ``"A"`` — the odd exponent with ``2 = lambda**A`` (Strategy 3) or
+      ``2 = lambda**A + lambda**B`` (Strategy 2);
+    * ``"B"`` — the second odd exponent (Strategy 2 only).
+
+    Strategy 2 is preferred whenever some primitive root admits odd exponents
+    ``A, B`` with ``lambda^A + lambda^B = 2`` *and* ``(p-1)/2`` is even,
+    because only then can the extra cycle ``H_0`` be added (Proposition 3.1
+    case (ii)); otherwise Strategy 3 (odd prime) or Strategy 1 (``p = 2``)
+    is used.  Lemma 3.5 guarantees at least one strategy always applies.
+    """
+    if p == 2:
+        return {"strategy": 1}
+    # prefer strategy 2 when it buys the extra H_0, i.e. (p-1)/2 even
+    best_partial = None
+    for lam in primitive_roots(p):
+        pair = two_as_odd_power_sum(p, root=lam)
+        if pair is not None:
+            info = {"strategy": 2, "lambda": lam, "A": pair[0], "B": pair[1]}
+            if (p - 1) // 2 % 2 == 0:
+                return info
+            if best_partial is None:
+                best_partial = info
+    for lam in primitive_roots(p):
+        exp = two_as_odd_power(p, root=lam)
+        if exp is not None:
+            return {"strategy": 3, "lambda": lam, "A": exp}
+    if best_partial is not None:
+        return best_partial
+    raise InvalidParameterError(  # pragma: no cover - excluded by Lemma 3.5
+        f"Lemma 3.5 violated for p={p}: no strategy applies"
+    )
+
+
+@lru_cache(maxsize=None)
+def psi_prime_power(p: int, e: int) -> int:
+    """Return ``psi(p**e)``: guaranteed disjoint HCs in ``B(p**e, n)`` (Proposition 3.1).
+
+    * ``p = 2``: ``p**e - 1`` (Strategy 1, optimal);
+    * ``(p-1)/2`` even and condition (b) of Lemma 3.5 holds for some primitive
+      root: ``(p**e + 1) / 2`` (Strategy 2 plus the extra cycle ``H_0``);
+    * otherwise: ``(p**e - 1) / 2``.
+    """
+    if e < 1:
+        raise InvalidParameterError("exponent must be >= 1")
+    factors = prime_factorization(p)
+    if len(factors) != 1 or factors[0][1] != 1:
+        raise InvalidParameterError(f"{p} is not prime")
+    q = p**e
+    if p == 2:
+        return q - 1
+    info = strategy_for_prime(p)
+    if info["strategy"] == 2 and (p - 1) // 2 % 2 == 0:
+        return (q + 1) // 2
+    return (q - 1) // 2
+
+
+@lru_cache(maxsize=None)
+def psi(d: int) -> int:
+    """Return ``psi(d)``: guaranteed disjoint HCs in ``B(d, n)`` (Proposition 3.2).
+
+    Multiplicative over the coprime prime-power parts of ``d`` via the Rees
+    composition: ``psi(d) = prod psi(p_i**e_i)``.
+    """
+    if d < 2:
+        raise InvalidParameterError("psi(d) defined for d >= 2")
+    result = 1
+    for p, e in prime_factorization(d):
+        result *= psi_prime_power(p, e)
+    return result
+
+
+def disjoint_hc_upper_bound(d: int) -> int:
+    """Return ``d - 1``: the trivial upper bound on disjoint HCs in ``B(d, n)``.
+
+    Some nodes (the constants ``a^n``) have only ``d - 1`` non-loop out-edges,
+    so no more than ``d - 1`` edge-disjoint Hamiltonian cycles can exist.
+    """
+    if d < 2:
+        raise InvalidParameterError("bound defined for d >= 2")
+    return d - 1
+
+
+@lru_cache(maxsize=None)
+def edge_fault_phi(d: int) -> int:
+    """Return ``\\varphi(d) = p_1^{e_1} + ... + p_k^{e_k} - 2k`` (Section 3.3)."""
+    if d < 2:
+        raise InvalidParameterError("varphi(d) defined for d >= 2")
+    factors = prime_factorization(d)
+    return sum(p**e for p, e in factors) - 2 * len(factors)
+
+
+def edge_fault_tolerance(d: int) -> int:
+    """Return ``max(psi(d) - 1, varphi(d))``: tolerated edge faults (Proposition 3.4)."""
+    return max(psi(d) - 1, edge_fault_phi(d))
+
+
+def node_fault_cycle_bound(d: int, n: int, f: int) -> int:
+    """Return the guaranteed fault-free cycle length ``d**n - n*f`` for ``f <= d-2`` node faults."""
+    if f < 0 or f > d - 2:
+        raise InvalidParameterError(f"Proposition 2.2 covers 0 <= f <= d-2, got f={f}")
+    return d**n - n * f
+
+
+def binary_single_fault_bound(n: int) -> int:
+    """Return ``2**n - (n + 1)``: the binary single-fault guarantee (Proposition 2.3)."""
+    if n < 2:
+        raise InvalidParameterError("Proposition 2.3 requires n >= 2")
+    return 2**n - (n + 1)
+
+
+def worst_case_fault_placement(d: int, n: int, f: int) -> list[Word]:
+    """Return the adversarial fault set ``{a^{n-1}(d-1) : 0 <= a <= f-1}`` of Section 2.5.
+
+    With these ``f <= d - 2`` faults no fault-free cycle longer than
+    ``d**n - n*f`` exists (each fault sits on its own aperiodic necklace of
+    length exactly ``n`` and the line-graph argument shows the remainder
+    cannot all be threaded into one cycle), so Proposition 2.2 is tight.
+    """
+    if f < 0 or f > d - 2:
+        raise InvalidParameterError(f"the worst-case placement needs 0 <= f <= d-2, got f={f}")
+    if n < 2:
+        raise InvalidParameterError("worst-case placement requires n >= 2")
+    return [(a,) * (n - 1) + (d - 1,) for a in range(f)]
+
+
+def table_3_1(d_max: int = 38) -> dict[int, int]:
+    """Return ``{d: psi(d)}`` for ``2 <= d <= d_max`` (Table 3.1 of the paper)."""
+    return {d: psi(d) for d in range(2, d_max + 1)}
+
+
+def table_3_2(d_max: int = 35) -> dict[int, int]:
+    """Return ``{d: max(psi(d)-1, varphi(d))}`` for ``2 <= d <= d_max`` (Table 3.2)."""
+    return {d: edge_fault_tolerance(d) for d in range(2, d_max + 1)}
+
+
+def hypercube_vs_debruijn(n_cube: int = 12, d: int = 4, n: int = 6, f: int = 2) -> dict[str, int]:
+    """Return the Chapter 2 comparison between ``Q(n_cube)`` and ``B(d, n)`` under ``f`` faults.
+
+    Defaults reproduce the paper's 4096-node example: with two faults the
+    hypercube guarantees a cycle of 4092 nodes using 24,576 edges while the
+    De Bruijn graph guarantees at least 4084 nodes using 16,384 edges.
+    """
+    from ..graphs.hypercube import fault_free_cycle_bound
+
+    if 2**n_cube != d**n:
+        raise InvalidParameterError("comparison expects equally sized networks")
+    return {
+        "nodes": d**n,
+        "hypercube_cycle": fault_free_cycle_bound(n_cube, f),
+        "hypercube_edges": n_cube * 2 ** (n_cube - 1),
+        "debruijn_cycle": node_fault_cycle_bound(d, n, f),
+        "debruijn_edges": d ** (n + 1),
+    }

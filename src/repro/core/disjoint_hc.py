@@ -1,0 +1,287 @@
+"""Edge-disjoint Hamiltonian cycles in ``B(d, n)`` (Section 3.2).
+
+The construction for a prime power ``d``:
+
+1. take a *maximal cycle* ``C`` (period ``d**n - 1`` linear recurrence over
+   ``GF(d)``) and its ``d`` termwise shifts ``s + C`` — pairwise edge-disjoint
+   cycles each missing only the node ``s^n`` (Lemmas 3.1–3.3);
+2. patch ``s^n`` into ``s + C`` by replacing the edge
+   ``a s^{n-1} -> s^{n-1} \\hat a`` with the two edges through ``s^n``; the
+   exit digit is ``\\hat a = s\\omega + f(s)(1 - \\omega)`` for a chosen
+   conflict-avoidance function ``f`` with ``f(x) != x``;
+3. choose ``f`` by one of three strategies (depending on the quadratic
+   character of 2 modulo ``p``) so that the resulting Hamiltonian cycles
+   ``H_s`` are pairwise edge-disjoint for a large set of shifts ``s``
+   (Proposition 3.1 guarantees ``psi(p^e)`` of them).
+
+For composite ``d`` the cycles of the coprime prime-power parts are combined
+with the Rees composition (Lemma 3.6/3.7, Proposition 3.2), giving ``psi(d)``
+pairwise disjoint Hamiltonian cycles overall.
+
+All cycles are returned in the circular-sequence representation of
+Section 3.1 (see :mod:`repro.core.sequences`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from ..exceptions import InvalidParameterError, NotPrimePowerError
+from ..gf.field import GF, GaloisField
+from ..gf.lfsr import LinearRecurrence, default_maximal_cycle_recurrence, maximal_cycle, shifted_cycle
+from ..gf.modular import as_prime_power, is_prime_power, prime_factorization
+from .bounds import psi, psi_prime_power, strategy_for_prime
+from .sequences import is_hamiltonian_sequence, nodes_of_sequence, rees_composition, sequences_edge_disjoint
+
+__all__ = [
+    "PrimePowerHCFamily",
+    "shifted_hamiltonian_cycle",
+    "maximal_cycle_shifts",
+    "conflict_function",
+    "cycles_conflict",
+    "disjoint_hamiltonian_cycles_prime_power",
+    "disjoint_hamiltonian_cycles",
+    "verify_pairwise_disjoint",
+]
+
+
+def maximal_cycle_shifts(
+    d: int, n: int, recurrence: LinearRecurrence | None = None, initial=None
+) -> tuple[LinearRecurrence, list[list[int]]]:
+    """Return the recurrence and the ``d`` edge-disjoint shifted cycles ``{s + C}``.
+
+    The shifts partition the ``d(d**n - 1)`` non-loop edges of ``B(d, n)``
+    (Lemma 3.3); cycle ``s + C`` misses exactly the node ``s^n``.
+    """
+    if recurrence is None:
+        recurrence = default_maximal_cycle_recurrence(d, n)
+    base = maximal_cycle(d, n, recurrence=recurrence, initial=initial)
+    field = recurrence.field
+    return recurrence, [shifted_cycle(base, s, field) for s in range(d)]
+
+
+def _exit_digit(field: GaloisField, omega: int, s: int, f_s: int) -> int:
+    """Return ``\\hat a = s*omega + f(s)*(1 - omega)`` (the Definition before Lemma 3.4)."""
+    return field.add(field.mul(s, omega), field.mul(f_s, field.sub(field.one, omega)))
+
+
+def shifted_hamiltonian_cycle(
+    d: int,
+    n: int,
+    s: int,
+    f_s: int,
+    recurrence: LinearRecurrence | None = None,
+    initial=None,
+) -> list[int]:
+    """Return ``H_s``: the Hamiltonian cycle obtained by patching ``s^n`` into ``s + C``.
+
+    Parameters
+    ----------
+    d, n:
+        De Bruijn parameters; ``d`` must be a prime power and ``n >= 2``.
+    s:
+        The shift (an element of ``GF(d)`` in its canonical ``range(d)`` encoding).
+    f_s:
+        The value ``f(s)`` of the conflict-avoidance function; must differ from ``s``.
+    recurrence, initial:
+        Optional explicit maximal-cycle recurrence and initial state (used by
+        the tests to reproduce the paper's worked Examples 3.2 and 3.4
+        verbatim); defaults to the library-wide canonical maximal cycle.
+    """
+    if n < 2:
+        raise InvalidParameterError("the patched cycles require n >= 2")
+    if not is_prime_power(d):
+        raise NotPrimePowerError(f"shifted Hamiltonian cycles require a prime-power d, got {d}")
+    if recurrence is None:
+        recurrence = default_maximal_cycle_recurrence(d, n)
+    field = recurrence.field
+    field._check(s)
+    field._check(f_s)
+    if f_s == s:
+        raise InvalidParameterError("the conflict function must satisfy f(s) != s")
+    base = maximal_cycle(d, n, recurrence=recurrence, initial=initial)
+    shifted = shifted_cycle(base, s, field)
+    omega = recurrence.coefficient_sum
+    a_hat = _exit_digit(field, omega, s, f_s)
+    # the patched edge enters s^n right before the node s^{n-1} a_hat;
+    # locate that node among the circular windows of s + C.
+    target = (s,) * (n - 1) + (a_hat,)
+    nodes = nodes_of_sequence(shifted, n)
+    try:
+        j = nodes.index(target)
+    except ValueError:  # pragma: no cover - target always exists since a_hat != s
+        raise InvalidParameterError(f"node {target} not found on s + C") from None
+    return shifted[:j] + [s] + shifted[j:]
+
+
+def conflict_function(d: int) -> dict[int, int]:
+    """Return the conflict-avoidance map ``f`` used for ``GF(d)`` (Strategies 1–3).
+
+    The returned dict maps every shift ``s`` that the strategy patches to the
+    value ``f(s)``; shifts that are not used (e.g. ``s = 0`` under Strategy 1)
+    are absent.
+    """
+    p, _ = as_prime_power(d)
+    field = GF(d)
+    info = strategy_for_prime(p)
+    f_map: dict[int, int] = {}
+    if info["strategy"] == 1:
+        for x in range(1, d):
+            f_map[x] = 0
+        return f_map
+    lam = info["lambda"] % p
+    lam_a = pow(lam, info["A"], p)
+    for x in range(1, d):
+        f_map[x] = field.mul(lam_a, x)
+    f_map[0] = lam
+    return f_map
+
+
+def cycles_conflict(x: int, y: int, d: int, f_map: dict[int, int] | None = None) -> bool:
+    """Return True iff ``H_x`` and ``H_y`` may share an edge according to Lemma 3.4.
+
+    ``H_x`` and ``H_y`` have a common edge iff ``y in {f(x), 2x - f(x)}`` or
+    ``x in {f(y), 2y - f(y)}`` (all arithmetic in ``GF(d)``).  This is the
+    relation drawn in Figure 3.2 for ``d = 13``.
+    """
+    field = GF(d)
+    if f_map is None:
+        f_map = conflict_function(d)
+    if x == y:
+        return True
+
+    def conflict_set(z: int) -> set[int]:
+        if z not in f_map:
+            return set()
+        fz = f_map[z]
+        two_z = field.add(z, z)
+        return {fz, field.sub(two_z, fz)}
+
+    return y in conflict_set(x) or x in conflict_set(y)
+
+
+@dataclass(frozen=True)
+class PrimePowerHCFamily:
+    """The family of disjoint Hamiltonian cycles built for a prime power ``d``.
+
+    Attributes
+    ----------
+    d, n:
+        De Bruijn parameters.
+    strategy:
+        1, 2 or 3 — which of the paper's strategies was applied.
+    f_map:
+        The conflict-avoidance function ``f`` (shift -> ``f(shift)``).
+    selected_shifts:
+        The shifts ``s`` whose cycles ``H_s`` form the pairwise disjoint family.
+    cycles:
+        ``{s: H_s}`` as circular sequences of length ``d**n``.
+    """
+
+    d: int
+    n: int
+    strategy: int
+    f_map: dict[int, int]
+    selected_shifts: tuple[int, ...]
+    cycles: dict[int, list[int]] = dataclass_field(repr=False, default_factory=dict)
+
+    def as_list(self) -> list[list[int]]:
+        return [self.cycles[s] for s in self.selected_shifts]
+
+
+def disjoint_hamiltonian_cycles_prime_power(
+    d: int, n: int, recurrence: LinearRecurrence | None = None, initial=None
+) -> PrimePowerHCFamily:
+    """Construct ``psi(d)`` pairwise disjoint Hamiltonian cycles for a prime power ``d``.
+
+    Implements Strategies 1–3 of Section 3.2.1 with the strategy chosen
+    automatically from the quadratic character of 2 modulo ``p`` (Lemma 3.5).
+    """
+    p, e = as_prime_power(d)
+    if n < 2:
+        raise InvalidParameterError("disjoint HC construction requires n >= 2")
+    field = GF(d)
+    info = strategy_for_prime(p)
+    f_map = conflict_function(d)
+
+    if info["strategy"] == 1:
+        selected = list(range(1, d))
+    else:
+        lam = info["lambda"] % p
+        # J = subgroup of GF(d)* generated by lambda = the nonzero prime-subfield
+        # elements; E = the even powers of lambda (the quadratic residues of Z_p).
+        subgroup = sorted({pow(lam, k, p) for k in range(p - 1)})
+        even_powers = sorted({pow(lam, 2 * k, p) for k in range(1, (p - 1) // 2 + 1)})
+        covered: set[int] = set()
+        selected = []
+        for g in range(1, d):
+            if g in covered:
+                continue
+            # g is the smallest representative of a fresh coset g*J; the first
+            # one encountered is g = 1 (the coset J itself), as required for
+            # the optional H_0 addition.
+            coset = {field.mul(g, j) for j in subgroup}
+            covered |= coset
+            selected.extend(field.mul(g, ev) for ev in even_powers)
+        if info["strategy"] == 2 and (p - 1) // 2 % 2 == 0:
+            selected.append(0)
+        selected = sorted(set(selected))
+
+    cycles = {
+        s: shifted_hamiltonian_cycle(d, n, s, f_map[s], recurrence=recurrence, initial=initial)
+        for s in selected
+    }
+    family = PrimePowerHCFamily(
+        d=d,
+        n=n,
+        strategy=info["strategy"],
+        f_map=f_map,
+        selected_shifts=tuple(selected),
+        cycles=cycles,
+    )
+    expected = psi_prime_power(p, e)
+    if len(selected) < expected:  # pragma: no cover - construction matches Prop 3.1
+        raise InvalidParameterError(
+            f"constructed only {len(selected)} cycles; Proposition 3.1 promises {expected}"
+        )
+    return family
+
+
+def disjoint_hamiltonian_cycles(d: int, n: int) -> list[list[int]]:
+    """Return at least ``psi(d)`` pairwise edge-disjoint Hamiltonian cycles of ``B(d, n)``.
+
+    Prime-power alphabets use the Section 3.2.1 construction directly;
+    composite alphabets combine the prime-power families with the Rees
+    composition (Section 3.2.2).  Every returned cycle is a Hamiltonian
+    circular sequence of length ``d**n``.
+    """
+    if d < 2:
+        raise InvalidParameterError("d must be >= 2")
+    if n < 2:
+        raise InvalidParameterError("disjoint HC construction requires n >= 2")
+    if is_prime_power(d):
+        return disjoint_hamiltonian_cycles_prime_power(d, n).as_list()
+
+    parts = [p**e for p, e in prime_factorization(d)]
+    current_d = parts[0]
+    current = disjoint_hamiltonian_cycles_prime_power(current_d, n).as_list()
+    for q in parts[1:]:
+        q_family = disjoint_hamiltonian_cycles_prime_power(q, n).as_list()
+        combined = [
+            rees_composition(a, b, current_d, q, n) for a in current for b in q_family
+        ]
+        current = combined
+        current_d *= q
+    return current
+
+
+def verify_pairwise_disjoint(cycles: list[list[int]], d: int, n: int) -> bool:
+    """Return True iff every cycle is Hamiltonian and the family is pairwise edge-disjoint."""
+    for c in cycles:
+        if not is_hamiltonian_sequence(c, d, n):
+            return False
+    for i in range(len(cycles)):
+        for j in range(i + 1, len(cycles)):
+            if not sequences_edge_disjoint(cycles[i], cycles[j], n):
+                return False
+    return True

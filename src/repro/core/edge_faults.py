@@ -1,0 +1,301 @@
+"""Fault-free Hamiltonian cycles under edge failures (Sections 3.3 and 3.4).
+
+Two complementary mechanisms are provided, exactly as in the paper:
+
+* **Shifted maximal cycles** (Proposition 3.3).  For a prime-power ``d`` the
+  ``d`` cycles ``{s + C}`` are edge-disjoint, so at most ``f`` of them are hit
+  by ``f`` faults; a surviving one is patched into a Hamiltonian cycle through
+  one of ``d - 1`` candidate edge pairs, at most one of which each fault can
+  spoil — tolerating ``d - 2`` edge faults.  Composite ``d`` splits every
+  faulty edge into its coprime prime-power projections (Rees decomposition)
+  and recurses, tolerating ``\\varphi(d)`` faults.
+* **Disjoint Hamiltonian cycles** (Proposition 3.4).  With ``psi(d)``
+  pairwise disjoint HCs available (Section 3.2), any ``psi(d) - 1`` edge
+  faults leave at least one of them untouched.
+
+``find_edge_fault_free_hc`` combines both and therefore realises the
+``max(psi(d) - 1, varphi(d))`` tolerance of Proposition 3.4.  Section 3.4's
+transfer to wrapped butterflies (Propositions 3.5/3.6) is implemented by
+projecting butterfly edge faults onto De Bruijn edge faults and lifting the
+resulting cycle back through the map ``Phi``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from math import gcd
+
+from ..exceptions import EmbeddingError, FaultBudgetExceededError, InvalidParameterError
+from ..gf.field import GF
+from ..gf.lfsr import default_maximal_cycle_recurrence, maximal_cycle, shifted_cycle
+from ..gf.modular import is_prime_power, prime_factorization
+from ..graphs.butterfly import ButterflyNode, lift_cycle
+from ..words.alphabet import Word
+from ..words.rotation import rotate_left
+from .bounds import edge_fault_phi, edge_fault_tolerance, psi
+from .disjoint_hc import disjoint_hamiltonian_cycles
+from .sequences import (
+    edges_of_sequence,
+    is_hamiltonian_sequence,
+    nodes_of_sequence,
+    rees_composition,
+)
+
+__all__ = [
+    "normalize_edge_faults",
+    "edge_fault_free_hc_prime_power",
+    "edge_fault_free_hc_composite",
+    "find_edge_fault_free_hc",
+    "butterfly_edge_fault_free_hc",
+    "butterfly_disjoint_hamiltonian_cycles",
+    "project_butterfly_edge",
+]
+
+
+def normalize_edge_faults(d: int, n: int, faults: Iterable) -> set[Word]:
+    """Normalise edge faults to their ``(n+1)``-tuple labels.
+
+    Accepts each fault either as an ``(n+1)``-tuple/word or as a pair
+    ``(src, dst)`` of adjacent nodes.
+    """
+    out: set[Word] = set()
+    for fault in faults:
+        fault = tuple(fault)
+        if len(fault) == 2 and isinstance(fault[0], (tuple, list)):
+            src = tuple(int(x) for x in fault[0])
+            dst = tuple(int(x) for x in fault[1])
+            if len(src) != n or len(dst) != n or src[1:] != dst[:-1]:
+                raise InvalidParameterError(f"({src}, {dst}) is not an edge of B({d},{n})")
+            label = src + (dst[-1],)
+        else:
+            label = tuple(int(x) for x in fault)
+            if len(label) != n + 1:
+                raise InvalidParameterError(
+                    f"edge fault {label} must be an (n+1)-tuple or a node pair"
+                )
+        if any(not 0 <= x < d for x in label):
+            raise InvalidParameterError(f"edge fault {label} has digits outside Z_{d}")
+        out.add(label)
+    return out
+
+
+def edge_fault_free_hc_prime_power(
+    d: int, n: int, faults: Iterable, strict: bool = False
+) -> list[int]:
+    """Proposition 3.3 construction for prime-power ``d``.
+
+    Scans the ``d`` shifted maximal cycles for one that avoids every faulty
+    edge, then scans its ``d - 1`` patch-edge pairs for a fault-free pair.
+    With at most ``d - 2`` faults both scans are guaranteed to succeed; with
+    more faults the scan may still succeed (and ``strict=False`` lets it try).
+    """
+    if not is_prime_power(d):
+        raise InvalidParameterError(f"prime-power construction requires a prime power, got {d}")
+    if n < 2:
+        raise InvalidParameterError("edge-fault embedding requires n >= 2")
+    fault_labels = normalize_edge_faults(d, n, faults)
+    if strict and len(fault_labels) > d - 2:
+        raise FaultBudgetExceededError(
+            f"Proposition 3.3 guarantees tolerance of {d - 2} edge faults for B({d},{n}); "
+            f"got {len(fault_labels)}"
+        )
+    recurrence = default_maximal_cycle_recurrence(d, n)
+    field = GF(d)
+    base = maximal_cycle(d, n, recurrence=recurrence)
+    omega = recurrence.coefficient_sum
+
+    for s in range(d):
+        shifted = shifted_cycle(base, s, field)
+        if set(edges_of_sequence(shifted, n)) & fault_labels:
+            continue
+        # the cycle s + C is fault-free; look for a fault-free patch pair
+        # (a s^n, s^n a_hat) over the d - 1 choices of entry digit a != s.
+        nodes = nodes_of_sequence(shifted, n)
+        position = {node: i for i, node in enumerate(nodes)}
+        for a in range(d):
+            if a == s:
+                continue
+            # node a s^{n-1} is followed in s + C by s^{n-1} a_hat; read a_hat
+            # directly off the cycle rather than re-deriving equation (3.3).
+            i = position[(a,) + (s,) * (n - 1)]
+            a_hat = shifted[(i + n) % len(shifted)]
+            edge_in = (a,) + (s,) * n          # a s^{n-1} -> s^n
+            edge_out = (s,) * n + (a_hat,)     # s^n -> s^{n-1} a_hat
+            if edge_in in fault_labels or edge_out in fault_labels:
+                continue
+            j = position[(s,) * (n - 1) + (a_hat,)]
+            candidate = shifted[:j] + [s] + shifted[j:]
+            if set(edges_of_sequence(candidate, n)) & fault_labels:  # pragma: no cover
+                continue
+            return candidate
+    raise EmbeddingError(
+        f"no fault-free Hamiltonian cycle found among the shifted maximal cycles of B({d},{n}) "
+        f"for {len(fault_labels)} edge faults"
+    )
+
+
+def edge_fault_free_hc_composite(
+    d: int, n: int, faults: Iterable, strict: bool = False
+) -> list[int]:
+    """Proposition 3.3 construction for arbitrary ``d`` via Rees decomposition.
+
+    Splits ``d = s * t`` with ``t`` the largest prime-power factor, projects
+    every faulty edge onto its ``B(s, n)`` and ``B(t, n)`` edge images, assigns
+    each fault to whichever side still has budget, and recurses.
+    """
+    if n < 2:
+        raise InvalidParameterError("edge-fault embedding requires n >= 2")
+    fault_labels = normalize_edge_faults(d, n, faults)
+    if strict and len(fault_labels) > edge_fault_phi(d):
+        raise FaultBudgetExceededError(
+            f"Proposition 3.3 guarantees tolerance of {edge_fault_phi(d)} edge faults for "
+            f"B({d},{n}); got {len(fault_labels)}"
+        )
+    if is_prime_power(d):
+        return edge_fault_free_hc_prime_power(d, n, fault_labels, strict=False)
+
+    factors = prime_factorization(d)
+    t = factors[-1][0] ** factors[-1][1]
+    s = d // t
+    if gcd(s, t) != 1:  # pragma: no cover - prime-power parts are coprime
+        raise InvalidParameterError("internal error: non-coprime Rees split")
+
+    budget_s, budget_t = edge_fault_phi(s), edge_fault_phi(t)
+    faults_s: set[Word] = set()
+    faults_t: set[Word] = set()
+    for label in sorted(fault_labels):
+        a_edge = tuple(v // t for v in label)
+        b_edge = tuple(v % t for v in label)
+        if len(faults_s) < budget_s or len(faults_t) >= budget_t:
+            faults_s.add(a_edge)
+        else:
+            faults_t.add(b_edge)
+    cycle_s = edge_fault_free_hc_composite(s, n, faults_s, strict=False)
+    cycle_t = edge_fault_free_hc_composite(t, n, faults_t, strict=False)
+    composed = rees_composition(cycle_s, cycle_t, s, t, n)
+    if set(edges_of_sequence(composed, n)) & fault_labels:
+        raise EmbeddingError(
+            "Rees composition unexpectedly used a faulty edge; "
+            "the fault split exceeded both side budgets"
+        )
+    return composed
+
+
+def find_edge_fault_free_hc(
+    d: int, n: int, faults: Iterable, method: str = "auto", strict: bool = False
+) -> list[int]:
+    """Return a Hamiltonian cycle of ``B(d, n)`` avoiding the given edge faults.
+
+    Parameters
+    ----------
+    method:
+        ``"shifted"`` uses the Proposition 3.3 construction, ``"disjoint"``
+        scans the ``psi(d)`` disjoint HCs of Section 3.2, ``"auto"`` (default)
+        tries both — realising the ``max(psi(d)-1, varphi(d))`` tolerance of
+        Proposition 3.4.
+    strict:
+        When True, refuse fault sets larger than the guaranteed tolerance of
+        the chosen method instead of attempting them.
+
+    Returns
+    -------
+    list[int]
+        The Hamiltonian cycle as a circular digit sequence of length ``d**n``.
+    """
+    if method not in ("auto", "shifted", "disjoint"):
+        raise InvalidParameterError(f"unknown method {method!r}")
+    fault_labels = normalize_edge_faults(d, n, faults)
+    if strict and method == "auto" and len(fault_labels) > edge_fault_tolerance(d):
+        raise FaultBudgetExceededError(
+            f"Proposition 3.4 guarantees tolerance of {edge_fault_tolerance(d)} edge faults "
+            f"for B({d},{n}); got {len(fault_labels)}"
+        )
+
+    errors: list[str] = []
+    if method in ("auto", "disjoint"):
+        if not strict or len(fault_labels) <= psi(d) - 1 or method == "auto":
+            for cycle in disjoint_hamiltonian_cycles(d, n):
+                if not (set(edges_of_sequence(cycle, n)) & fault_labels):
+                    return cycle
+            errors.append("every disjoint Hamiltonian cycle is hit by a fault")
+        if method == "disjoint" and strict and len(fault_labels) > psi(d) - 1:
+            raise FaultBudgetExceededError(
+                f"the disjoint-HC method tolerates {psi(d) - 1} faults, got {len(fault_labels)}"
+            )
+    if method in ("auto", "shifted"):
+        try:
+            return edge_fault_free_hc_composite(
+                d, n, fault_labels, strict=(strict and method == "shifted")
+            )
+        except EmbeddingError as exc:
+            errors.append(str(exc))
+    raise EmbeddingError(
+        f"no fault-free Hamiltonian cycle found for {len(fault_labels)} edge faults in "
+        f"B({d},{n}): " + "; ".join(errors)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Butterfly extension (Section 3.4)
+# ---------------------------------------------------------------------------
+
+def project_butterfly_edge(src: ButterflyNode, dst: ButterflyNode, d: int) -> Word:
+    """Project a butterfly edge onto the label of the De Bruijn edge it belongs to.
+
+    The butterfly node ``(i, y)`` belongs to the class ``S_x`` with
+    ``x = pi^i(y)``; by Lemma 3.8 the butterfly edge ``(i, y) -> (i+1, y')``
+    projects onto the De Bruijn edge ``pi^i(y) -> pi^{i+1}(y')``, returned
+    here as its ``(n+1)``-tuple label.
+    """
+    level_src, col_src = src
+    level_dst, col_dst = dst
+    n = len(col_src)
+    if (level_src + 1) % n != level_dst % n:
+        raise InvalidParameterError(f"({src}, {dst}) does not advance one butterfly level")
+    u = rotate_left(tuple(int(x) for x in col_src), level_src % n)
+    v = rotate_left(tuple(int(x) for x in col_dst), level_dst % n)
+    if u[1:] != v[:-1]:
+        raise InvalidParameterError(f"({src}, {dst}) does not project onto a De Bruijn edge")
+    if any(not 0 <= x < d for x in u + v):
+        raise InvalidParameterError("butterfly edge digits outside the alphabet")
+    return u + (v[-1],)
+
+
+def butterfly_edge_fault_free_hc(
+    d: int, n: int, faulty_edges: Iterable[tuple[ButterflyNode, ButterflyNode]], strict: bool = False
+) -> list[ButterflyNode]:
+    """Proposition 3.5: a fault-free Hamiltonian cycle of ``F(d, n)`` under edge faults.
+
+    Requires ``gcd(d, n) = 1`` so that the lift of a De Bruijn Hamiltonian
+    cycle (length ``d**n``) has length ``lcm(d**n, n) = n * d**n`` — the whole
+    butterfly.  Tolerates ``max(psi(d)-1, varphi(d))`` butterfly edge faults.
+    """
+    if gcd(d, n) != 1:
+        raise InvalidParameterError(
+            "the butterfly transfer requires gcd(d, n) = 1 (Proposition 3.5)"
+        )
+    projected = {project_butterfly_edge(src, dst, d) for src, dst in faulty_edges}
+    debruijn_cycle_seq = find_edge_fault_free_hc(d, n, projected, strict=strict)
+    debruijn_nodes = nodes_of_sequence(debruijn_cycle_seq, n)
+    lifted = lift_cycle(debruijn_nodes, d)
+    if len(lifted) != n * d**n:  # pragma: no cover - guaranteed by gcd(d, n) = 1
+        raise EmbeddingError("lifted cycle does not cover the butterfly")
+    return lifted
+
+
+def butterfly_disjoint_hamiltonian_cycles(d: int, n: int) -> list[list[ButterflyNode]]:
+    """Proposition 3.6: ``psi(d)`` disjoint Hamiltonian cycles of ``F(d, n)``.
+
+    Lifts the disjoint De Bruijn Hamiltonian cycles through ``Phi``; requires
+    ``gcd(d, n) = 1``.
+    """
+    if gcd(d, n) != 1:
+        raise InvalidParameterError(
+            "the butterfly transfer requires gcd(d, n) = 1 (Proposition 3.6)"
+        )
+    out = []
+    for seq in disjoint_hamiltonian_cycles(d, n):
+        if not is_hamiltonian_sequence(seq, d, n):  # pragma: no cover - defensive
+            raise EmbeddingError("non-Hamiltonian sequence in the disjoint family")
+        out.append(lift_cycle(nodes_of_sequence(seq, n), d))
+    return out

@@ -1,0 +1,213 @@
+"""The Fault-Free Cycle (FFC) algorithm of Chapter 2 (centralized version).
+
+Given a set of faulty processors in ``B(d, n)``, the algorithm
+
+1. removes every *necklace* (rotation cycle) containing a faulty node and
+   keeps the largest surviving component ``B*``;
+2. builds the necklace adjacency graph ``N*`` of ``B*`` and a spanning tree
+   ``T`` of ``N*`` whose same-label edge groups are height-one stars (derived
+   from a BFS broadcast over ``B*``);
+3. rewrites each star as a directed label cycle (the modified tree ``D``) and
+   reads off the successor of every node of ``B*``: a node ``alpha w`` is
+   followed by ``w beta`` in the next necklace if ``D`` has an outgoing
+   ``w``-edge there, and by its own rotation ``w alpha`` otherwise.
+
+The result is a Hamiltonian cycle of ``B*`` (Proposition 2.1) — hence a
+fault-free ring of length ``|B*| >= d**n - n*f`` whenever ``f <= d - 2``
+(Proposition 2.2), and of length ``>= 2**n - (n+1)`` in the binary graph with
+a single fault (Proposition 2.3).
+
+The distributed, message-passing realisation of the very same steps lives in
+:mod:`repro.network.protocols.ffc_protocol`; the two implementations are
+checked against each other in the integration tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..exceptions import EmbeddingError, FaultBudgetExceededError, InvalidParameterError
+from ..words.alphabet import Word
+from ..words.necklaces import necklace_of
+from .necklace_graph import BStar, ModifiedTree, NecklaceAdjacencyGraph, SpanningTree, build_bstar
+from .ring_embedding import RingEmbedding
+
+__all__ = ["FaultFreeCycleResult", "find_fault_free_cycle", "guaranteed_cycle_length"]
+
+
+def guaranteed_cycle_length(d: int, n: int, f: int) -> int:
+    """Return the paper's worst-case guarantee on the fault-free cycle length.
+
+    * ``d**n - n*f`` for ``f <= d - 2`` node faults (Proposition 2.2);
+    * ``2**n - (n + 1)`` for the binary graph with a single fault
+      (Proposition 2.3);
+    * raises :class:`FaultBudgetExceededError` outside those regimes (the
+      algorithm still runs there, but no worst-case bound is promised).
+    """
+    if f < 0:
+        raise InvalidParameterError("fault count must be >= 0")
+    if f == 0:
+        return d**n
+    if f <= d - 2:
+        return d**n - n * f
+    if d == 2 and f == 1:
+        return 2**n - (n + 1)
+    raise FaultBudgetExceededError(
+        f"no worst-case guarantee for f={f} faults in B({d},{n}); "
+        f"the FFC algorithm may still find a long cycle"
+    )
+
+
+@dataclass(frozen=True)
+class FaultFreeCycleResult:
+    """Everything produced by one run of the FFC algorithm.
+
+    Attributes
+    ----------
+    embedding:
+        The fault-free ring as a validated :class:`RingEmbedding` (unit
+        dilation/congestion; the cycle is a subgraph of the faulty graph).
+    bstar:
+        The surviving component the cycle spans.
+    adjacency:
+        The necklace adjacency graph ``N*`` of ``bstar``.
+    spanning_tree:
+        The spanning tree ``T`` of ``N*`` (Step 1).
+    modified_tree:
+        The modified tree ``D`` (Step 2).
+    """
+
+    embedding: RingEmbedding
+    bstar: BStar
+    adjacency: NecklaceAdjacencyGraph
+    spanning_tree: SpanningTree
+    modified_tree: ModifiedTree
+
+    @property
+    def cycle(self) -> tuple[Word, ...]:
+        """The fault-free cycle as a node tuple (Hamiltonian on ``B*``)."""
+        return self.embedding.cycle
+
+    @property
+    def length(self) -> int:
+        return len(self.embedding.cycle)
+
+    def meets_guarantee(self) -> bool:
+        """Return True iff the cycle meets the applicable worst-case length bound.
+
+        Outside the guaranteed fault regimes this returns True vacuously when
+        the cycle spans the whole of ``B*`` (which the algorithm always
+        achieves); the interesting check is for ``f <= d - 2`` and the binary
+        single-fault case.
+        """
+        d, n = self.bstar.d, self.bstar.n
+        f = len(self.bstar.faulty_nodes)
+        try:
+            bound = guaranteed_cycle_length(d, n, f)
+        except FaultBudgetExceededError:
+            return self.length == self.bstar.size
+        return self.length >= bound
+
+
+def find_fault_free_cycle(
+    d: int,
+    n: int,
+    faults: Iterable[Sequence[int]] = (),
+    root_hint: Sequence[int] | None = None,
+    strict: bool = False,
+) -> FaultFreeCycleResult:
+    """Run the FFC algorithm and return the fault-free ring plus all intermediate structure.
+
+    Parameters
+    ----------
+    d, n:
+        De Bruijn parameters (``n >= 2``).
+    faults:
+        Faulty nodes (tuple words).  Their whole necklaces are excluded.
+    root_hint:
+        Optional preferred root ``R``; see :func:`~repro.core.necklace_graph.build_bstar`.
+    strict:
+        When True, raise :class:`FaultBudgetExceededError` if the number of
+        faults exceeds the regime in which the paper guarantees a worst-case
+        bound (``f <= d - 2``, or ``f = 1`` for ``d = 2``).  When False
+        (default) the algorithm runs regardless, exactly like the paper's
+        simulations, and simply returns the Hamiltonian cycle of whatever
+        ``B*`` is left.
+
+    Returns
+    -------
+    FaultFreeCycleResult
+        With a validated embedding: a simple cycle of ``B(d, n)`` covering
+        every node of ``B*`` and avoiding every faulty node.
+    """
+    fault_list = [tuple(int(x) for x in f) for f in faults]
+    if strict:
+        guaranteed_cycle_length(d, n, len(set(fault_list)))  # raises if out of regime
+
+    bstar = build_bstar(d, n, fault_list, root_hint=root_hint)
+    adjacency = NecklaceAdjacencyGraph(bstar)
+    tree = SpanningTree.from_broadcast(adjacency)
+    dtree = ModifiedTree.from_spanning_tree(tree)
+
+    cycle = _assemble_cycle(bstar, adjacency, dtree)
+    embedding = RingEmbedding(
+        d=d,
+        n=n,
+        cycle=tuple(cycle),
+        faulty_nodes=frozenset(fault_list),
+    )
+    embedding.validate()
+    if len(cycle) != bstar.size:
+        raise EmbeddingError(
+            f"FFC cycle has length {len(cycle)} but B* has {bstar.size} nodes"
+        )
+    return FaultFreeCycleResult(
+        embedding=embedding,
+        bstar=bstar,
+        adjacency=adjacency,
+        spanning_tree=tree,
+        modified_tree=dtree,
+    )
+
+
+def _assemble_cycle(
+    bstar: BStar, adjacency: NecklaceAdjacencyGraph, dtree: ModifiedTree
+) -> list[Word]:
+    """Step 3: follow the successor rule from the root until the cycle closes."""
+    successor_cache: dict[Word, Word] = {}
+
+    def successor(node: Word) -> Word:
+        cached = successor_cache.get(node)
+        if cached is not None:
+            return cached
+        w = node[1:]
+        nk = adjacency.necklace_of(node)
+        target = dtree.successor_necklace(nk, w)
+        if target is not None:
+            result = adjacency.entry_node(target, w)
+        else:
+            result = node[1:] + node[:1]  # necklace successor w alpha
+        successor_cache[node] = result
+        return result
+
+    start = bstar.root
+    cycle = [start]
+    current = successor(start)
+    while current != start:
+        if len(cycle) > bstar.size:
+            raise EmbeddingError("FFC successor walk failed to close into a cycle")
+        cycle.append(current)
+        current = successor(current)
+    return cycle
+
+
+def necklaces_visited_in_order(result: FaultFreeCycleResult) -> list:
+    """Return the necklace of every cycle node, in cycle order (diagnostic helper).
+
+    The corresponding necklace path is the Eulerian circuit ``J`` of the
+    modified tree ``D`` used in the correctness proof (Lemma 2.2); exposing it
+    makes the proof's structure visible in examples and tests.
+    """
+    d = result.bstar.d
+    return [necklace_of(node, d) for node in result.cycle]

@@ -1,0 +1,417 @@
+"""The necklace adjacency graph ``N*`` and its spanning/modified trees.
+
+This module implements the combinatorial scaffolding of the FFC algorithm
+(Chapter 2 of the paper):
+
+1. ``B*`` — the largest component of ``B(d, n)`` after removing the faulty
+   necklaces (Section 2.2).  ``B*`` is always a union of complete necklaces
+   and, because removing whole necklaces keeps the digraph balanced, its weak
+   and strong components coincide.
+2. ``N*`` — the *necklace adjacency graph*: one vertex per necklace of
+   ``B*``, with an edge labelled ``w`` (a ``(n-1)``-tuple) from ``[X]`` to
+   ``[Y]`` whenever ``alpha w`` lies on ``[X]`` and ``beta w`` lies on
+   ``[Y]`` for distinct digits ``alpha != beta``.
+3. ``T`` — a spanning tree of ``N*`` in which, for every label ``w``, the
+   ``w``-labelled edges form a height-one star.  It is derived from the BFS
+   broadcast tree ``T'`` of ``B*`` exactly as prescribed by Steps 1.1/1.2 of
+   the network-level algorithm (Section 2.4), so the distributed protocol in
+   :mod:`repro.network` and this centralized version produce identical trees.
+4. ``D`` — the *modified tree*: every star of ``T`` rewritten as a directed
+   cycle over the same necklaces (Step 2), ordering the necklaces by their
+   canonical representative as the paper's implementation section does.
+
+The Hamiltonian cycle itself is assembled from ``D`` in :mod:`repro.core.ffc`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from ..exceptions import DisconnectedGraphError, EmbeddingError, InvalidParameterError
+from ..graphs.components import component_of, residual_after_node_faults
+from ..graphs.debruijn import DeBruijnGraph
+from ..words.alphabet import Word, int_to_word, word_to_int
+from ..words.necklaces import Necklace, necklace_of
+from ..words.rotation import min_rotation
+
+__all__ = ["BStar", "NecklaceAdjacencyGraph", "SpanningTree", "ModifiedTree", "build_bstar"]
+
+
+@dataclass(frozen=True)
+class BStar:
+    """The largest surviving component ``B*`` of a node-faulty De Bruijn graph.
+
+    Attributes
+    ----------
+    d, n:
+        Host graph parameters.
+    nodes:
+        The surviving nodes of the chosen component (always whole necklaces).
+    root:
+        The distinguished node ``R`` used to seed the broadcast; it satisfies
+        ``N(R) = [R]``, i.e. it is the canonical representative of its
+        necklace, as required by Step 1.1 of the algorithm.
+    faulty_nodes:
+        The original faulty nodes (not necklace-expanded).
+    """
+
+    d: int
+    n: int
+    nodes: frozenset[Word]
+    root: Word
+    faulty_nodes: frozenset[Word] = field(default_factory=frozenset)
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def necklaces(self) -> list[Necklace]:
+        """The necklaces making up ``B*``, sorted by canonical representative."""
+        reps = {necklace_of(w, self.d) for w in self.nodes}
+        return sorted(reps)
+
+    def __contains__(self, word: object) -> bool:
+        return word in self.nodes
+
+
+def build_bstar(
+    d: int,
+    n: int,
+    faults: Iterable[Sequence[int]],
+    root_hint: Sequence[int] | None = None,
+) -> BStar:
+    """Construct ``B*`` for a fault set, choosing the component and the root.
+
+    Parameters
+    ----------
+    d, n:
+        De Bruijn parameters (``n >= 2``; for ``n = 1`` the necklace machinery
+        degenerates because edge labels would be empty words).
+    faults:
+        The faulty nodes.  Necklaces containing any of them are removed.
+    root_hint:
+        Optional preferred root.  If it survives, the component containing it
+        is selected and the root is the canonical representative of its
+        necklace; otherwise the largest component is selected and its
+        numerically smallest canonical representative becomes the root
+        (mirroring the paper's simulations, which fall back to "a neighboring
+        node" when the preferred root dies).
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If every node of the graph is removed.
+    """
+    if n < 2:
+        raise InvalidParameterError("the FFC machinery requires n >= 2")
+    graph = DeBruijnGraph(d, n)
+    fault_words = [tuple(int(x) for x in f) for f in faults]
+    residual = residual_after_node_faults(d, n, fault_words, remove_whole_necklaces=True)
+    if residual.num_alive == 0:
+        raise DisconnectedGraphError("all nodes of B(d, n) are contained in faulty necklaces")
+
+    hint_word: Word | None = None
+    if root_hint is not None:
+        hint_word = tuple(int(x) for x in root_hint)
+        if len(hint_word) != n:
+            raise InvalidParameterError(f"root hint {hint_word} must have length {n}")
+        if not residual.is_alive(word_to_int(hint_word, d)):
+            hint_word = None
+
+    if hint_word is not None:
+        comp = component_of(residual, word_to_int(hint_word, d))
+    else:
+        best_root = None
+        best_len = -1
+        seen: set[int] = set()
+        for value in residual.alive_nodes():
+            if int(value) in seen:
+                continue
+            c = component_of(residual, int(value))
+            seen.update(int(v) for v in c)
+            if len(c) > best_len:
+                best_len = len(c)
+                best_root = c
+        comp = best_root
+    node_set = frozenset(int_to_word(int(v), d, n) for v in comp)
+
+    if hint_word is not None:
+        root = min_rotation(hint_word)
+    else:
+        root = min(w for w in node_set if w == min_rotation(w))
+    # The canonical representative of a surviving necklace is itself surviving.
+    if root not in node_set:  # pragma: no cover - defensive: necklaces are whole
+        raise EmbeddingError("internal error: chosen root fell outside B*")
+    return BStar(d=d, n=n, nodes=node_set, root=root, faulty_nodes=frozenset(fault_words))
+
+
+class NecklaceAdjacencyGraph:
+    """The necklace adjacency graph ``N*`` of a component ``B*`` (Section 2.2).
+
+    Vertices are :class:`~repro.words.necklaces.Necklace` objects; for every
+    ``(n-1)``-tuple ``w`` and every pair of distinct surviving necklaces that
+    contain nodes ``alpha w`` and ``beta w`` there are antiparallel edges
+    labelled ``w`` between them.
+    """
+
+    def __init__(self, bstar: BStar) -> None:
+        self.bstar = bstar
+        self.d = bstar.d
+        self.n = bstar.n
+        self.necklaces: list[Necklace] = bstar.necklaces()
+        self._necklace_of_node: dict[Word, Necklace] = {}
+        for nk in self.necklaces:
+            for node in nk.node_set:
+                if node in bstar.nodes:
+                    self._necklace_of_node[node] = nk
+        # group the surviving nodes by their length-(n-1) suffix w:
+        # node alpha w  ->  suffix w.  Each necklace contains at most one node
+        # with a given suffix (two such nodes would be alpha w and beta w,
+        # which always lie on different necklaces when alpha != beta).
+        self._by_suffix: dict[Word, dict[Necklace, Word]] = {}
+        for node in bstar.nodes:
+            w = node[1:]
+            self._by_suffix.setdefault(w, {})[self._necklace_of_node[node]] = node
+
+    # -- queries ------------------------------------------------------------
+    def necklace_of(self, node: Sequence[int]) -> Necklace:
+        """Return the necklace of ``B*`` containing ``node``."""
+        word = tuple(int(x) for x in node)
+        try:
+            return self._necklace_of_node[word]
+        except KeyError:
+            raise InvalidParameterError(f"{word} is not a node of B*") from None
+
+    def labels(self) -> list[Word]:
+        """All edge labels ``w`` with at least one incident edge in ``N*``."""
+        return sorted(w for w, members in self._by_suffix.items() if len(members) >= 2)
+
+    def neighbours_by_label(self, label: Sequence[int]) -> dict[Necklace, Word]:
+        """Return ``{necklace: exit node alpha w}`` for all necklaces touching label ``w``."""
+        w = tuple(int(x) for x in label)
+        return dict(self._by_suffix.get(w, {}))
+
+    def has_edge(self, a: Necklace, b: Necklace, label: Sequence[int]) -> bool:
+        """Return True iff ``N*`` has a ``label``-edge between necklaces ``a`` and ``b``."""
+        members = self.neighbours_by_label(label)
+        return a != b and a in members and b in members
+
+    def edges(self) -> list[tuple[Necklace, Necklace, Word]]:
+        """All directed labelled edges of ``N*`` (antiparallel pairs listed both ways)."""
+        out = []
+        for w, members in sorted(self._by_suffix.items()):
+            necks = sorted(members)
+            for a in necks:
+                for b in necks:
+                    if a != b:
+                        out.append((a, b, w))
+        return out
+
+    def entry_node(self, necklace: Necklace, label: Sequence[int]) -> Word:
+        """Return the node ``w beta`` through which a ``label``-edge enters ``necklace``.
+
+        The entry node is the left rotation of the necklace's unique member of
+        the form ``beta w`` (its unique member whose *suffix* is ``w``).
+        """
+        members = self.neighbours_by_label(label)
+        if necklace not in members:
+            raise InvalidParameterError(
+                f"necklace {necklace!r} has no node with suffix {tuple(label)}"
+            )
+        exit_node = members[necklace]  # beta w
+        return exit_node[1:] + exit_node[:1]  # w beta
+
+    def exit_node(self, necklace: Necklace, label: Sequence[int]) -> Word:
+        """Return the node ``alpha w`` through which a ``label``-edge exits ``necklace``."""
+        members = self.neighbours_by_label(label)
+        if necklace not in members:
+            raise InvalidParameterError(
+                f"necklace {necklace!r} has no node with suffix {tuple(label)}"
+            )
+        return members[necklace]
+
+
+@dataclass(frozen=True)
+class SpanningTree:
+    """A spanning tree ``T`` of ``N*`` whose same-label edge groups are stars.
+
+    ``parent[child] = (parent_necklace, label w)``; the root has no entry.
+    The construction follows Steps 1.1/1.2 of the paper exactly, so the
+    height-one property of every ``T_w`` is guaranteed (and re-checked by
+    :meth:`validate`).
+    """
+
+    adjacency: NecklaceAdjacencyGraph
+    root: Necklace
+    parent: dict[Necklace, tuple[Necklace, Word]]
+    node_levels: dict[Word, int]
+    node_parents: dict[Word, Word]
+
+    @classmethod
+    def from_broadcast(cls, adjacency: NecklaceAdjacencyGraph) -> "SpanningTree":
+        """Build ``T`` from the BFS broadcast tree ``T'`` of ``B*`` (Steps 1.1–1.2)."""
+        bstar = adjacency.bstar
+        d = bstar.d
+        root_node = bstar.root
+
+        # --- Step 1.1: BFS broadcast from R over B*; T' parent = minimal
+        # predecessor at the previous level (the tie rule of the paper).
+        levels: dict[Word, int] = {root_node: 0}
+        frontier = [root_node]
+        while frontier:
+            nxt: list[Word] = []
+            for node in frontier:
+                for a in range(d):
+                    succ = node[1:] + (a,)
+                    if succ in bstar.nodes and succ not in levels:
+                        levels[succ] = levels[node] + 1
+                        nxt.append(succ)
+            frontier = nxt
+        if len(levels) != bstar.size:
+            raise DisconnectedGraphError(
+                "B* is not connected from the chosen root; pick the component's own root"
+            )
+        node_parents: dict[Word, Word] = {}
+        for node, level in levels.items():
+            if node == root_node:
+                continue
+            preds = [(a,) + node[:-1] for a in range(d)]
+            candidates = [p for p in preds if levels.get(p, -1) == level - 1]
+            node_parents[node] = min(candidates)
+
+        # --- Step 1.2: per necklace, pick the earliest-received member and
+        # inherit its T' parent's necklace; label the tree edge by the chosen
+        # member's length-(n-1) prefix w (the member reads "w alpha").
+        root_necklace = adjacency.necklace_of(root_node)
+        parent: dict[Necklace, tuple[Necklace, Word]] = {}
+        for nk in adjacency.necklaces:
+            if nk == root_necklace:
+                continue
+            members = sorted(node for node in nk.node_set if node in bstar.nodes)
+            chosen = min(members, key=lambda m: (levels[m], m))
+            label = chosen[:-1]  # chosen = w alpha -> label w
+            parent_node = node_parents[chosen]  # beta w
+            parent[nk] = (adjacency.necklace_of(parent_node), label)
+        return cls(
+            adjacency=adjacency,
+            root=root_necklace,
+            parent=parent,
+            node_levels=levels,
+            node_parents=node_parents,
+        )
+
+    # -- structure ------------------------------------------------------------
+    def children(self) -> dict[Necklace, list[tuple[Necklace, Word]]]:
+        """Return ``{parent: [(child, label), ...]}``."""
+        out: dict[Necklace, list[tuple[Necklace, Word]]] = {}
+        for child, (par, label) in self.parent.items():
+            out.setdefault(par, []).append((child, label))
+        return out
+
+    def stars(self) -> dict[Word, list[Necklace]]:
+        """Return, per label ``w``, the necklaces of the star ``T_w`` (parent first).
+
+        Each ``T_w`` consists of the common parent followed by its ``w``-labelled
+        children sorted by representative.
+        """
+        groups: dict[Word, list[Necklace]] = {}
+        parents: dict[Word, Necklace] = {}
+        for child, (par, label) in sorted(self.parent.items()):
+            if label in parents and parents[label] != par:
+                raise EmbeddingError(
+                    f"label {label} has two distinct parents; T_w is not a star"
+                )
+            parents[label] = par
+            groups.setdefault(label, []).append(child)
+        return {label: [parents[label]] + sorted(children) for label, children in groups.items()}
+
+    def validate(self) -> None:
+        """Check the three defining properties of ``T`` (spanning, acyclic, starred)."""
+        # spanning + acyclic: walking parents from any necklace reaches the root
+        for nk in self.adjacency.necklaces:
+            seen = set()
+            current = nk
+            while current != self.root:
+                if current in seen:
+                    raise EmbeddingError("spanning tree contains a cycle")
+                seen.add(current)
+                if current not in self.parent:
+                    raise EmbeddingError(f"necklace {current!r} is disconnected from the root")
+                current = self.parent[current][0]
+        # every tree edge is an N* edge
+        for child, (par, label) in self.parent.items():
+            if not self.adjacency.has_edge(par, child, label):
+                raise EmbeddingError(
+                    f"tree edge {par!r} -> {child!r} (label {label}) is not an N* edge"
+                )
+        # height-one stars (raises inside stars() if violated)
+        self.stars()
+
+
+@dataclass(frozen=True)
+class ModifiedTree:
+    """The modified tree ``D``: every star ``T_w`` of ``T`` rewritten as a directed cycle.
+
+    ``outgoing[(necklace, w)] = target`` gives, for each necklace with an
+    incident ``w``-edge in ``D``, the necklace its outgoing ``w``-edge points
+    to.  Step 3 of the FFC algorithm only ever needs this "outgoing" map.
+    """
+
+    tree: SpanningTree
+    outgoing: dict[tuple[Necklace, Word], Necklace]
+
+    @classmethod
+    def from_spanning_tree(cls, tree: SpanningTree) -> "ModifiedTree":
+        """Rewrite each star as a directed cycle ordered by necklace representative.
+
+        Following Section 2.4 (Step 2): the necklaces of ``T_w`` are ordered
+        by their representatives; each has a ``w``-edge to the next largest,
+        and the largest closes the cycle back to the smallest.
+        """
+        outgoing: dict[tuple[Necklace, Word], Necklace] = {}
+        for label, members in tree.stars().items():
+            ordered = sorted(set(members))
+            k = len(ordered)
+            if k < 2:  # pragma: no cover - a star always has parent + >=1 child
+                continue
+            for i, nk in enumerate(ordered):
+                nxt = ordered[(i + 1) % k]
+                outgoing[(nk, label)] = nxt
+        return cls(tree=tree, outgoing=outgoing)
+
+    # -- queries ------------------------------------------------------------------
+    def successor_necklace(self, necklace: Necklace, label: Sequence[int]) -> Necklace | None:
+        """Return the target of the outgoing ``label``-edge of ``necklace`` in ``D``, if any."""
+        return self.outgoing.get((necklace, tuple(int(x) for x in label)))
+
+    def edges(self) -> list[tuple[Necklace, Necklace, Word]]:
+        """All directed edges of ``D`` as ``(source, target, label)`` triples."""
+        return [(src, dst, label) for (src, label), dst in sorted(self.outgoing.items())]
+
+    def validate(self) -> None:
+        """Check that ``D`` is a spanning subgraph of ``N*`` whose w-edges form cycles."""
+        adjacency = self.tree.adjacency
+        for (src, label), dst in self.outgoing.items():
+            if not adjacency.has_edge(src, dst, label):
+                raise EmbeddingError(
+                    f"modified-tree edge {src!r} -> {dst!r} (label {label}) is not an N* edge"
+                )
+        # per label, the out-map must be a single cycle over the star's necklaces
+        per_label: dict[Word, dict[Necklace, Necklace]] = {}
+        for (src, label), dst in self.outgoing.items():
+            per_label.setdefault(label, {})[src] = dst
+        for label, mapping in per_label.items():
+            members = set(mapping)
+            if set(mapping.values()) != members:
+                raise EmbeddingError(f"label {label} edges do not form a permutation")
+            start = next(iter(members))
+            seen = {start}
+            current = mapping[start]
+            while current != start:
+                if current in seen:
+                    raise EmbeddingError(f"label {label} edges split into several cycles")
+                seen.add(current)
+                current = mapping[current]
+            if seen != members:
+                raise EmbeddingError(f"label {label} edges split into several cycles")

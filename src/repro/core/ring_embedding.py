@@ -1,0 +1,164 @@
+"""Ring embeddings: the result objects returned by the paper's algorithms.
+
+Section 1.1 defines an embedding of the ring ``R_k`` into a graph ``G`` as a
+one-to-one map of ring nodes to graph nodes and ring edges to graph paths,
+measured by its *dilation* (longest image path) and *congestion* (most paths
+through a single graph edge).  All embeddings constructed in the paper — and
+hence in this package — have unit dilation and congestion: the embedded ring
+is literally a subgraph (a simple cycle) of the surviving graph.
+
+:class:`RingEmbedding` wraps such a cycle together with the fault set it
+avoids and provides the validity checks (cycle property, fault avoidance,
+dilation/congestion computation) that the tests and benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from ..exceptions import EmbeddingError, InvalidParameterError
+from ..graphs.debruijn import DeBruijnGraph
+from ..words.alphabet import Word
+
+__all__ = ["RingEmbedding", "embedding_dilation", "embedding_congestion"]
+
+
+def _as_word(node: Sequence[int]) -> Word:
+    return tuple(int(x) for x in node)
+
+
+def embedding_dilation(ring_paths: Sequence[Sequence[Sequence[int]]]) -> int:
+    """Return the dilation of an embedding given the image paths of the ring edges.
+
+    Each element of ``ring_paths`` is the node path (including both
+    endpoints) that one ring edge is mapped to; the dilation is the length of
+    the longest such path.
+    """
+    if not ring_paths:
+        raise InvalidParameterError("an embedding needs at least one ring edge")
+    return max(len(path) - 1 for path in ring_paths)
+
+
+def embedding_congestion(ring_paths: Sequence[Sequence[Sequence[int]]]) -> int:
+    """Return the congestion: the number of ring-edge paths crossing the busiest graph edge."""
+    if not ring_paths:
+        raise InvalidParameterError("an embedding needs at least one ring edge")
+    usage: dict[tuple[Word, Word], int] = {}
+    for path in ring_paths:
+        nodes = [_as_word(p) for p in path]
+        for a, b in zip(nodes, nodes[1:]):
+            usage[(a, b)] = usage.get((a, b), 0) + 1
+    return max(usage.values()) if usage else 0
+
+
+@dataclass(frozen=True)
+class RingEmbedding:
+    """A unit-dilation, unit-congestion ring embedded in a (possibly faulty) ``B(d, n)``.
+
+    Attributes
+    ----------
+    d, n:
+        Parameters of the host De Bruijn graph.
+    cycle:
+        The embedded ring as a tuple of host nodes in ring order; consecutive
+        nodes (cyclically) are required to be joined by host edges.
+    faulty_nodes:
+        Nodes that the embedding promises to avoid.
+    faulty_edges:
+        Edges (as ``(src, dst)`` pairs) that the embedding promises to avoid.
+    """
+
+    d: int
+    n: int
+    cycle: tuple[Word, ...]
+    faulty_nodes: frozenset[Word] = field(default_factory=frozenset)
+    faulty_edges: frozenset[tuple[Word, Word]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cycle", tuple(_as_word(w) for w in self.cycle))
+        object.__setattr__(
+            self, "faulty_nodes", frozenset(_as_word(w) for w in self.faulty_nodes)
+        )
+        object.__setattr__(
+            self,
+            "faulty_edges",
+            frozenset((_as_word(a), _as_word(b)) for a, b in self.faulty_edges),
+        )
+
+    # -- basic views ---------------------------------------------------------
+    def __len__(self) -> int:
+        """The ring length ``k``."""
+        return len(self.cycle)
+
+    @property
+    def host(self) -> DeBruijnGraph:
+        """The host graph ``B(d, n)``."""
+        return DeBruijnGraph(self.d, self.n)
+
+    @property
+    def ring_edges(self) -> list[tuple[Word, Word]]:
+        """The host edges used by the ring, in ring order (closing edge last)."""
+        k = len(self.cycle)
+        return [(self.cycle[i], self.cycle[(i + 1) % k]) for i in range(k)]
+
+    @property
+    def dilation(self) -> int:
+        """Always 1: every ring edge maps to a single host edge."""
+        return embedding_dilation([[a, b] for a, b in self.ring_edges])
+
+    @property
+    def congestion(self) -> int:
+        """Always 1 for a valid embedding: no host edge is reused."""
+        return embedding_congestion([[a, b] for a, b in self.ring_edges])
+
+    # -- validity --------------------------------------------------------------
+    def is_valid(self) -> bool:
+        """Return True iff the ring is a simple host cycle avoiding all declared faults."""
+        try:
+            self.validate()
+        except EmbeddingError:
+            return False
+        return True
+
+    def validate(self) -> None:
+        """Raise :class:`EmbeddingError` describing the first violated requirement."""
+        host = self.host
+        if len(self.cycle) == 0:
+            raise EmbeddingError("embedded ring is empty")
+        if len(set(self.cycle)) != len(self.cycle):
+            raise EmbeddingError("embedded ring visits a node twice")
+        if not host.is_cycle(self.cycle):
+            raise EmbeddingError("embedded ring is not a cycle of the host graph")
+        hit_nodes = set(self.cycle) & self.faulty_nodes
+        if hit_nodes:
+            raise EmbeddingError(f"embedded ring visits faulty nodes {sorted(hit_nodes)}")
+        hit_edges = set(self.ring_edges) & self.faulty_edges
+        if hit_edges:
+            raise EmbeddingError(f"embedded ring uses faulty edges {sorted(hit_edges)}")
+
+    def avoids(self, nodes: Iterable[Sequence[int]] = (), edges: Iterable[tuple] = ()) -> bool:
+        """Return True iff the ring avoids the given extra nodes and edges."""
+        node_set = {_as_word(w) for w in nodes}
+        edge_set = {(_as_word(a), _as_word(b)) for a, b in edges}
+        return not (set(self.cycle) & node_set) and not (set(self.ring_edges) & edge_set)
+
+    def is_hamiltonian(self) -> bool:
+        """Return True iff the ring covers every node of the host graph."""
+        return len(self.cycle) == self.host.num_nodes
+
+    # -- conversions --------------------------------------------------------------
+    def as_sequence(self) -> list[int]:
+        """Return the ring as a circular digit sequence (Section 3.1 representation)."""
+        from .sequences import sequence_of_cycle
+
+        return sequence_of_cycle(self.cycle)
+
+    def rotated_to(self, start: Sequence[int]) -> "RingEmbedding":
+        """Return the same embedding listed starting from ``start``."""
+        start_w = _as_word(start)
+        if start_w not in self.cycle:
+            raise InvalidParameterError(f"{start_w} is not on the embedded ring")
+        i = self.cycle.index(start_w)
+        rotated = self.cycle[i:] + self.cycle[:i]
+        return RingEmbedding(self.d, self.n, rotated, self.faulty_nodes, self.faulty_edges)

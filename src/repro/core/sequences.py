@@ -1,0 +1,163 @@
+"""Cycles as circular sequences (Section 3.1) and De Bruijn sequences.
+
+Chapter 3 manipulates cycles of ``B(d, n)`` through their *circular sequence*
+representation: the sequence ``C = [c_0, c_1, ..., c_{k-1}]`` denotes the
+closed path whose ``i``-th node is the window ``c_i c_{i+1} ... c_{i+n-1}``
+(indices mod ``k``).  ``n``-windows are nodes, ``(n+1)``-windows are edges, a
+sequence is a cycle iff its ``n``-windows are distinct and a Hamiltonian
+cycle (a *De Bruijn sequence*) iff additionally ``k = d**n``.
+
+This module provides the conversions between the two representations, the
+edge/disjointness predicates used throughout Chapter 3, the Rees composition
+of Hamiltonian cycles of coprime alphabets (Lemma 3.6) and a classical
+necklace-concatenation De Bruijn sequence construction (the FKM theorem,
+[FM78] in the paper's bibliography) that works for every ``d``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from math import gcd
+
+from ..exceptions import InvalidParameterError
+from ..words.alphabet import Word, validate_alphabet
+from ..words.necklaces import iter_necklace_representatives
+from ..words.rotation import aperiodic_root, period
+
+__all__ = [
+    "nodes_of_sequence",
+    "edges_of_sequence",
+    "sequence_of_cycle",
+    "is_cycle_sequence",
+    "is_hamiltonian_sequence",
+    "sequences_edge_disjoint",
+    "rees_composition",
+    "decompose_rees_edge",
+    "de_bruijn_sequence",
+]
+
+
+def nodes_of_sequence(seq: Sequence[int], n: int) -> list[Word]:
+    """Return the nodes (length-``n`` circular windows) of a circular sequence.
+
+    >>> nodes_of_sequence([0, 1, 2, 1, 2], 3)[:2]
+    [(0, 1, 2), (1, 2, 1)]
+    """
+    k = len(seq)
+    if k == 0:
+        raise InvalidParameterError("empty sequences denote no cycle")
+    if n < 1:
+        raise InvalidParameterError("window length must be >= 1")
+    s = [int(c) for c in seq]
+    return [tuple(s[(i + j) % k] for j in range(n)) for i in range(k)]
+
+
+def edges_of_sequence(seq: Sequence[int], n: int) -> list[Word]:
+    """Return the edges (length-``n+1`` circular windows) of a circular sequence."""
+    return nodes_of_sequence(seq, n + 1)
+
+
+def sequence_of_cycle(nodes: Sequence[Sequence[int]]) -> list[int]:
+    """Return the circular sequence of a cycle given as its node list.
+
+    The ``i``-th sequence element is the first digit of the ``i``-th node;
+    inverse of :func:`nodes_of_sequence` for genuine De Bruijn cycles.
+    """
+    cycle = [tuple(int(x) for x in w) for w in nodes]
+    if not cycle:
+        raise InvalidParameterError("empty cycles have no sequence")
+    n = len(cycle[0])
+    k = len(cycle)
+    for i, node in enumerate(cycle):
+        nxt = cycle[(i + 1) % k]
+        if node[1:] != nxt[:-1]:
+            raise InvalidParameterError(
+                f"nodes {node} and {nxt} are not consecutive in a De Bruijn cycle"
+            )
+        if len(node) != n:
+            raise InvalidParameterError("all cycle nodes must have the same length")
+    return [node[0] for node in cycle]
+
+
+def is_cycle_sequence(seq: Sequence[int], d: int, n: int) -> bool:
+    """Return True iff ``seq`` denotes a cycle of ``B(d, n)`` (distinct node windows)."""
+    validate_alphabet(d)
+    if any(not 0 <= int(c) < d for c in seq):
+        return False
+    if len(seq) == 0:
+        return False
+    nodes = nodes_of_sequence(seq, n)
+    return len(set(nodes)) == len(nodes)
+
+
+def is_hamiltonian_sequence(seq: Sequence[int], d: int, n: int) -> bool:
+    """Return True iff ``seq`` is a De Bruijn sequence (Hamiltonian cycle of ``B(d, n)``)."""
+    return len(seq) == d**n and is_cycle_sequence(seq, d, n)
+
+
+def sequences_edge_disjoint(a: Sequence[int], b: Sequence[int], n: int) -> bool:
+    """Return True iff the cycles denoted by ``a`` and ``b`` share no edge.
+
+    Per Section 3.1, two cycles are edge-disjoint iff their sets of
+    ``(n+1)``-windows are disjoint.
+    """
+    return not (set(edges_of_sequence(a, n)) & set(edges_of_sequence(b, n)))
+
+
+def rees_composition(a: Sequence[int], b: Sequence[int], s: int, t: int, n: int) -> list[int]:
+    """Compose Hamiltonian cycles of ``B(s, n)`` and ``B(t, n)`` into one of ``B(st, n)``.
+
+    This is the map ``(A, B)_i = a_{i mod s^n} * t + b_{i mod t^n}`` of
+    Lemma 3.6 ([Ree46]); it produces a Hamiltonian cycle when ``gcd(s, t) = 1``.
+
+    Raises
+    ------
+    InvalidParameterError
+        If ``s`` and ``t`` are not coprime or the inputs are not Hamiltonian
+        sequences of the advertised parameters.
+    """
+    if gcd(s, t) != 1:
+        raise InvalidParameterError(f"Rees composition requires gcd(s, t) = 1, got {s}, {t}")
+    if not is_hamiltonian_sequence(a, s, n):
+        raise InvalidParameterError("first argument is not a Hamiltonian sequence of B(s, n)")
+    if not is_hamiltonian_sequence(b, t, n):
+        raise InvalidParameterError("second argument is not a Hamiltonian sequence of B(t, n)")
+    len_a, len_b = s**n, t**n
+    total = (s * t) ** n
+    return [int(a[i % len_a]) * t + int(b[i % len_b]) for i in range(total)]
+
+
+def decompose_rees_edge(edge: Sequence[int], s: int, t: int) -> tuple[Word, Word]:
+    """Split an edge of ``B(st, n)`` into its ``B(s, n)`` and ``B(t, n)`` edge images.
+
+    Every digit ``v`` of the composed alphabet decomposes uniquely as
+    ``v = a*t + b`` with ``a in Z_s`` and ``b in Z_t``; applied digit-wise to
+    an ``(n+1)``-tuple this recovers the pair of edges referenced in the
+    proof of Proposition 3.3.
+    """
+    digits = tuple(int(v) for v in edge)
+    if any(not 0 <= v < s * t for v in digits):
+        raise InvalidParameterError(f"edge {digits} has digits outside Z_{s * t}")
+    return tuple(v // t for v in digits), tuple(v % t for v in digits)
+
+
+def de_bruijn_sequence(d: int, n: int) -> list[int]:
+    """Return the lexicographically least De Bruijn sequence of ``B(d, n)``.
+
+    Uses the classical Fredricksen–Kessler–Maiorana construction: concatenate,
+    in lexicographic order, the aperiodic roots of the necklaces whose length
+    divides ``n``.  Works for every alphabet size (no prime-power restriction),
+    providing an always-available Hamiltonian cycle baseline for the
+    benchmarks.
+    """
+    validate_alphabet(d)
+    if n < 1:
+        raise InvalidParameterError("n must be >= 1")
+    seq: list[int] = []
+    for rep in iter_necklace_representatives(d, n):
+        root = aperiodic_root(rep)
+        if n % len(root) == 0:
+            seq.extend(root)
+    if len(seq) != d**n:  # pragma: no cover - guaranteed by the FKM theorem
+        raise InvalidParameterError("FKM construction failed to produce a De Bruijn sequence")
+    return seq

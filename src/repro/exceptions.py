@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch any failure originating from this package with a single except
+clause while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "AlphabetError",
+    "NotPrimePowerError",
+    "NoPrimitivePolynomialError",
+    "EmbeddingError",
+    "FaultBudgetExceededError",
+    "DisconnectedGraphError",
+    "ProtocolError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside the domain accepted by an algorithm."""
+
+
+class AlphabetError(InvalidParameterError):
+    """A word contains digits outside the declared alphabet ``Z_d``."""
+
+
+class NotPrimePowerError(InvalidParameterError):
+    """An operation requiring a prime-power alphabet size received one that is not."""
+
+
+class NoPrimitivePolynomialError(ReproError):
+    """No primitive polynomial could be found for the requested field/degree."""
+
+
+class EmbeddingError(ReproError):
+    """A requested ring embedding could not be constructed."""
+
+
+class FaultBudgetExceededError(EmbeddingError):
+    """More faults were supplied than the algorithm's worst-case guarantee covers.
+
+    The algorithms in this package frequently still succeed beyond their
+    guaranteed fault budget (the simulations in Chapter 2 of the paper rely on
+    exactly that), so this error is only raised by the *strict* entry points
+    that promise the paper's worst-case bounds.
+    """
+
+
+class DisconnectedGraphError(EmbeddingError):
+    """The surviving graph is disconnected in a way that prevents an embedding."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached an inconsistent state."""
+
+
+class SimulationError(ReproError):
+    """The message-passing simulator was used incorrectly or diverged."""

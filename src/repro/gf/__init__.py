@@ -1,0 +1,84 @@
+"""Finite-field substrate: ``Z_p`` number theory, ``GF(p^e)`` arithmetic, LFSRs.
+
+Chapter 3 of the paper builds its edge-fault-tolerant embeddings from maximal
+(period ``d^n - 1``) linear-recurrence sequences over ``GF(d)``; this
+subpackage provides everything needed to realise those constructions exactly:
+prime/prime-power decomposition, primitive roots and the quadratic character
+of 2 (Lemma 3.5), extension-field arithmetic, primitive-polynomial search and
+shift-register sequence generation.
+"""
+
+from .field import GF, ExtensionField, GaloisField, PrimeField
+from .lfsr import (
+    AffineRecurrence,
+    LinearRecurrence,
+    default_maximal_cycle_recurrence,
+    maximal_cycle,
+    sequence_period,
+    shifted_cycle,
+)
+from .modular import (
+    as_prime_power,
+    divisors,
+    euler_phi,
+    is_prime,
+    is_prime_power,
+    is_primitive_root,
+    is_quadratic_residue,
+    legendre_symbol,
+    lemma_3_5_conditions,
+    mobius,
+    multiplicative_order,
+    prime_factorization,
+    prime_power_decomposition,
+    primitive_root,
+    primitive_roots,
+    two_as_odd_power,
+    two_as_odd_power_sum,
+)
+from .poly import Poly
+from .primitive import (
+    find_irreducible,
+    find_primitive_polynomial,
+    is_irreducible,
+    is_primitive,
+    polynomial_order,
+    primitive_polynomial_coefficients,
+)
+
+__all__ = [
+    "GF",
+    "ExtensionField",
+    "GaloisField",
+    "PrimeField",
+    "AffineRecurrence",
+    "LinearRecurrence",
+    "default_maximal_cycle_recurrence",
+    "maximal_cycle",
+    "sequence_period",
+    "shifted_cycle",
+    "as_prime_power",
+    "divisors",
+    "euler_phi",
+    "is_prime",
+    "is_prime_power",
+    "is_primitive_root",
+    "is_quadratic_residue",
+    "legendre_symbol",
+    "lemma_3_5_conditions",
+    "mobius",
+    "multiplicative_order",
+    "prime_factorization",
+    "prime_power_decomposition",
+    "primitive_root",
+    "primitive_roots",
+    "two_as_odd_power",
+    "two_as_odd_power_sum",
+    "Poly",
+    "find_irreducible",
+    "find_primitive_polynomial",
+    "is_irreducible",
+    "is_primitive",
+    "polynomial_order",
+    "primitive_polynomial_coefficients",
+]

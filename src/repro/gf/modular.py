@@ -1,0 +1,288 @@
+"""Elementary number theory over ``Z`` and ``Z_p``.
+
+Chapter 3 of the paper leans on a handful of classical number-theoretic
+facts: prime factorisation (to split ``d`` into coprime prime-power parts for
+the Rees composition), Euler's totient ``phi`` and the Möbius function ``mu``
+(Chapter 4 counting), primitive roots of ``Z_p`` and the quadratic character
+of 2 (Lemma 3.5 and the three disjoint-HC strategies).  Everything here is
+pure-integer arithmetic with no external dependencies; the sizes involved in
+the paper (``d <= 40``, ``d^n`` up to a few thousand) are tiny, but the
+implementations are written to stay exact and correct well beyond that range.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..exceptions import InvalidParameterError, NotPrimePowerError
+
+__all__ = [
+    "is_prime",
+    "prime_factorization",
+    "prime_power_decomposition",
+    "is_prime_power",
+    "as_prime_power",
+    "divisors",
+    "euler_phi",
+    "mobius",
+    "multiplicative_order",
+    "primitive_root",
+    "primitive_roots",
+    "is_primitive_root",
+    "is_quadratic_residue",
+    "legendre_symbol",
+    "two_as_odd_power_sum",
+    "two_as_odd_power",
+    "lemma_3_5_conditions",
+]
+
+
+def is_prime(n: int) -> bool:
+    """Return True iff ``n`` is a prime number (deterministic for all int sizes used here).
+
+    Uses trial division up to ``sqrt(n)``; the library only ever calls this on
+    small integers (alphabet sizes and their factors), for which trial
+    division is both exact and fast.
+    """
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    i = 3
+    while i * i <= n:
+        if n % i == 0:
+            return False
+        i += 2
+    return True
+
+
+@lru_cache(maxsize=None)
+def prime_factorization(n: int) -> tuple[tuple[int, int], ...]:
+    """Return the prime factorisation of ``n`` as a tuple of ``(prime, exponent)`` pairs.
+
+    >>> prime_factorization(360)
+    ((2, 3), (3, 2), (5, 1))
+    """
+    if n < 1:
+        raise InvalidParameterError(f"cannot factor non-positive integer {n}")
+    factors: list[tuple[int, int]] = []
+    remaining = n
+    p = 2
+    while p * p <= remaining:
+        if remaining % p == 0:
+            e = 0
+            while remaining % p == 0:
+                remaining //= p
+                e += 1
+            factors.append((p, e))
+        p += 1 if p == 2 else 2
+    if remaining > 1:
+        factors.append((remaining, 1))
+    return tuple(factors)
+
+
+def prime_power_decomposition(n: int) -> tuple[int, ...]:
+    """Return the pairwise-coprime prime-power parts ``p_i**e_i`` of ``n``.
+
+    >>> prime_power_decomposition(360)
+    (8, 9, 5)
+    """
+    return tuple(p**e for p, e in prime_factorization(n))
+
+
+def is_prime_power(n: int) -> bool:
+    """Return True iff ``n = p**e`` for a prime ``p`` and ``e >= 1``."""
+    return n >= 2 and len(prime_factorization(n)) == 1
+
+
+def as_prime_power(n: int) -> tuple[int, int]:
+    """Return ``(p, e)`` such that ``n = p**e``, or raise :class:`NotPrimePowerError`."""
+    factors = prime_factorization(n) if n >= 2 else ()
+    if len(factors) != 1:
+        raise NotPrimePowerError(f"{n} is not a prime power")
+    return factors[0]
+
+
+def divisors(n: int) -> list[int]:
+    """Return all positive divisors of ``n`` in increasing order."""
+    if n < 1:
+        raise InvalidParameterError(f"divisors undefined for {n}")
+    small, large = [], []
+    i = 1
+    while i * i <= n:
+        if n % i == 0:
+            small.append(i)
+            if i != n // i:
+                large.append(n // i)
+        i += 1
+    return small + large[::-1]
+
+
+def euler_phi(n: int) -> int:
+    """Euler's totient ``phi(n)``: the number of ``1 <= k <= n`` coprime to ``n``."""
+    if n < 1:
+        raise InvalidParameterError(f"euler_phi undefined for {n}")
+    result = n
+    for p, _ in prime_factorization(n):
+        result -= result // p
+    return result
+
+
+def mobius(n: int) -> int:
+    """The Möbius function ``mu(n)`` used by the Chapter 4 inversion formulae."""
+    if n < 1:
+        raise InvalidParameterError(f"mobius undefined for {n}")
+    if n == 1:
+        return 1
+    factors = prime_factorization(n)
+    if any(e > 1 for _, e in factors):
+        return 0
+    return -1 if len(factors) % 2 else 1
+
+
+def multiplicative_order(a: int, n: int) -> int:
+    """Return the multiplicative order of ``a`` modulo ``n``.
+
+    Raises
+    ------
+    InvalidParameterError
+        If ``gcd(a, n) != 1`` (the order is undefined).
+    """
+    from math import gcd
+
+    a %= n
+    if gcd(a, n) != 1:
+        raise InvalidParameterError(f"{a} is not invertible modulo {n}")
+    group_order = euler_phi(n)
+    order = group_order
+    for p, e in prime_factorization(group_order):
+        for _ in range(e):
+            if pow(a, order // p, n) == 1:
+                order //= p
+            else:
+                break
+    return order
+
+
+def is_primitive_root(a: int, p: int) -> bool:
+    """Return True iff ``a`` generates the multiplicative group of ``Z_p`` (``p`` prime)."""
+    if not is_prime(p):
+        raise InvalidParameterError(f"is_primitive_root requires a prime modulus, got {p}")
+    if a % p == 0:
+        return False
+    return multiplicative_order(a, p) == p - 1
+
+
+@lru_cache(maxsize=None)
+def primitive_root(p: int) -> int:
+    """Return the smallest primitive root of the prime ``p``."""
+    if not is_prime(p):
+        raise InvalidParameterError(f"primitive_root requires a prime modulus, got {p}")
+    if p == 2:
+        return 1
+    for candidate in range(2, p):
+        if is_primitive_root(candidate, p):
+            return candidate
+    raise InvalidParameterError(f"no primitive root found for {p}")  # pragma: no cover
+
+
+def primitive_roots(p: int) -> list[int]:
+    """Return all primitive roots of the prime ``p`` in increasing order."""
+    if not is_prime(p):
+        raise InvalidParameterError(f"primitive_roots requires a prime modulus, got {p}")
+    if p == 2:
+        return [1]
+    return [a for a in range(2, p) if is_primitive_root(a, p)]
+
+
+def legendre_symbol(a: int, p: int) -> int:
+    """Return the Legendre symbol ``(a/p)`` for an odd prime ``p``: 1, -1 or 0."""
+    if not is_prime(p) or p == 2:
+        raise InvalidParameterError(f"legendre_symbol requires an odd prime, got {p}")
+    a %= p
+    if a == 0:
+        return 0
+    value = pow(a, (p - 1) // 2, p)
+    return 1 if value == 1 else -1
+
+
+def is_quadratic_residue(a: int, p: int) -> bool:
+    """Return True iff ``a`` is a nonzero quadratic residue modulo the odd prime ``p``."""
+    return legendre_symbol(a, p) == 1
+
+
+def two_as_odd_power(p: int, root: int | None = None) -> int | None:
+    """Find an odd ``A`` with ``root**A = 2 (mod p)`` — condition (a) of Lemma 3.5.
+
+    Returns the odd exponent ``A`` if one exists (equivalently: 2 is a
+    quadratic nonresidue of ``p``, i.e. ``p = ±3 (mod 8)``), else ``None``.
+    The returned exponent is with respect to ``root``; if ``root`` is omitted
+    the smallest primitive root of ``p`` is used.
+    """
+    if p == 2 or not is_prime(p):
+        raise InvalidParameterError(f"two_as_odd_power requires an odd prime, got {p}")
+    lam = primitive_root(p) if root is None else root
+    if not is_primitive_root(lam, p):
+        raise InvalidParameterError(f"{lam} is not a primitive root of {p}")
+    a_exp = _discrete_log(2, lam, p)
+    return a_exp if a_exp % 2 == 1 else None
+
+
+def two_as_odd_power_sum(p: int, root: int | None = None) -> tuple[int, int] | None:
+    """Find odd ``A, B`` with ``root**A + root**B = 2 (mod p)`` — condition (b) of Lemma 3.5.
+
+    Returns a pair ``(A, B)`` of odd exponents if one exists, else ``None``.
+    Strategy 2 of Section 3.2.1 needs such a pair; the paper notes the
+    condition holds whenever ``p = ±1 (mod 8)`` but may also hold for other
+    primes (e.g. ``p = 13`` satisfies both conditions).
+    """
+    if p == 2 or not is_prime(p):
+        raise InvalidParameterError(f"two_as_odd_power_sum requires an odd prime, got {p}")
+    lam = primitive_root(p) if root is None else root
+    if not is_primitive_root(lam, p):
+        raise InvalidParameterError(f"{lam} is not a primitive root of {p}")
+    odd_powers = sorted({pow(lam, k, p) for k in range(1, p - 1, 2)})
+    exponent_of = {pow(lam, k, p): k for k in range(1, p - 1, 2)}
+    for x in odd_powers:
+        y = (2 - x) % p
+        if y in exponent_of:
+            return exponent_of[x], exponent_of[y]
+    return None
+
+
+def lemma_3_5_conditions(p: int) -> dict[str, bool]:
+    """Evaluate conditions (a) and (b) of Lemma 3.5 for the odd prime ``p``.
+
+    Condition (a): ``2 = lambda**A`` with ``A`` odd (2 is a quadratic
+    nonresidue).  Condition (b): ``2 = lambda**A + lambda**B`` with both
+    exponents odd.  Lemma 3.5 asserts at least one of them always holds.
+    """
+    return {
+        "a": two_as_odd_power(p) is not None,
+        "b": two_as_odd_power_sum(p) is not None,
+    }
+
+
+def _discrete_log(target: int, base: int, p: int) -> int:
+    """Return ``k`` with ``base**k = target (mod p)`` by baby-step giant-step."""
+    from math import gcd, isqrt
+
+    target %= p
+    base %= p
+    if gcd(base, p) != 1:
+        raise InvalidParameterError(f"{base} is not invertible modulo {p}")
+    m = isqrt(p) + 1
+    baby: dict[int, int] = {}
+    value = 1
+    for j in range(m):
+        baby.setdefault(value, j)
+        value = value * base % p
+    factor = pow(base, (p - 2) * m, p)  # base^{-m} by Fermat
+    gamma = target
+    for i in range(m + 1):
+        if gamma in baby:
+            return i * m + baby[gamma]
+        gamma = gamma * factor % p
+    raise InvalidParameterError(f"no discrete log of {target} base {base} mod {p}")

@@ -1,0 +1,249 @@
+"""Dense univariate polynomials over an arbitrary Galois field.
+
+The maximal cycles of Section 3.1 are sequences whose *characteristic
+polynomial* ``p(x) = x^n - a_{n-1} x^{n-1} - ... - a_0`` must be primitive
+over ``GF(d)``; testing primitivity requires exact polynomial arithmetic
+(multiplication, remainder, gcd and modular exponentiation of ``x``) over a
+possibly non-prime field.  :class:`Poly` provides exactly that, with
+coefficients stored constant-term first as integers in the field's canonical
+``range(q)`` encoding (see :mod:`repro.gf.field`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import InvalidParameterError
+from .field import GaloisField
+
+__all__ = ["Poly"]
+
+
+class Poly:
+    """An immutable polynomial over a :class:`~repro.gf.field.GaloisField`.
+
+    Parameters
+    ----------
+    field:
+        The coefficient field.
+    coeffs:
+        Coefficients, constant term first.  Trailing zeros are stripped; the
+        zero polynomial has an empty coefficient tuple and degree ``-1``.
+    """
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: GaloisField, coeffs: Sequence[int]) -> None:
+        stripped = [int(c) for c in coeffs]
+        for c in stripped:
+            if not 0 <= c < field.order:
+                raise InvalidParameterError(
+                    f"coefficient {c} is not an element of GF({field.order})"
+                )
+        while stripped and stripped[-1] == field.zero:
+            stripped.pop()
+        object.__setattr__(self, "field", field)
+        object.__setattr__(self, "coeffs", tuple(stripped))
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("Poly instances are immutable")
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def zero(cls, field: GaloisField) -> "Poly":
+        """Return the zero polynomial."""
+        return cls(field, ())
+
+    @classmethod
+    def one(cls, field: GaloisField) -> "Poly":
+        """Return the constant polynomial 1."""
+        return cls(field, (field.one,))
+
+    @classmethod
+    def x(cls, field: GaloisField) -> "Poly":
+        """Return the monomial ``x``."""
+        return cls(field, (field.zero, field.one))
+
+    @classmethod
+    def monomial(cls, field: GaloisField, degree: int, coeff: int | None = None) -> "Poly":
+        """Return ``coeff * x**degree`` (default coefficient 1)."""
+        if degree < 0:
+            raise InvalidParameterError("monomial degree must be >= 0")
+        coeff = field.one if coeff is None else coeff
+        return cls(field, (field.zero,) * degree + (coeff,))
+
+    @classmethod
+    def from_characteristic(cls, field: GaloisField, recurrence: Sequence[int]) -> "Poly":
+        """Build ``x^n - a_{n-1} x^{n-1} - ... - a_0`` from recurrence coefficients.
+
+        ``recurrence`` lists ``(a_0, a_1, ..., a_{n-1})`` of the paper's
+        recurrence (3.1); the result is the characteristic polynomial (3.2).
+        """
+        n = len(recurrence)
+        coeffs = [field.neg(a) for a in recurrence] + [field.one]
+        if n == 0:
+            raise InvalidParameterError("recurrence must have at least one coefficient")
+        return cls(field, coeffs)
+
+    # -- basic structure -----------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """The degree of the polynomial; the zero polynomial has degree -1."""
+        return len(self.coeffs) - 1
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def is_monic(self) -> bool:
+        return bool(self.coeffs) and self.coeffs[-1] == self.field.one
+
+    def __getitem__(self, i: int) -> int:
+        """Return the coefficient of ``x**i`` (0 when beyond the degree)."""
+        return self.coeffs[i] if 0 <= i < len(self.coeffs) else self.field.zero
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Poly):
+            return NotImplemented
+        return self.field == other.field and self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.coeffs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_zero:
+            return "Poly(0)"
+        terms = []
+        for i in range(self.degree, -1, -1):
+            c = self[i]
+            if c == self.field.zero:
+                continue
+            if i == 0:
+                terms.append(f"{c}")
+            elif i == 1:
+                terms.append(f"{c}*x" if c != self.field.one else "x")
+            else:
+                terms.append(f"{c}*x^{i}" if c != self.field.one else f"x^{i}")
+        return "Poly(" + " + ".join(terms) + f") over GF({self.field.order})"
+
+    # -- arithmetic ------------------------------------------------------------
+    def _require_same_field(self, other: "Poly") -> None:
+        if self.field != other.field:
+            raise InvalidParameterError("polynomials are over different fields")
+
+    def __add__(self, other: "Poly") -> "Poly":
+        self._require_same_field(other)
+        f = self.field
+        n = max(len(self.coeffs), len(other.coeffs))
+        return Poly(f, [f.add(self[i], other[i]) for i in range(n)])
+
+    def __neg__(self) -> "Poly":
+        f = self.field
+        return Poly(f, [f.neg(c) for c in self.coeffs])
+
+    def __sub__(self, other: "Poly") -> "Poly":
+        return self + (-other)
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        self._require_same_field(other)
+        f = self.field
+        if self.is_zero or other.is_zero:
+            return Poly.zero(f)
+        out = [f.zero] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == f.zero:
+                continue
+            for j, b in enumerate(other.coeffs):
+                if b != f.zero:
+                    out[i + j] = f.add(out[i + j], f.mul(a, b))
+        return Poly(f, out)
+
+    def scale(self, scalar: int) -> "Poly":
+        """Return the polynomial multiplied by a field scalar."""
+        f = self.field
+        return Poly(f, [f.mul(scalar, c) for c in self.coeffs])
+
+    def divmod(self, other: "Poly") -> tuple["Poly", "Poly"]:
+        """Return quotient and remainder of Euclidean division by ``other``."""
+        self._require_same_field(other)
+        f = self.field
+        if other.is_zero:
+            raise ZeroDivisionError("polynomial division by zero")
+        remainder = list(self.coeffs)
+        quotient = [f.zero] * max(len(self.coeffs) - len(other.coeffs) + 1, 0)
+        inv_lead = f.inv(other.coeffs[-1])
+        while len(remainder) >= len(other.coeffs) and any(c != f.zero for c in remainder):
+            # strip trailing zeros before comparing degrees
+            while remainder and remainder[-1] == f.zero:
+                remainder.pop()
+            if len(remainder) < len(other.coeffs):
+                break
+            shift = len(remainder) - len(other.coeffs)
+            factor = f.mul(remainder[-1], inv_lead)
+            quotient[shift] = factor
+            for i, c in enumerate(other.coeffs):
+                remainder[shift + i] = f.sub(remainder[shift + i], f.mul(factor, c))
+        return Poly(f, quotient), Poly(f, remainder)
+
+    def __mod__(self, other: "Poly") -> "Poly":
+        return self.divmod(other)[1]
+
+    def __floordiv__(self, other: "Poly") -> "Poly":
+        return self.divmod(other)[0]
+
+    def gcd(self, other: "Poly") -> "Poly":
+        """Return the monic greatest common divisor."""
+        self._require_same_field(other)
+        a, b = self, other
+        while not b.is_zero:
+            a, b = b, a % b
+        if a.is_zero:
+            return a
+        return a.scale(a.field.inv(a.coeffs[-1]))
+
+    def pow_mod(self, exponent: int, modulus: "Poly") -> "Poly":
+        """Return ``self**exponent mod modulus`` by square-and-multiply."""
+        if exponent < 0:
+            raise InvalidParameterError("pow_mod exponent must be >= 0")
+        result = Poly.one(self.field)
+        base = self % modulus
+        while exponent:
+            if exponent & 1:
+                result = (result * base) % modulus
+            base = (base * base) % modulus
+            exponent >>= 1
+        return result
+
+    def evaluate(self, x: int) -> int:
+        """Evaluate the polynomial at the field element ``x`` (Horner's rule)."""
+        f = self.field
+        result = f.zero
+        for c in reversed(self.coeffs):
+            result = f.add(f.mul(result, x), c)
+        return result
+
+    def derivative(self) -> "Poly":
+        """Return the formal derivative."""
+        f = self.field
+        if self.degree <= 0:
+            return Poly.zero(f)
+        out = []
+        for i in range(1, len(self.coeffs)):
+            scalar = i % f.characteristic
+            # scalar * coeff computed as repeated addition image of the integer i
+            term = f.zero
+            for _ in range(scalar):
+                term = f.add(term, self.coeffs[i])
+            out.append(term)
+        return Poly(f, out)
+
+    def recurrence_coefficients(self) -> tuple[int, ...]:
+        """Return ``(a_0, ..., a_{n-1})`` such that ``self = x^n - a_{n-1}x^{n-1} - ... - a_0``.
+
+        Inverse of :meth:`from_characteristic`; requires a monic polynomial.
+        """
+        if not self.is_monic:
+            raise InvalidParameterError("recurrence coefficients require a monic polynomial")
+        f = self.field
+        return tuple(f.neg(c) for c in self.coeffs[:-1])

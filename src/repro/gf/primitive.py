@@ -1,0 +1,143 @@
+"""Irreducibility, order and primitivity of polynomials over ``GF(q)``.
+
+A monic polynomial ``p(x)`` of degree ``n`` over ``GF(q)`` is *primitive*
+when it is irreducible and its order — the least ``k > 0`` with
+``p(x) | x^k - 1`` — equals ``q**n - 1``.  Sequences with a primitive
+characteristic polynomial have period ``q**n - 1`` and correspond to the
+*maximal cycles* of Section 3.1, the seed of every construction in Chapter 3.
+
+The search routines here are deterministic (lexicographic scan) so that the
+same primitive polynomial — and hence the same maximal cycle and the same
+Hamiltonian cycles — is produced on every run.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import product
+
+from ..exceptions import InvalidParameterError, NoPrimitivePolynomialError
+from .field import GF, GaloisField
+from .modular import prime_factorization
+from .poly import Poly
+
+__all__ = [
+    "is_irreducible",
+    "polynomial_order",
+    "is_primitive",
+    "find_irreducible",
+    "find_primitive_polynomial",
+    "primitive_polynomial_coefficients",
+]
+
+
+def is_irreducible(poly: Poly) -> bool:
+    """Return True iff ``poly`` is irreducible over its coefficient field.
+
+    Uses Rabin's irreducibility test: ``p(x)`` of degree ``n`` over ``GF(q)``
+    is irreducible iff ``x^{q^n} = x (mod p)`` and
+    ``gcd(x^{q^{n/r}} - x, p) = 1`` for every prime divisor ``r`` of ``n``.
+    """
+    field = poly.field
+    n = poly.degree
+    if n <= 0:
+        return False
+    if n == 1:
+        return True
+    q = field.order
+    x = Poly.x(field)
+    for r, _ in prime_factorization(n):
+        exponent = q ** (n // r)
+        composed = x.pow_mod(exponent, poly) - x
+        if poly.gcd(composed).degree != 0:
+            return False
+    final = x.pow_mod(q**n, poly) - x
+    return (final % poly).is_zero
+
+
+def polynomial_order(poly: Poly) -> int:
+    """Return the order of the irreducible polynomial ``poly``.
+
+    The order is the least ``k > 0`` such that ``p(x)`` divides ``x^k - 1``;
+    for an irreducible polynomial of degree ``n`` over ``GF(q)`` it always
+    divides ``q**n - 1`` and equals the multiplicative order of any root.
+    """
+    field = poly.field
+    if poly.degree < 1:
+        raise InvalidParameterError("polynomial_order requires degree >= 1")
+    if poly.coeffs[0] == field.zero:
+        raise InvalidParameterError("polynomials divisible by x have no order")
+    if not is_irreducible(poly):
+        raise InvalidParameterError("polynomial_order implemented for irreducible polynomials")
+    q = field.order
+    group = q**poly.degree - 1
+    x = Poly.x(field)
+    order = group
+    for prime, exponent in prime_factorization(group):
+        for _ in range(exponent):
+            candidate = order // prime
+            if x.pow_mod(candidate, poly) == Poly.one(field):
+                order = candidate
+            else:
+                break
+    return order
+
+
+def is_primitive(poly: Poly) -> bool:
+    """Return True iff ``poly`` is primitive over its coefficient field."""
+    field = poly.field
+    n = poly.degree
+    if n < 1 or not poly.is_monic:
+        return False
+    if poly.coeffs[0] == field.zero:
+        return False
+    if not is_irreducible(poly):
+        return False
+    return polynomial_order(poly) == field.order**n - 1
+
+
+def find_irreducible(field: GaloisField, degree: int) -> Poly:
+    """Return the lexicographically smallest monic irreducible polynomial of ``degree``."""
+    if degree < 1:
+        raise InvalidParameterError("degree must be >= 1")
+    for tail in product(field.elements, repeat=degree):
+        candidate = Poly(field, tuple(tail) + (field.one,))
+        if is_irreducible(candidate):
+            return candidate
+    raise NoPrimitivePolynomialError(  # pragma: no cover - always exists
+        f"no irreducible polynomial of degree {degree} over GF({field.order})"
+    )
+
+
+def find_primitive_polynomial(field: GaloisField, degree: int) -> Poly:
+    """Return the lexicographically smallest monic primitive polynomial of ``degree``.
+
+    Primitive polynomials of every degree exist over every finite field
+    ([LP84] in the paper's bibliography), so the scan always terminates; for
+    the small fields used by the paper's constructions it terminates almost
+    immediately.
+    """
+    if degree < 1:
+        raise InvalidParameterError("degree must be >= 1")
+    for tail in product(field.elements, repeat=degree):
+        if tail[0] == field.zero:
+            continue  # constant term zero -> divisible by x -> not primitive
+        candidate = Poly(field, tuple(tail) + (field.one,))
+        if is_primitive(candidate):
+            return candidate
+    raise NoPrimitivePolynomialError(
+        f"no primitive polynomial of degree {degree} over GF({field.order})"
+    )
+
+
+@lru_cache(maxsize=None)
+def primitive_polynomial_coefficients(q: int, degree: int) -> tuple[int, ...]:
+    """Return recurrence coefficients ``(a_0, ..., a_{n-1})`` of a primitive polynomial.
+
+    Convenience wrapper combining :func:`GF`, :func:`find_primitive_polynomial`
+    and :meth:`~repro.gf.poly.Poly.recurrence_coefficients`, cached because the
+    disjoint-HC constructions request the same small fields repeatedly.
+    """
+    field = GF(q)
+    poly = find_primitive_polynomial(field, degree)
+    return poly.recurrence_coefficients()

@@ -1,0 +1,89 @@
+"""Interconnection-network topologies and connectivity analysis.
+
+Provides the De Bruijn digraph ``B(d, n)`` and its undirected version, the
+wrapped butterfly ``F(d, n)`` with its De Bruijn quotient, the hypercube
+``Q(n)`` comparison baseline, the Kautz and shuffle-exchange relatives, the
+line-graph correspondence used by the paper's optimality argument and fast
+vectorized component/eccentricity analysis of faulty graphs.
+"""
+
+from .butterfly import ButterflyGraph, ButterflyNode, debruijn_node_class, lift_cycle, lift_edge
+from .components import (
+    ComponentStats,
+    ResidualGraph,
+    bfs_levels,
+    component_of,
+    component_sizes,
+    component_stats_from_root,
+    diameter,
+    eccentricity,
+    residual_after_node_faults,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from .debruijn import (
+    DeBruijnGraph,
+    edge_label,
+    is_debruijn_edge,
+    predecessor_matrix,
+    predecessors,
+    successor_matrix,
+    successors,
+)
+from .hypercube import (
+    HypercubeGraph,
+    fault_free_cycle_bound,
+    gray_code_cycle,
+    longest_fault_free_cycle_bruteforce,
+)
+from .kautz import KautzGraph
+from .line_graph import (
+    circuit_to_cycle,
+    cycle_to_circuit,
+    is_balanced_after_removal,
+    is_circuit,
+    lower_edge_to_node,
+    node_to_lower_edge,
+)
+from .shuffle_exchange import ShuffleExchangeGraph
+from .undirected import UndirectedDeBruijnGraph, degree_census
+
+__all__ = [
+    "ButterflyGraph",
+    "ButterflyNode",
+    "debruijn_node_class",
+    "lift_cycle",
+    "lift_edge",
+    "ComponentStats",
+    "ResidualGraph",
+    "bfs_levels",
+    "component_of",
+    "component_sizes",
+    "component_stats_from_root",
+    "diameter",
+    "eccentricity",
+    "residual_after_node_faults",
+    "strongly_connected_components",
+    "weakly_connected_components",
+    "DeBruijnGraph",
+    "edge_label",
+    "is_debruijn_edge",
+    "predecessor_matrix",
+    "predecessors",
+    "successor_matrix",
+    "successors",
+    "HypercubeGraph",
+    "fault_free_cycle_bound",
+    "gray_code_cycle",
+    "longest_fault_free_cycle_bruteforce",
+    "KautzGraph",
+    "circuit_to_cycle",
+    "cycle_to_circuit",
+    "is_balanced_after_removal",
+    "is_circuit",
+    "lower_edge_to_node",
+    "node_to_lower_edge",
+    "ShuffleExchangeGraph",
+    "UndirectedDeBruijnGraph",
+    "degree_census",
+]

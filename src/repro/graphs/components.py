@@ -1,0 +1,280 @@
+"""Connectivity, eccentricity and diameter of (faulty) De Bruijn graphs.
+
+The size of the fault-free cycle found by the FFC algorithm equals the size
+of ``B*`` — the largest component of ``B(d, n)`` minus the faulty necklaces —
+and the number of communication steps is governed by the eccentricity of the
+chosen root within that component (Section 2.5).  Tables 2.1 and 2.2 of the
+paper report exactly these two quantities over random fault sets, so this
+module provides fast, vectorized primitives for computing them:
+
+* BFS over the int-encoded node set using the numpy successor matrix
+  (:func:`repro.graphs.debruijn.successor_matrix`), processing whole BFS
+  frontiers per step instead of one node at a time;
+* weak/strong component extraction of the residual graph.
+
+A useful structural fact (proved via the line-graph argument in Section 2.5):
+removing complete necklaces from ``B(d, n)`` leaves a *balanced* digraph
+(every node keeps indegree equal to outdegree), and a connected balanced
+digraph is strongly connected.  Hence weak and strong components coincide for
+the residual graphs studied here — the test-suite checks this on small cases
+— and the cheaper weak-component computation is the default.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..words.alphabet import Word, int_to_word, word_to_int
+from ..words.necklaces import faulty_necklaces
+from .debruijn import DeBruijnGraph, predecessor_matrix, successor_matrix
+
+__all__ = [
+    "ResidualGraph",
+    "residual_after_node_faults",
+    "bfs_levels",
+    "eccentricity",
+    "component_of",
+    "weakly_connected_components",
+    "strongly_connected_components",
+    "component_sizes",
+    "diameter",
+    "ComponentStats",
+    "component_stats_from_root",
+]
+
+
+@dataclass(frozen=True)
+class ResidualGraph:
+    """``B(d, n)`` minus a set of removed (int-encoded) nodes.
+
+    The removed set is stored as a boolean mask so that BFS sweeps can be
+    fully vectorized.  Instances are cheap value objects; all analysis
+    functions below take one as their first argument.
+    """
+
+    d: int
+    n: int
+    removed_mask: np.ndarray  # bool, shape (d**n,)
+
+    @property
+    def num_total(self) -> int:
+        return self.d**self.n
+
+    @property
+    def num_removed(self) -> int:
+        return int(self.removed_mask.sum())
+
+    @property
+    def num_alive(self) -> int:
+        return self.num_total - self.num_removed
+
+    def alive_nodes(self) -> np.ndarray:
+        """Int encodings of the surviving nodes, ascending."""
+        return np.flatnonzero(~self.removed_mask)
+
+    def is_alive(self, node: int) -> bool:
+        return not bool(self.removed_mask[node])
+
+    def alive_words(self) -> list[Word]:
+        """Tuple encodings of the surviving nodes (for the algorithmic layer)."""
+        return [int_to_word(int(v), self.d, self.n) for v in self.alive_nodes()]
+
+
+def residual_after_node_faults(
+    d: int, n: int, faults: Iterable[Sequence[int] | int], remove_whole_necklaces: bool = True
+) -> ResidualGraph:
+    """Return the residual graph after node faults.
+
+    Parameters
+    ----------
+    d, n:
+        De Bruijn parameters.
+    faults:
+        Faulty nodes, each given either as a tuple word or an int encoding.
+    remove_whole_necklaces:
+        When True (the paper's convention), every necklace containing a
+        faulty node is removed entirely; when False only the faulty nodes
+        themselves are removed.
+    """
+    graph = DeBruijnGraph(d, n)
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    fault_words: list[Word] = []
+    for f in faults:
+        word = int_to_word(int(f), d, n) if isinstance(f, (int, np.integer)) else tuple(int(x) for x in f)
+        fault_words.append(word)
+    if remove_whole_necklaces:
+        for nk in faulty_necklaces(fault_words, d):
+            for member in nk.node_set:
+                mask[word_to_int(member, d)] = True
+    else:
+        for word in fault_words:
+            mask[word_to_int(word, d)] = True
+    return ResidualGraph(d, n, mask)
+
+
+def bfs_levels(residual: ResidualGraph, root: int, direction: str = "out") -> np.ndarray:
+    """Return BFS distance from ``root`` to every node (``-1`` = unreachable/removed).
+
+    ``direction`` selects edge orientation: ``"out"`` follows successor edges
+    (the broadcast of Step 1.1 of the FFC algorithm), ``"in"`` follows
+    predecessor edges, ``"both"`` ignores orientation (weak connectivity).
+    The sweep processes an entire frontier per iteration using the successor
+    matrix, so its cost is ``O(diameter)`` vectorized numpy operations.
+    """
+    if direction not in ("out", "in", "both"):
+        raise InvalidParameterError(f"direction must be 'out', 'in' or 'both', got {direction!r}")
+    size = residual.num_total
+    if not 0 <= root < size:
+        raise InvalidParameterError(f"root {root} outside node range")
+    if residual.removed_mask[root]:
+        raise InvalidParameterError(f"root {root} has been removed from the graph")
+
+    matrices = []
+    if direction in ("out", "both"):
+        matrices.append(successor_matrix(residual.d, residual.n))
+    if direction in ("in", "both"):
+        matrices.append(predecessor_matrix(residual.d, residual.n))
+
+    dist = np.full(size, -1, dtype=np.int64)
+    dist[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        nxt_parts = [m[frontier].ravel() for m in matrices]
+        nxt = np.unique(np.concatenate(nxt_parts)) if len(nxt_parts) > 1 else np.unique(nxt_parts[0])
+        fresh = nxt[(dist[nxt] == -1) & (~residual.removed_mask[nxt])]
+        dist[fresh] = level
+        frontier = fresh
+    return dist
+
+
+def component_of(residual: ResidualGraph, root: int) -> np.ndarray:
+    """Return the int-encoded nodes of the weak component containing ``root``."""
+    dist = bfs_levels(residual, root, direction="both")
+    return np.flatnonzero(dist >= 0)
+
+
+def eccentricity(residual: ResidualGraph, root: int, within_component: bool = True) -> int:
+    """Return the directed eccentricity of ``root``: the largest BFS distance.
+
+    ``within_component=True`` (the paper's measurement) takes the maximum
+    over the nodes reachable from ``root``; otherwise unreachable alive nodes
+    make the eccentricity infinite, reported as ``-1``.
+    """
+    dist = bfs_levels(residual, root, direction="out")
+    reachable = dist >= 0
+    if not within_component:
+        alive = ~residual.removed_mask
+        if np.any(alive & ~reachable):
+            return -1
+    return int(dist[reachable].max())
+
+
+def weakly_connected_components(residual: ResidualGraph) -> list[np.ndarray]:
+    """Return the weak components of the residual graph, largest first."""
+    return _components(residual, direction="both")
+
+
+def strongly_connected_components(residual: ResidualGraph) -> list[np.ndarray]:
+    """Return the strong components of the residual graph, largest first.
+
+    Implemented as forward/backward BFS intersection from an unassigned node
+    (a simple variant adequate for the modest graph sizes studied here).
+    """
+    size = residual.num_total
+    assigned = residual.removed_mask.copy()
+    components: list[np.ndarray] = []
+    for root in range(size):
+        if assigned[root]:
+            continue
+        fwd = bfs_levels(_masked(residual, assigned), root, direction="out") >= 0
+        bwd = bfs_levels(_masked(residual, assigned), root, direction="in") >= 0
+        comp = np.flatnonzero(fwd & bwd)
+        components.append(comp)
+        assigned[comp] = True
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def component_sizes(residual: ResidualGraph) -> list[int]:
+    """Return the sizes of the weak components, largest first."""
+    return [len(c) for c in weakly_connected_components(residual)]
+
+
+def diameter(residual: ResidualGraph, component: np.ndarray | None = None) -> int:
+    """Return the directed diameter of a component (largest pairwise BFS distance).
+
+    When ``component`` is omitted, the largest weak component is used.
+    Returns ``-1`` if some node of the component cannot reach another
+    (possible only when the component is not strongly connected).
+    """
+    if component is None:
+        comps = weakly_connected_components(residual)
+        if not comps:
+            raise InvalidParameterError("residual graph has no surviving nodes")
+        component = comps[0]
+    comp_set = set(int(v) for v in component)
+    best = 0
+    sub_mask = residual.removed_mask.copy()
+    outside = np.ones(residual.num_total, dtype=bool)
+    outside[list(comp_set)] = False
+    sub_mask |= outside
+    sub = ResidualGraph(residual.d, residual.n, sub_mask)
+    for node in comp_set:
+        dist = bfs_levels(sub, node, direction="out")
+        reach = dist >= 0
+        if reach.sum() < len(comp_set):
+            return -1
+        best = max(best, int(dist[reach].max()))
+    return best
+
+
+@dataclass(frozen=True)
+class ComponentStats:
+    """Size and root-eccentricity of the component containing a chosen root.
+
+    These are exactly the two columns measured per trial by the simulations
+    behind Tables 2.1 and 2.2.
+    """
+
+    root: int
+    component_size: int
+    root_eccentricity: int
+
+
+def component_stats_from_root(residual: ResidualGraph, root: int) -> ComponentStats:
+    """Return size and eccentricity of the component containing ``root``.
+
+    Follows the measurement procedure of Section 2.5.2: the component is the
+    weak component containing ``root`` and the eccentricity is the largest
+    directed BFS distance from ``root`` within it (the number of broadcast
+    steps of FFC Step 1.1).
+    """
+    comp = component_of(residual, root)
+    ecc = eccentricity(residual, root)
+    return ComponentStats(root=root, component_size=int(len(comp)), root_eccentricity=ecc)
+
+
+# -- internals ----------------------------------------------------------------
+
+def _masked(residual: ResidualGraph, extra_mask: np.ndarray) -> ResidualGraph:
+    return ResidualGraph(residual.d, residual.n, residual.removed_mask | extra_mask)
+
+
+def _components(residual: ResidualGraph, direction: str) -> list[np.ndarray]:
+    assigned = residual.removed_mask.copy()
+    components: list[np.ndarray] = []
+    for root in range(residual.num_total):
+        if assigned[root]:
+            continue
+        dist = bfs_levels(ResidualGraph(residual.d, residual.n, assigned), root, direction=direction)
+        comp = np.flatnonzero(dist >= 0)
+        components.append(comp)
+        assigned[comp] = True
+    components.sort(key=len, reverse=True)
+    return components

@@ -1,0 +1,124 @@
+"""The line-graph structure of De Bruijn graphs: ``B(d, n) = L(B(d, n-1))``.
+
+Labelling the edge ``x_1...x_{n-1} -> x_2...x_n`` of ``B(d, n-1)`` by the
+``n``-tuple ``x_1...x_n`` identifies the edges of ``B(d, n-1)`` with the
+nodes of ``B(d, n)``, and adjacency of edges with De Bruijn adjacency of the
+labels — i.e. ``B(d, n)`` is the line graph of ``B(d, n-1)``.  Section 2.5 of
+the paper uses this to prove the worst-case optimality of the FFC algorithm:
+a cycle ``C`` of ``B(d, n)`` corresponds to a circuit ``C'`` of ``B(d, n-1)``,
+and removing a circuit from a balanced digraph leaves a balanced digraph
+whose components are Eulerian, so the nodes of ``B(d, n) - C`` can always be
+partitioned into cycles.  These correspondences are implemented here and the
+optimality argument itself lives in
+:func:`repro.core.bounds.worst_case_fault_placement`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import InvalidParameterError
+from ..words.alphabet import Word, validate_word
+
+__all__ = [
+    "node_to_lower_edge",
+    "lower_edge_to_node",
+    "cycle_to_circuit",
+    "circuit_to_cycle",
+    "is_circuit",
+    "is_balanced_after_removal",
+]
+
+
+def node_to_lower_edge(word: Sequence[int], d: int) -> tuple[Word, Word]:
+    """Map a node of ``B(d, n)`` to the edge of ``B(d, n-1)`` it labels.
+
+    ``x_1...x_n`` labels the edge ``(x_1...x_{n-1}, x_2...x_n)``.
+    """
+    w = validate_word(word, d)
+    if len(w) < 2:
+        raise InvalidParameterError("line-graph correspondence requires n >= 2")
+    return w[:-1], w[1:]
+
+
+def lower_edge_to_node(src: Sequence[int], dst: Sequence[int], d: int) -> Word:
+    """Map an edge of ``B(d, n-1)`` to the node of ``B(d, n)`` labelling it."""
+    s = validate_word(src, d)
+    t = validate_word(dst, d)
+    if s[1:] != t[:-1]:
+        raise InvalidParameterError(f"({s}, {t}) is not an edge of B({d},{len(s)})")
+    return s + (t[-1],)
+
+
+def cycle_to_circuit(cycle: Sequence[Sequence[int]], d: int) -> list[Word]:
+    """Map a cycle of ``B(d, n)`` to the corresponding circuit of ``B(d, n-1)``.
+
+    The circuit is returned as its vertex sequence (length equal to the cycle
+    length); consecutive vertices are joined by the edges labelled by the
+    cycle's nodes.  Example from the paper: the cycle
+    ``(012, 122, 221, 212, 120, 201)`` of ``B(3, 3)`` corresponds to the
+    circuit ``(01, 12, 22, 21, 12, 20)`` of ``B(3, 2)`` (closing back to 01).
+    """
+    nodes = [validate_word(w, d) for w in cycle]
+    if not nodes:
+        raise InvalidParameterError("cannot convert an empty cycle")
+    return [w[:-1] for w in nodes]
+
+
+def circuit_to_cycle(circuit: Sequence[Sequence[int]], d: int) -> list[Word]:
+    """Map a circuit of ``B(d, n-1)`` (vertex sequence) to the cycle of ``B(d, n)``.
+
+    Inverse of :func:`cycle_to_circuit`: the ``i``-th node of the result is
+    the label of the circuit's ``i``-th edge.
+    """
+    vertices = [validate_word(w, d) for w in circuit]
+    if len(vertices) < 1:
+        raise InvalidParameterError("cannot convert an empty circuit")
+    k = len(vertices)
+    out = []
+    for i in range(k):
+        src = vertices[i]
+        dst = vertices[(i + 1) % k]
+        out.append(lower_edge_to_node(src, dst, d))
+    return out
+
+
+def is_circuit(circuit: Sequence[Sequence[int]], d: int) -> bool:
+    """Return True iff the closed vertex sequence is a circuit of ``B(d, m)``.
+
+    A circuit is a closed walk whose *edges* are all distinct (vertices may
+    repeat).
+    """
+    vertices = [validate_word(w, d) for w in circuit]
+    if not vertices:
+        return False
+    k = len(vertices)
+    edges = []
+    for i in range(k):
+        src, dst = vertices[i], vertices[(i + 1) % k]
+        if src[1:] != dst[:-1]:
+            return False
+        edges.append((src, dst))
+    return len(set(edges)) == len(edges)
+
+
+def is_balanced_after_removal(d: int, n: int, removed_cycle: Sequence[Sequence[int]]) -> bool:
+    """Check that ``B(d, n-1)`` stays balanced after removing a cycle's edge image.
+
+    The optimality argument of Section 2.5 rests on the fact that removing a
+    circuit from a balanced digraph (equal in/outdegree everywhere) leaves it
+    balanced.  This helper verifies the fact concretely for the circuit in
+    ``B(d, n-1)`` induced by a cycle of ``B(d, n)``.
+    """
+    cycle = [validate_word(w, d) for w in removed_cycle]
+    in_deficit: dict[Word, int] = {}
+    out_deficit: dict[Word, int] = {}
+    circuit = cycle_to_circuit(cycle, d)
+    k = len(circuit)
+    for i in range(k):
+        src = circuit[i]
+        dst = circuit[(i + 1) % k]
+        out_deficit[src] = out_deficit.get(src, 0) + 1
+        in_deficit[dst] = in_deficit.get(dst, 0) + 1
+    vertices = set(in_deficit) | set(out_deficit)
+    return all(in_deficit.get(v, 0) == out_deficit.get(v, 0) for v in vertices)

@@ -1,0 +1,112 @@
+"""The undirected De Bruijn graph ``UB(d, n)``.
+
+``UB(d, n)`` is obtained from the digraph ``B(d, n)`` by deleting loops,
+forgetting edge orientation and merging any resulting parallel edges
+(Section 1.2).  The paper quotes the degree census of [PR82]:
+
+* ``d`` nodes of degree ``2d - 2`` (the constant words ``a^n``),
+* ``d(d-1)`` nodes of degree ``2d - 1`` (the words ``\\widehat{ab}`` whose
+  successor set and predecessor set overlap in one node),
+* ``d^n - d^2`` nodes of degree ``2d``.
+
+The census is exposed here and verified in the test-suite; it is also the
+structural check behind Figure 1.2 in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import networkx as nx
+
+from ..exceptions import InvalidParameterError
+from ..words.alphabet import Word, validate_word
+from .debruijn import DeBruijnGraph
+
+__all__ = ["UndirectedDeBruijnGraph", "degree_census"]
+
+
+def degree_census(d: int, n: int) -> dict[int, int]:
+    """Return the theoretical degree census ``{degree: node count}`` of ``UB(d, n)``.
+
+    Follows [PR82] as quoted in Section 1.2 of the paper.  For very small
+    parameters some of the three classes coincide or are empty (e.g.
+    ``UB(2, 1)``), so counts for equal degrees are merged and zero counts
+    dropped.
+    """
+    if n == 1:
+        # UB(d,1) is the complete graph K_d: every node has degree d-1.
+        return {d - 1: d}
+    census: dict[int, int] = {}
+    for degree, count in ((2 * d - 2, d), (2 * d - 1, d * (d - 1)), (2 * d, d**n - d * d)):
+        if count:
+            census[degree] = census.get(degree, 0) + count
+    return census
+
+
+class UndirectedDeBruijnGraph:
+    """The undirected De Bruijn graph ``UB(d, n)``.
+
+    The graph is materialised as a :class:`networkx.Graph` on construction
+    (unlike :class:`~repro.graphs.debruijn.DeBruijnGraph` it has no simple
+    arithmetic edge rule once loops are dropped and parallel edges merged),
+    which is fine for the sizes the paper studies.
+    """
+
+    def __init__(self, d: int, n: int) -> None:
+        self.directed = DeBruijnGraph(d, n)
+        self.d = self.directed.d
+        self.n = self.directed.n
+        g = nx.Graph()
+        g.add_nodes_from(self.directed.nodes())
+        for src, dst in self.directed.edges():
+            if src != dst:  # delete loops
+                g.add_edge(src, dst)  # orientation dropped, parallels merged
+        self._graph = g
+
+    # -- census ---------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    def degree(self, word: Sequence[int]) -> int:
+        """Return the degree of a node in ``UB(d, n)``."""
+        w = validate_word(word, self.d)
+        if w not in self._graph:
+            raise InvalidParameterError(f"{w} is not a node of UB({self.d},{self.n})")
+        return self._graph.degree(w)
+
+    def degree_census(self) -> dict[int, int]:
+        """Return the measured degree census ``{degree: node count}``."""
+        census: dict[int, int] = {}
+        for _, deg in self._graph.degree():
+            census[deg] = census.get(deg, 0) + 1
+        return census
+
+    # -- structure -----------------------------------------------------------
+    def nodes(self) -> Iterator[Word]:
+        return iter(self._graph.nodes())
+
+    def edges(self) -> Iterator[tuple[Word, Word]]:
+        return iter(self._graph.edges())
+
+    def has_edge(self, a: Sequence[int], b: Sequence[int]) -> bool:
+        return self._graph.has_edge(tuple(a), tuple(b))
+
+    def neighbors(self, word: Sequence[int]) -> list[Word]:
+        w = validate_word(word, self.d)
+        return list(self._graph.neighbors(w))
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self._graph)
+
+    def to_networkx(self) -> nx.Graph:
+        """Return a copy of the underlying :class:`networkx.Graph`."""
+        return self._graph.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UndirectedDeBruijnGraph(d={self.d}, n={self.n})"

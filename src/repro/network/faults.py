@@ -1,0 +1,73 @@
+"""Random fault injection for the simulations of Section 2.5.2.
+
+The paper's Tables 2.1 and 2.2 are produced by repeatedly drawing ``f``
+faulty processors uniformly at random; this module centralises that sampling
+(seeded ``numpy`` generators, so every experiment in the benchmark harness is
+reproducible) and the equivalent sampling of faulty links for the Chapter 3
+experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..words.alphabet import Word, int_to_word
+
+__all__ = ["sample_node_faults", "sample_edge_faults"]
+
+
+def sample_node_faults(
+    d: int, n: int, f: int, rng: np.random.Generator | None = None, exclude: tuple[Word, ...] = ()
+) -> list[Word]:
+    """Draw ``f`` distinct faulty processors of ``B(d, n)`` uniformly at random.
+
+    ``exclude`` lists nodes that must stay healthy (e.g. the measurement root
+    when reproducing the paper's tables is *not* excluded — the paper instead
+    falls back to a neighbouring root — so the default excludes nothing).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    total = d**n
+    excluded = {w for w in exclude}
+    if f < 0 or f > total - len(excluded):
+        raise InvalidParameterError(f"cannot place {f} faults in B({d},{n})")
+    faults: list[Word] = []
+    chosen: set[int] = set()
+    while len(faults) < f:
+        value = int(rng.integers(0, total))
+        if value in chosen:
+            continue
+        word = int_to_word(value, d, n)
+        if word in excluded:
+            continue
+        chosen.add(value)
+        faults.append(word)
+    return faults
+
+
+def sample_edge_faults(
+    d: int, n: int, f: int, rng: np.random.Generator | None = None, allow_loops: bool = False
+) -> list[Word]:
+    """Draw ``f`` distinct faulty links of ``B(d, n)``, returned as ``(n+1)``-tuple labels.
+
+    Loop edges are excluded by default since no Hamiltonian cycle ever uses
+    them (their failure is irrelevant to ring embedding).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    total = d ** (n + 1)
+    if f < 0 or f > total:
+        raise InvalidParameterError(f"cannot place {f} edge faults in B({d},{n})")
+    faults: list[Word] = []
+    chosen: set[int] = set()
+    while len(faults) < f:
+        value = int(rng.integers(0, total))
+        if value in chosen:
+            continue
+        label = int_to_word(value, d, n + 1)
+        if not allow_loops and len(set(label)) == 1:
+            continue
+        chosen.add(value)
+        faults.append(label)
+    return faults

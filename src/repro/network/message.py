@@ -1,0 +1,49 @@
+"""Messages exchanged by the synchronous network simulator.
+
+The paper's complexity claims are stated in *communication steps* under a
+synchronous, multi-port model (Section 2.4): in one step every non-faulty
+processor may send a (different) message to each of its De Bruijn successors
+and receive from each of its predecessors.  A :class:`Message` records the
+sender, receiver, a protocol-defined tag and an arbitrary payload, plus the
+round in which it was sent — which is what the simulator's round accounting
+and the tests' step-count assertions are based on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..words.alphabet import Word
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single point-to-point message.
+
+    Attributes
+    ----------
+    src, dst:
+        Sender and receiver node identifiers (tuple-encoded De Bruijn words).
+    tag:
+        Protocol-defined message kind (e.g. ``"probe"``, ``"broadcast"``).
+    payload:
+        Arbitrary, protocol-defined content.  Payloads are treated as opaque
+        and immutable by the simulator.
+    round_sent:
+        The simulator round in which the message was handed to the network.
+        It is delivered at the beginning of round ``round_sent + 1``.
+    """
+
+    src: Word
+    dst: Word
+    tag: str
+    payload: Any
+    round_sent: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        src = "".join(map(str, self.src))
+        dst = "".join(map(str, self.dst))
+        return f"Message({src}->{dst}, {self.tag!r}, round={self.round_sent})"

@@ -1,0 +1,117 @@
+"""Processor model for the synchronous De Bruijn network simulator.
+
+Each processor runs the same program (an SPMD style familiar from MPI): the
+simulator calls :meth:`NodeProgram.on_start` once and then
+:meth:`NodeProgram.on_round` every synchronous round with the messages that
+arrived at the node.  Programs communicate exclusively through the
+:class:`NodeContext` handed to them — there is no shared state — so a program
+that works on the simulator maps directly onto a real message-passing
+machine, which is precisely the level of abstraction the paper's Section 2.4
+argues at.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..exceptions import SimulationError
+from ..words.alphabet import Word
+from .message import Message
+
+__all__ = ["NodeContext", "NodeProgram"]
+
+
+@dataclass
+class NodeContext:
+    """The per-node view of the network handed to a :class:`NodeProgram`.
+
+    Attributes
+    ----------
+    node:
+        This processor's identifier (a De Bruijn word).
+    d, n:
+        Network parameters.
+    successors, predecessors:
+        The node's neighbours along outgoing / incoming De Bruijn links.
+    state:
+        A scratch dict private to this node; survives across rounds.
+    """
+
+    node: Word
+    d: int
+    n: int
+    successors: tuple[Word, ...]
+    predecessors: tuple[Word, ...]
+    state: dict[str, Any] = field(default_factory=dict)
+    _outbox: list[tuple[Word, str, Any]] = field(default_factory=list)
+    _halted: bool = False
+
+    # -- communication ------------------------------------------------------
+    def send(self, dst: Word, tag: str, payload: Any = None) -> None:
+        """Queue a message to an out-neighbour for delivery next round.
+
+        The multi-port model allows one message per outgoing link per round;
+        exceeding that (or addressing a non-neighbour) raises
+        :class:`SimulationError`, surfacing protocol bugs instead of silently
+        modelling impossible hardware.
+        """
+        dst = tuple(dst)
+        if dst not in self.successors:
+            raise SimulationError(
+                f"node {self.node} cannot send to {dst}: not an out-neighbour"
+            )
+        already = sum(1 for queued_dst, _, _ in self._outbox if queued_dst == dst)
+        if already >= 1:
+            raise SimulationError(
+                f"node {self.node} sent two messages to {dst} in one round "
+                f"(multi-port allows one per link per round)"
+            )
+        self._outbox.append((dst, tag, payload))
+
+    def send_to_all_successors(self, tag: str, payload: Any = None) -> None:
+        """Send the same message along every outgoing link (one round, multi-port)."""
+        for dst in self.successors:
+            if not any(q == dst for q, _, _ in self._outbox):
+                self.send(dst, tag, payload)
+
+    # -- control ---------------------------------------------------------------
+    def halt(self) -> None:
+        """Mark this node as finished; it will no longer be stepped."""
+        self._halted = True
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    # -- internal hooks used by the simulator ------------------------------------
+    def _drain_outbox(self, round_index: int) -> list[Message]:
+        out = [
+            Message(src=self.node, dst=dst, tag=tag, payload=payload, round_sent=round_index)
+            for dst, tag, payload in self._outbox
+        ]
+        self._outbox.clear()
+        return out
+
+
+class NodeProgram:
+    """Base class for the per-processor programs run by the simulator.
+
+    Subclasses override :meth:`on_start` (round 0 initialisation, may already
+    send) and :meth:`on_round` (called once per round with the messages
+    delivered this round).  A program signals completion by calling
+    ``ctx.halt()``; the simulation ends when every live node has halted or
+    the round limit is reached.
+    """
+
+    def on_start(self, ctx: NodeContext) -> None:  # pragma: no cover - default no-op
+        """Initialise node state; runs before the first round."""
+
+    def on_round(self, ctx: NodeContext, messages: Sequence[Message]) -> None:
+        """Process one synchronous round.  Must be overridden."""
+        raise NotImplementedError
+
+    def result(self, ctx: NodeContext) -> Any:
+        """Return this node's contribution to the protocol's overall output."""
+        return ctx.state

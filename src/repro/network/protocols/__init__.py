@@ -1,0 +1,19 @@
+"""Message-passing protocols implementing the paper's distributed algorithms."""
+
+from .all_to_all import AllToAllStats, all_to_all_cost_model, simulate_all_to_all
+from .broadcast import BroadcastProgram, run_broadcast
+from .ffc_protocol import DistributedFFCResult, NecklaceCoordinationProgram, run_distributed_ffc
+from .necklace_probe import NecklaceProbeProgram, run_necklace_probe
+
+__all__ = [
+    "AllToAllStats",
+    "all_to_all_cost_model",
+    "simulate_all_to_all",
+    "BroadcastProgram",
+    "run_broadcast",
+    "DistributedFFCResult",
+    "NecklaceCoordinationProgram",
+    "run_distributed_ffc",
+    "NecklaceProbeProgram",
+    "run_necklace_probe",
+]

@@ -1,0 +1,78 @@
+"""Stage 2 of the distributed FFC algorithm: BFS broadcast / spanning tree ``T'``.
+
+Step 1.1 of Section 2.4: the distinguished node ``R`` broadcasts a message
+``M``; every participating node records the round in which it first received
+``M`` (its *level*, equal to its distance from ``R``) and remembers the
+minimal predecessor among those that delivered ``M`` in that round (its
+parent in the broadcast tree ``T'``).  The number of communication steps is
+the eccentricity of ``R`` within ``B*``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ...exceptions import SimulationError
+from ...words.alphabet import Word
+from ..message import Message
+from ..node import NodeContext, NodeProgram
+from ..simulator import SimulationResult, SynchronousDeBruijnNetwork
+
+__all__ = ["BroadcastProgram", "run_broadcast"]
+
+
+class BroadcastProgram(NodeProgram):
+    """Flood a marker from the root, recording level and minimal first-round parent."""
+
+    def __init__(self, node: Word, root: Word, quiet_rounds: int = 2) -> None:
+        self.root = tuple(root)
+        self.is_root = tuple(node) == self.root
+        # halt after this many rounds with nothing new to do
+        self.quiet_rounds = quiet_rounds
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.state["level"] = 0 if self.is_root else None
+        ctx.state["parent"] = None
+        ctx.state["idle"] = 0
+        if self.is_root:
+            ctx.send_to_all_successors("broadcast", 0)
+
+    def on_round(self, ctx: NodeContext, messages: Sequence[Message]) -> None:
+        arrivals = [m for m in messages if m.tag == "broadcast"]
+        if arrivals and ctx.state["level"] is None:
+            level = min(m.payload for m in arrivals) + 1
+            ctx.state["level"] = level
+            ctx.state["parent"] = min(m.src for m in arrivals if m.payload == level - 1)
+            ctx.send_to_all_successors("broadcast", level)
+            ctx.state["idle"] = 0
+        else:
+            ctx.state["idle"] += 1
+            if ctx.state["idle"] >= self.quiet_rounds:
+                ctx.halt()
+
+    def result(self, ctx: NodeContext) -> dict:
+        return {"level": ctx.state["level"], "parent": ctx.state["parent"]}
+
+
+def run_broadcast(
+    network: SynchronousDeBruijnNetwork,
+    root: Word,
+    participants: Iterable[Word],
+) -> tuple[SimulationResult, dict[Word, dict]]:
+    """Run the broadcast among ``participants``; return per-node ``{level, parent}``.
+
+    The broadcast's logical step count (the eccentricity of the root within
+    the reached component) is the maximum recorded level, available from the
+    returned per-node results; the simulator's raw round count additionally
+    includes the fixed quiet-round shutdown overhead.
+    """
+    participants = {tuple(w) for w in participants}
+    root = tuple(root)
+    if root not in participants:
+        raise SimulationError("the broadcast root must be one of the participants")
+    result = network.run(
+        lambda node: BroadcastProgram(node, root),
+        participants=participants,
+        max_rounds=network.graph.num_nodes + 10,
+    )
+    return result, dict(result.node_results)

@@ -1,0 +1,75 @@
+"""Stage 1 of the distributed FFC algorithm: necklace fault detection.
+
+"Each node can determine if its necklace is faulty by attempting to pass a
+message around the necklace.  If a node does not receive its own message in
+``n`` or fewer steps the necklace is assumed to be faulty." (Section 2.4.)
+
+Every non-faulty processor launches a token carrying its own identity along
+its rotation successor (which is one of its De Bruijn out-links); each round
+it forwards the batch of tokens it received.  After ``n`` rounds a processor
+has seen its own token iff every node of its necklace is alive, and the
+tokens it has seen are exactly its necklace's members in traversal order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ...words.alphabet import Word
+from ..message import Message
+from ..node import NodeContext, NodeProgram
+from ..simulator import SimulationResult, SynchronousDeBruijnNetwork
+
+__all__ = ["NecklaceProbeProgram", "run_necklace_probe"]
+
+
+class NecklaceProbeProgram(NodeProgram):
+    """Pass identity tokens around the necklace for ``n`` rounds."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.state["round"] = 0
+        ctx.state["seen"] = [ctx.node]
+        ctx.state["healthy"] = False
+        # the token leaves during the first communication step
+        ctx.send(self._rotation_successor(ctx), "probe", (ctx.node,))
+
+    def _rotation_successor(self, ctx: NodeContext) -> Word:
+        return ctx.node[1:] + ctx.node[:1]
+
+    def on_round(self, ctx: NodeContext, messages: Sequence[Message]) -> None:
+        ctx.state["round"] += 1
+        incoming: list[Word] = []
+        for msg in messages:
+            if msg.tag == "probe":
+                incoming.extend(msg.payload)
+        for token in incoming:
+            if token == ctx.node:
+                ctx.state["healthy"] = True
+            elif token not in ctx.state["seen"]:
+                ctx.state["seen"].append(token)
+        if ctx.state["round"] >= ctx.n:
+            ctx.halt()
+            return
+        forward = [t for t in incoming if t != ctx.node]
+        if forward:
+            ctx.send(self._rotation_successor(ctx), "probe", tuple(forward))
+
+    def result(self, ctx: NodeContext) -> dict:
+        return {
+            "healthy": ctx.state["healthy"],
+            "members": tuple(ctx.state["seen"]),
+        }
+
+
+def run_necklace_probe(
+    network: SynchronousDeBruijnNetwork,
+) -> tuple[SimulationResult, set[Word]]:
+    """Run the probe on every non-faulty node; return the healthy participants.
+
+    Returns the raw :class:`SimulationResult` and the set of nodes whose
+    necklaces contain no faulty processor — exactly the nodes that take part
+    in the rest of the FFC computation.
+    """
+    result = network.run(lambda node: NecklaceProbeProgram(), max_rounds=network.n + 2)
+    healthy = {node for node, info in result.node_results.items() if info["healthy"]}
+    return result, healthy

@@ -1,0 +1,169 @@
+"""A synchronous, multi-port message-passing simulator for De Bruijn networks.
+
+This is the substitution for the physical multiprocessor the paper assumes:
+a round-based SPMD machine whose links are exactly the directed edges of
+``B(d, n)``.  In each round every live (non-faulty, non-halted) processor
+receives the messages sent to it in the previous round, runs one step of its
+program, and may send at most one message per outgoing link (the multi-port
+assumption of Section 2.4).  Faulty processors neither compute nor forward —
+the "total failure" model of Section 1.1 — and messages addressed to them are
+dropped.  Faulty links silently drop the messages crossing them.
+
+The simulator reports the number of rounds executed and the number of
+messages delivered, which is what the paper's ``O(K + n)`` complexity claims
+(and Tables 2.1/2.2's eccentricity column) are measured in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..exceptions import SimulationError
+from ..graphs.debruijn import DeBruijnGraph
+from ..words.alphabet import Word, validate_word
+from .message import Message
+from .node import NodeContext, NodeProgram
+
+__all__ = ["SimulationResult", "SynchronousDeBruijnNetwork"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one protocol execution.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous rounds executed (the paper's "communication steps").
+    messages_delivered:
+        Total number of messages successfully delivered.
+    messages_dropped:
+        Messages lost to faulty nodes or faulty links.
+    node_results:
+        ``{node: program.result(ctx)}`` for every live node.
+    halted:
+        True if every live node halted before the round limit.
+    """
+
+    rounds: int
+    messages_delivered: int
+    messages_dropped: int
+    node_results: dict[Word, Any]
+    halted: bool
+    phase_rounds: dict[str, int] = field(default_factory=dict)
+
+
+class SynchronousDeBruijnNetwork:
+    """The simulated machine: one :class:`NodeProgram` instance per processor.
+
+    Parameters
+    ----------
+    d, n:
+        De Bruijn parameters; the network has ``d**n`` processors.
+    faulty_nodes:
+        Processors that have failed entirely (they never run and never relay).
+    faulty_edges:
+        Directed links ``(src, dst)`` that drop every message sent across them.
+    """
+
+    def __init__(
+        self,
+        d: int,
+        n: int,
+        faulty_nodes: Iterable[Sequence[int]] = (),
+        faulty_edges: Iterable[tuple[Sequence[int], Sequence[int]]] = (),
+    ) -> None:
+        self.graph = DeBruijnGraph(d, n)
+        self.d, self.n = self.graph.d, self.graph.n
+        self.faulty_nodes = frozenset(validate_word(w, d) for w in faulty_nodes)
+        self.faulty_edges = frozenset(
+            (validate_word(a, d), validate_word(b, d)) for a, b in faulty_edges
+        )
+        for a, b in self.faulty_edges:
+            if not self.graph.has_edge(a, b):
+                raise SimulationError(f"({a}, {b}) is not a link of B({d},{n})")
+
+    # -- execution ---------------------------------------------------------------
+    def run(
+        self,
+        program_factory,
+        max_rounds: int = 10_000,
+        participants: Iterable[Sequence[int]] | None = None,
+    ) -> SimulationResult:
+        """Execute one program instance per live node until all halt (or the limit).
+
+        Parameters
+        ----------
+        program_factory:
+            Callable ``node -> NodeProgram`` (or a class) instantiated once per
+            live processor.
+        max_rounds:
+            Safety limit on the number of rounds.
+        participants:
+            Optional subset of nodes that run the program; all other non-faulty
+            nodes stay silent (used e.g. when nonfaulty nodes of faulty
+            necklaces sit out the FFC computation, as the paper prescribes).
+        """
+        live_nodes = [w for w in self.graph.nodes() if w not in self.faulty_nodes]
+        if participants is not None:
+            wanted = {validate_word(w, self.d) for w in participants}
+            live_nodes = [w for w in live_nodes if w in wanted]
+        contexts: dict[Word, NodeContext] = {}
+        programs: dict[Word, NodeProgram] = {}
+        for w in live_nodes:
+            ctx = NodeContext(
+                node=w,
+                d=self.d,
+                n=self.n,
+                successors=tuple(self.graph.successors(w)),
+                predecessors=tuple(self.graph.predecessors(w)),
+            )
+            contexts[w] = ctx
+            programs[w] = program_factory(w) if callable(program_factory) else program_factory
+
+        delivered = 0
+        dropped = 0
+        in_flight: list[Message] = []
+        for w in live_nodes:
+            programs[w].on_start(contexts[w])
+        rounds = 0
+        for _ in range(max_rounds):
+            # collect messages sent during the previous step
+            for w in live_nodes:
+                in_flight.extend(contexts[w]._drain_outbox(rounds))
+            if not in_flight and all(contexts[w].halted for w in live_nodes):
+                break
+            # deliver
+            inboxes: dict[Word, list[Message]] = {w: [] for w in live_nodes}
+            for msg in in_flight:
+                if msg.dst in self.faulty_nodes or (msg.src, msg.dst) in self.faulty_edges:
+                    dropped += 1
+                    continue
+                if msg.dst in inboxes:
+                    inboxes[msg.dst].append(msg)
+                    delivered += 1
+                else:
+                    dropped += 1
+            in_flight = []
+            rounds += 1
+            progressed = False
+            for w in live_nodes:
+                ctx = contexts[w]
+                if ctx.halted and not inboxes[w]:
+                    continue
+                programs[w].on_round(ctx, inboxes[w])
+                progressed = True
+            if not progressed and all(contexts[w].halted for w in live_nodes):
+                break
+        else:
+            raise SimulationError(f"protocol did not terminate within {max_rounds} rounds")
+
+        return SimulationResult(
+            rounds=rounds,
+            messages_delivered=delivered,
+            messages_dropped=dropped,
+            node_results={w: programs[w].result(contexts[w]) for w in live_nodes},
+            halted=all(contexts[w].halted for w in live_nodes),
+        )

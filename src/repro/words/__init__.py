@@ -1,0 +1,81 @@
+"""Word and necklace algebra over the alphabet ``Z_d``.
+
+This subpackage is the lowest layer of the library: plain combinatorics on
+d-ary words (rotations, periods, canonical forms, necklace enumeration) with
+no graph machinery.  Everything in :mod:`repro.graphs` and :mod:`repro.core`
+builds on it.
+"""
+
+from .alphabet import (
+    Word,
+    all_words,
+    alternating_word,
+    constant_word,
+    int_to_word,
+    iter_words,
+    letter_count,
+    random_word,
+    validate_alphabet,
+    validate_word,
+    weight,
+    word_to_int,
+    words_as_array,
+)
+from .necklaces import (
+    Necklace,
+    all_necklaces,
+    faulty_necklaces,
+    iter_necklace_representatives,
+    iter_necklaces,
+    necklace_lengths_histogram,
+    necklace_of,
+    necklace_partition,
+)
+from .rotation import (
+    all_rotations,
+    aperiodic_root,
+    concatenation_power,
+    distinct_rotations,
+    is_aperiodic,
+    min_rotation,
+    min_rotation_index,
+    period,
+    rotate_left,
+    rotate_left_int,
+    rotate_right,
+)
+
+__all__ = [
+    "Word",
+    "all_words",
+    "alternating_word",
+    "constant_word",
+    "int_to_word",
+    "iter_words",
+    "letter_count",
+    "random_word",
+    "validate_alphabet",
+    "validate_word",
+    "weight",
+    "word_to_int",
+    "words_as_array",
+    "Necklace",
+    "all_necklaces",
+    "faulty_necklaces",
+    "iter_necklace_representatives",
+    "iter_necklaces",
+    "necklace_lengths_histogram",
+    "necklace_of",
+    "necklace_partition",
+    "all_rotations",
+    "aperiodic_root",
+    "concatenation_power",
+    "distinct_rotations",
+    "is_aperiodic",
+    "min_rotation",
+    "min_rotation_index",
+    "period",
+    "rotate_left",
+    "rotate_left_int",
+    "rotate_right",
+]

@@ -1,0 +1,223 @@
+"""Necklaces: the rotation cycles ``N(x)`` that partition the De Bruijn graph.
+
+Chapter 2 of the paper partitions the nodes of ``B(d, n)`` into *necklaces*:
+``N(x)`` is the cycle obtained by repeatedly rotating the digits of ``x``
+left by one position.  Each necklace is a directed cycle of ``B(d, n)`` whose
+length equals the period of any of its members and therefore divides ``n``.
+The fault-free-cycle algorithm of Chapter 2 operates on necklaces (a necklace
+is "faulty" when any of its nodes is faulty) and the counting results of
+Chapter 4 count them.
+
+This module provides a small value class :class:`Necklace`, constructors from
+arbitrary member words, and enumeration of all necklaces of ``B(d, n)`` using
+the Fredricksen–Kessler–Maiorana (FKM) algorithm referenced by the paper
+([FM78]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from functools import total_ordering
+
+from ..exceptions import InvalidParameterError
+from .alphabet import Word, validate_alphabet, validate_word, word_to_int
+from .rotation import distinct_rotations, min_rotation, period
+
+__all__ = [
+    "Necklace",
+    "necklace_of",
+    "iter_necklaces",
+    "all_necklaces",
+    "necklace_partition",
+    "faulty_necklaces",
+    "necklace_lengths_histogram",
+    "iter_necklace_representatives",
+]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Necklace:
+    """The necklace ``[x]`` of ``B(d, n)``: a rotation cycle of words.
+
+    Attributes
+    ----------
+    representative:
+        The canonical (numerically minimal) member, written ``[x]`` in the
+        paper.  Two necklaces are equal iff their representatives are equal.
+    d:
+        Alphabet size of the ambient De Bruijn graph.
+
+    Examples
+    --------
+    >>> nk = necklace_of((1, 1, 2, 0), 3)
+    >>> nk.representative
+    (0, 1, 1, 2)
+    >>> nk.nodes
+    ((1, 1, 2, 0), (1, 2, 0, 1), (2, 0, 1, 1), (0, 1, 1, 2))
+    >>> len(nk)
+    4
+    """
+
+    representative: Word
+    d: int
+
+    def __post_init__(self) -> None:
+        rep = validate_word(self.representative, self.d)
+        if rep != min_rotation(rep):
+            raise InvalidParameterError(
+                f"{rep} is not the minimal rotation of its necklace; "
+                f"use necklace_of() to construct a Necklace from any member"
+            )
+        object.__setattr__(self, "representative", rep)
+
+    # -- basic protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        """The necklace length (= period of its members); always divides ``n``."""
+        return period(self.representative)
+
+    def __iter__(self) -> Iterator[Word]:
+        return iter(self.nodes)
+
+    def __contains__(self, word: object) -> bool:
+        if not isinstance(word, tuple):
+            return False
+        return word in self.nodes
+
+    def __lt__(self, other: "Necklace") -> bool:
+        if not isinstance(other, Necklace):
+            return NotImplemented
+        return self.representative < other.representative
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        digits = "".join(str(x) for x in self.representative)
+        return f"Necklace([{digits}], d={self.d})"
+
+    # -- derived views ----------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Word length of the ambient De Bruijn graph ``B(d, n)``."""
+        return len(self.representative)
+
+    @property
+    def nodes(self) -> tuple[Word, ...]:
+        """The member words in De Bruijn traversal order, ending at the representative.
+
+        The ordering starts from the left rotation of the representative so
+        that the tuple reads exactly like the paper's example
+        ``N(1120) = [0112] = (1120, 1201, 2011, 0112)``.
+        """
+        rots = distinct_rotations(self.representative)
+        # distinct_rotations yields rep, pi(rep), ...; shift so rep comes last.
+        return tuple(rots[1:] + rots[:1])
+
+    @property
+    def node_set(self) -> frozenset[Word]:
+        """The member words as a frozenset (order-free membership checks)."""
+        return frozenset(distinct_rotations(self.representative))
+
+    @property
+    def representative_int(self) -> int:
+        """Int encoding of the canonical representative (used for ordering)."""
+        return word_to_int(self.representative, self.d)
+
+    def successor_in_necklace(self, word: Sequence[int]) -> Word:
+        """Return the necklace successor of ``word``: its left rotation.
+
+        The necklace successor of ``alpha w`` is ``w alpha`` — the default
+        successor used by Step 3 of the FFC algorithm when no modified-tree
+        edge diverts the cycle to another necklace.
+        """
+        w = validate_word(word, self.d)
+        if w not in self.node_set:
+            raise InvalidParameterError(f"{w} is not a member of {self!r}")
+        return w[1:] + w[:1] if len(self) > 1 else w
+
+    def contains_any(self, words: Iterable[Sequence[int]]) -> bool:
+        """Return True if any of ``words`` lies on this necklace."""
+        members = self.node_set
+        return any(tuple(w) in members for w in words)
+
+
+def necklace_of(word: Sequence[int], d: int) -> Necklace:
+    """Return the necklace ``N(word)`` containing ``word`` in ``B(d, n)``."""
+    w = validate_word(word, d)
+    return Necklace(min_rotation(w), validate_alphabet(d))
+
+
+def iter_necklace_representatives(d: int, n: int) -> Iterator[Word]:
+    """Yield the canonical representative of every necklace of ``B(d, n)``.
+
+    Uses the FKM (Fredricksen–Kessler–Maiorana) algorithm, which generates
+    all *prenecklaces* in lexicographic order in amortised O(1) per word and
+    emits a word exactly when its length ``n`` completion is the minimal
+    rotation of its necklace.  Representatives are produced in increasing
+    numeric order.
+    """
+    d = validate_alphabet(d)
+    if n < 1:
+        raise InvalidParameterError(f"word length must be >= 1, got {n}")
+
+    a = [0] * (n + 1)
+    results: list[Word] = []
+
+    def gen(t: int, p: int) -> None:
+        if t > n:
+            if n % p == 0:
+                results.append(tuple(a[1 : n + 1]))
+        else:
+            a[t] = a[t - p]
+            gen(t + 1, p)
+            for j in range(a[t - p] + 1, d):
+                a[t] = j
+                gen(t + 1, t)
+
+    gen(1, 1)
+    yield from results
+
+
+def iter_necklaces(d: int, n: int) -> Iterator[Necklace]:
+    """Yield every necklace of ``B(d, n)`` in increasing representative order."""
+    for rep in iter_necklace_representatives(d, n):
+        yield Necklace(rep, d)
+
+
+def all_necklaces(d: int, n: int) -> list[Necklace]:
+    """Return the list of all necklaces of ``B(d, n)``."""
+    return list(iter_necklaces(d, n))
+
+
+def necklace_partition(d: int, n: int) -> dict[Word, Necklace]:
+    """Return a mapping from every word of ``B(d, n)`` to its necklace.
+
+    The mapping realises the partition of the ``d**n`` nodes into disjoint
+    rotation cycles on which the whole of Chapter 2 rests.
+    """
+    partition: dict[Word, Necklace] = {}
+    for nk in iter_necklaces(d, n):
+        for node in nk.node_set:
+            partition[node] = nk
+    return partition
+
+
+def faulty_necklaces(faults: Iterable[Sequence[int]], d: int) -> set[Necklace]:
+    """Return the set of necklaces containing at least one of ``faults``.
+
+    This realises the paper's convention that "a necklace is deemed faulty if
+    it contains a faulty node".
+    """
+    return {necklace_of(f, d) for f in faults}
+
+
+def necklace_lengths_histogram(d: int, n: int) -> dict[int, int]:
+    """Return ``{length: count}`` over all necklaces of ``B(d, n)``.
+
+    Cross-checked in the test-suite against the closed-form counts of
+    Chapter 4 (:mod:`repro.core.counting`).
+    """
+    hist: dict[int, int] = {}
+    for rep in iter_necklace_representatives(d, n):
+        t = period(rep)
+        hist[t] = hist.get(t, 0) + 1
+    return hist

@@ -1,0 +1,189 @@
+"""Rotation algebra on words: the operator ``pi^i`` of the paper.
+
+The paper (Section 4.1) writes ``pi^i(x)`` for the left rotation of the word
+``x`` by ``i`` positions, e.g. ``pi^2(0001) = 0100``.  Rotations generate the
+*necklace* containing a word (Chapter 2), determine the butterfly partition
+map (Section 3.4) and underpin the counting results of Chapter 4.
+
+The fundamental facts implemented and tested here are:
+
+* ``pi^{i+j}(x) = pi^i(pi^j(x))`` — rotations compose additively.
+* The *period* of ``x`` is the least ``t > 0`` with ``pi^t(x) = x``; it always
+  divides ``len(x)``.
+* ``x`` has period ``t`` iff ``x = w^{n/t}`` for an *aperiodic* word ``w`` of
+  length ``t`` (the Observation of Section 4.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import InvalidParameterError
+from .alphabet import Word
+
+__all__ = [
+    "rotate_left",
+    "rotate_right",
+    "all_rotations",
+    "distinct_rotations",
+    "period",
+    "is_aperiodic",
+    "min_rotation",
+    "min_rotation_index",
+    "aperiodic_root",
+    "rotate_left_int",
+    "concatenation_power",
+]
+
+
+def rotate_left(word: Sequence[int], i: int = 1) -> Word:
+    """Return ``pi^i(word)``: the left rotation of ``word`` by ``i`` positions.
+
+    >>> rotate_left((0, 0, 0, 1), 2)
+    (0, 1, 0, 0)
+    """
+    w = tuple(word)
+    n = len(w)
+    if n == 0:
+        raise InvalidParameterError("cannot rotate an empty word")
+    i %= n
+    return w[i:] + w[:i]
+
+
+def rotate_right(word: Sequence[int], i: int = 1) -> Word:
+    """Return ``pi^{-i}(word)``: the right rotation of ``word`` by ``i`` positions."""
+    w = tuple(word)
+    n = len(w)
+    if n == 0:
+        raise InvalidParameterError("cannot rotate an empty word")
+    return rotate_left(w, n - (i % n))
+
+
+def all_rotations(word: Sequence[int]) -> list[Word]:
+    """Return the ``n`` left rotations ``[pi^0(x), pi^1(x), ..., pi^{n-1}(x)]``.
+
+    The list may contain repeats when ``word`` is periodic; use
+    :func:`distinct_rotations` for the set of distinct rotations (the nodes of
+    the necklace ``N(x)``).
+    """
+    w = tuple(word)
+    return [rotate_left(w, i) for i in range(len(w))]
+
+
+def distinct_rotations(word: Sequence[int]) -> list[Word]:
+    """Return the distinct rotations of ``word`` in traversal order.
+
+    The result lists ``pi^0(x), pi^1(x), ..., pi^{t-1}(x)`` where ``t`` is the
+    period of ``x``; these are exactly the nodes of the necklace ``N(x)`` in
+    the order in which the De Bruijn cycle visits them.
+    """
+    w = tuple(word)
+    return [rotate_left(w, i) for i in range(period(w))]
+
+
+def period(word: Sequence[int]) -> int:
+    """Return the period of ``word``: the least ``t > 0`` with ``pi^t(x) = x``.
+
+    The period always divides ``len(word)``; the implementation only probes
+    the divisors of ``n`` rather than all shifts.
+    """
+    w = tuple(word)
+    n = len(w)
+    if n == 0:
+        raise InvalidParameterError("the empty word has no period")
+    for t in _sorted_divisors(n):
+        if w[t:] + w[:t] == w:
+            return t
+    return n  # unreachable: t = n always satisfies the condition
+
+
+def is_aperiodic(word: Sequence[int]) -> bool:
+    """Return True if ``word`` is aperiodic (period equals its length)."""
+    return period(word) == len(tuple(word))
+
+
+def min_rotation_index(word: Sequence[int]) -> int:
+    """Return the rotation amount ``i`` for which ``pi^i(word)`` is lexicographically least.
+
+    Uses Booth's least-rotation algorithm, which runs in linear time; ties
+    (possible only for periodic words) resolve to the smallest index, so the
+    result is always in ``range(period(word))``.
+    """
+    w = tuple(word)
+    n = len(w)
+    if n == 0:
+        raise InvalidParameterError("cannot rotate an empty word")
+    s = w + w
+    f = [-1] * len(s)
+    k = 0
+    for j in range(1, len(s)):
+        sj = s[j]
+        i = f[j - k - 1]
+        while i != -1 and sj != s[k + i + 1]:
+            if sj < s[k + i + 1]:
+                k = j - i - 1
+            i = f[i]
+        if sj != s[k + i + 1]:
+            if sj < s[k]:
+                k = j
+            f[j - k] = -1
+        else:
+            f[j - k] = i + 1
+    return k % period(w)
+
+
+def min_rotation(word: Sequence[int]) -> Word:
+    """Return the lexicographically (equivalently numerically) least rotation of ``word``.
+
+    Because all rotations have the same length and digits are compared
+    position-by-position, lexicographic order over digit tuples coincides with
+    the base-``d`` numeric order used by the paper to pick the canonical
+    necklace representative ``[x]``.
+    """
+    return rotate_left(word, min_rotation_index(word))
+
+
+def aperiodic_root(word: Sequence[int]) -> Word:
+    """Return the aperiodic word ``w`` such that ``word = w^{n/t}``.
+
+    This is the word whose existence is asserted by the Observation in
+    Section 4.1 of the paper and exploited by the counting arguments of
+    Chapter 4.
+    """
+    w = tuple(word)
+    return w[: period(w)]
+
+
+def concatenation_power(word: Sequence[int], k: int) -> Word:
+    """Return ``word`` concatenated with itself ``k`` times (``w^k``)."""
+    if k < 1:
+        raise InvalidParameterError(f"concatenation power must be >= 1, got {k}")
+    return tuple(word) * k
+
+
+def rotate_left_int(value: int, d: int, n: int, i: int = 1) -> int:
+    """Left-rotate the int-encoded length-``n`` word ``value`` by ``i`` positions.
+
+    This is the fast path equivalent of :func:`rotate_left` for int-encoded
+    words: digits shifted off the most-significant end re-enter at the
+    least-significant end.
+    """
+    i %= n
+    if i == 0:
+        return value
+    high = d ** (n - i)
+    head, tail = divmod(value, high)
+    return tail * (d**i) + head
+
+
+def _sorted_divisors(n: int) -> list[int]:
+    """Return the divisors of ``n`` in increasing order."""
+    small, large = [], []
+    i = 1
+    while i * i <= n:
+        if n % i == 0:
+            small.append(i)
+            if i != n // i:
+                large.append(n // i)
+        i += 1
+    return small + large[::-1]

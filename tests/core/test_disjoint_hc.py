@@ -1,0 +1,260 @@
+"""Tests for disjoint Hamiltonian cycles (Section 3.2) and the bound tables."""
+
+import pytest
+
+from repro.core import (
+    PrimePowerHCFamily,
+    conflict_function,
+    cycles_conflict,
+    disjoint_hamiltonian_cycles,
+    disjoint_hamiltonian_cycles_prime_power,
+    disjoint_hc_upper_bound,
+    edge_fault_phi,
+    edge_fault_tolerance,
+    edges_of_sequence,
+    is_hamiltonian_sequence,
+    maximal_cycle_shifts,
+    psi,
+    psi_prime_power,
+    sequences_edge_disjoint,
+    shifted_hamiltonian_cycle,
+    strategy_for_prime,
+    table_3_1,
+    table_3_2,
+    verify_pairwise_disjoint,
+)
+from repro.exceptions import InvalidParameterError, NotPrimePowerError
+from repro.gf import GF, LinearRecurrence
+
+
+class TestStrategySelection:
+    def test_p_equals_two_uses_strategy_one(self):
+        assert strategy_for_prime(2)["strategy"] == 1
+
+    def test_p_13_uses_strategy_two(self):
+        # Example 3.3: 13 satisfies condition (b) with (p-1)/2 = 6 even
+        info = strategy_for_prime(13)
+        assert info["strategy"] == 2
+        assert info["A"] % 2 == 1 and info["B"] % 2 == 1
+        lam = info["lambda"]
+        assert (pow(lam, info["A"], 13) + pow(lam, info["B"], 13)) % 13 == 2
+
+    def test_p_5_uses_strategy_three(self):
+        # Example 3.4: only condition (a) holds for 5
+        info = strategy_for_prime(5)
+        assert info["strategy"] == 3
+        assert pow(info["lambda"], info["A"], 5) == 2
+        assert info["A"] % 2 == 1
+
+    def test_every_small_odd_prime_has_a_strategy(self):
+        for p in [3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]:
+            info = strategy_for_prime(p)
+            assert info["strategy"] in (2, 3)
+
+
+class TestBoundTables:
+    def test_psi_prime_power_values(self):
+        assert psi_prime_power(2, 1) == 1
+        assert psi_prime_power(2, 3) == 7
+        assert psi_prime_power(2, 5) == 31
+        assert psi_prime_power(3, 1) == 1
+        assert psi_prime_power(3, 2) == 4
+        assert psi_prime_power(5, 1) == 2
+        assert psi_prime_power(7, 1) == 3
+        assert psi_prime_power(13, 1) == 7
+        assert psi_prime_power(17, 1) == 9
+
+    def test_table_3_1_matches_paper(self):
+        # Table 3.1 for 2 <= d <= 38 (values read from the thesis; the OCR of
+        # the second row is partially garbled but the first row is clean and
+        # the rest follow from multiplicativity).
+        expected = {
+            2: 1, 3: 1, 4: 3, 5: 2, 6: 1, 7: 3, 8: 7, 9: 4, 10: 2, 11: 5,
+            12: 3, 13: 7, 14: 3, 15: 2, 16: 15, 17: 9, 18: 4, 19: 9, 20: 6,
+            21: 3, 22: 5, 23: 11, 24: 7, 25: 12, 26: 7, 27: 13, 28: 9,
+            30: 2, 31: 15, 32: 31, 33: 5, 34: 9, 35: 6, 36: 12, 38: 9,
+        }
+        table = table_3_1(38)
+        for d, value in expected.items():
+            assert table[d] == value, f"psi({d})"
+
+    def test_psi_multiplicative(self):
+        assert psi(6) == psi(2) * psi(3)
+        assert psi(12) == psi(4) * psi(3)
+        assert psi(36) == psi(4) * psi(9)
+        assert psi(30) == psi(2) * psi(3) * psi(5)
+
+    def test_psi_below_upper_bound(self):
+        for d in range(2, 40):
+            assert psi(d) <= disjoint_hc_upper_bound(d)
+
+    def test_psi_optimal_for_powers_of_two(self):
+        for d in [2, 4, 8, 16, 32]:
+            assert psi(d) == d - 1
+
+    def test_phi_values(self):
+        assert edge_fault_phi(2) == 0
+        assert edge_fault_phi(5) == 3
+        assert edge_fault_phi(6) == 1
+        assert edge_fault_phi(12) == 3
+        assert edge_fault_phi(28) == 7
+        assert edge_fault_phi(36) == 4 + 9 - 4
+
+    def test_table_3_2_matches_paper(self):
+        # MAX{psi(d)-1, phi(d)}; the paper notes the only d where psi(d)-1
+        # beats phi(d) is d = 28.
+        table = table_3_2(35)
+        expected = {
+            2: 0, 3: 1, 4: 2, 5: 3, 6: 1, 7: 5, 8: 6, 9: 7, 10: 3, 11: 9,
+            12: 3, 13: 11, 14: 5, 15: 4, 16: 14, 17: 15, 18: 7, 19: 17,
+            20: 5, 21: 6, 22: 9, 23: 21, 24: 7, 25: 23, 26: 11, 27: 25,
+            28: 8, 29: 27, 30: 4, 31: 29, 32: 30, 33: 10, 34: 15, 35: 8,
+        }
+        for d, value in expected.items():
+            assert table[d] == value, f"tolerance({d})"
+
+    def test_28_is_the_sole_exception(self):
+        for d in range(2, 36):
+            if d == 28:
+                assert psi(d) - 1 > edge_fault_phi(d)
+            else:
+                assert edge_fault_tolerance(d) == edge_fault_phi(d)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            psi(1)
+        with pytest.raises(InvalidParameterError):
+            edge_fault_phi(1)
+        with pytest.raises(InvalidParameterError):
+            psi_prime_power(4, 1)
+
+
+class TestShiftedCycles:
+    def test_maximal_cycle_shifts_partition_nonloop_edges(self):
+        d, n = 5, 2
+        _, shifts = maximal_cycle_shifts(d, n)
+        all_edges = set()
+        for s_cycle in shifts:
+            edges = set(edges_of_sequence(s_cycle, n))
+            assert not (all_edges & edges)
+            all_edges |= edges
+        assert len(all_edges) == d * (d**n - 1)
+        # no loop edge appears
+        for a in range(d):
+            assert (a,) * (n + 1) not in all_edges
+
+    def test_shifted_hamiltonian_cycle_paper_example_3_4(self):
+        # Example 3.4: d=5, n=2, recurrence s_{i+2} = s_{i+1} + 3 s_i,
+        # lambda = 3 with 2 = 3^3, i.e. f(x) = (3^3)x = 2x; H_1 and H_4 as
+        # printed in the thesis.
+        f = GF(5)
+        rec = LinearRecurrence(f, (3, 1))
+        h1 = shifted_hamiltonian_cycle(5, 2, 1, f.mul(2, 1), recurrence=rec, initial=(0, 1))
+        h4 = shifted_hamiltonian_cycle(5, 2, 4, f.mul(2, 4), recurrence=rec, initial=(0, 1))
+        assert h1 == [1, 2, 2, 0, 3, 0, 1, 1, 3, 3, 4, 0, 4, 1, 0, 0, 2, 4, 2, 1, 4, 4, 3, 2, 3]
+        assert h4 == [4, 0, 0, 3, 1, 3, 4, 1, 1, 2, 3, 2, 4, 3, 3, 0, 2, 0, 4, 4, 2, 2, 1, 0, 1]
+        assert is_hamiltonian_sequence(h1, 5, 2)
+        assert is_hamiltonian_sequence(h4, 5, 2)
+        assert sequences_edge_disjoint(h1, h4, 2)
+
+    def test_shifted_hc_requires_f_neq_s(self):
+        with pytest.raises(InvalidParameterError):
+            shifted_hamiltonian_cycle(5, 2, 1, 1)
+
+    def test_shifted_hc_requires_prime_power(self):
+        with pytest.raises(NotPrimePowerError):
+            shifted_hamiltonian_cycle(6, 2, 1, 0)
+
+    def test_every_shift_produces_hamiltonian_cycle(self):
+        d, n = 7, 2
+        fmap = conflict_function(d)
+        for s, fs in fmap.items():
+            seq = shifted_hamiltonian_cycle(d, n, s, fs)
+            assert is_hamiltonian_sequence(seq, d, n)
+
+
+class TestConflictStructure:
+    def test_conflict_function_never_fixes_a_point(self):
+        for d in [2, 3, 4, 5, 7, 8, 9, 13]:
+            fmap = conflict_function(d)
+            for x, fx in fmap.items():
+                assert fx != x
+
+    def test_lemma_3_4_predicts_actual_conflicts(self):
+        # construct every H_s and check that edge-sharing occurs only where
+        # Lemma 3.4 allows it
+        d, n = 5, 2
+        fmap = conflict_function(d)
+        cycles = {s: shifted_hamiltonian_cycle(d, n, s, fs) for s, fs in fmap.items()}
+        for x in cycles:
+            for y in cycles:
+                if x >= y:
+                    continue
+                share = not sequences_edge_disjoint(cycles[x], cycles[y], n)
+                if share:
+                    assert cycles_conflict(x, y, d, fmap)
+
+    def test_figure_3_2_conflict_relation_for_13(self):
+        # H_x conflicts with H_y for y in {7x, 7^9 x, 7^-1 x, 7^-9 x} (mod 13)
+        fmap = conflict_function(13)
+        info = strategy_for_prime(13)
+        lam, A, B = info["lambda"], info["A"], info["B"]
+        x = 2
+        expected = {
+            (x * pow(lam, A, 13)) % 13,
+            (x * pow(lam, B, 13)) % 13,
+            (x * pow(lam, (13 - 1) - A, 13)) % 13,
+            (x * pow(lam, (13 - 1) - B, 13)) % 13,
+        }
+        for y in range(1, 13):
+            if y == x:
+                continue
+            assert cycles_conflict(x, y, 13, fmap) == (y in expected)
+
+    def test_self_conflict(self):
+        assert cycles_conflict(3, 3, 5)
+
+
+class TestDisjointFamilies:
+    @pytest.mark.parametrize("d,n", [(2, 4), (3, 3), (4, 2), (4, 3), (5, 2), (7, 2), (8, 2), (9, 2), (13, 2)])
+    def test_prime_power_family_meets_psi(self, d, n):
+        family = disjoint_hamiltonian_cycles_prime_power(d, n)
+        assert isinstance(family, PrimePowerHCFamily)
+        cycles = family.as_list()
+        assert len(cycles) >= psi(d)
+        assert verify_pairwise_disjoint(cycles, d, n)
+
+    @pytest.mark.parametrize("d,n", [(6, 2), (10, 2), (12, 2), (6, 3), (15, 2)])
+    def test_composite_family_meets_psi(self, d, n):
+        cycles = disjoint_hamiltonian_cycles(d, n)
+        assert len(cycles) >= psi(d)
+        assert verify_pairwise_disjoint(cycles, d, n)
+
+    def test_powers_of_two_achieve_optimum(self):
+        for d, n in [(4, 2), (8, 2)]:
+            cycles = disjoint_hamiltonian_cycles(d, n)
+            assert len(cycles) == d - 1  # optimal
+
+    def test_strategy_two_adds_h0(self):
+        family = disjoint_hamiltonian_cycles_prime_power(13, 2)
+        assert family.strategy == 2
+        assert 0 in family.selected_shifts
+        assert len(family.selected_shifts) == (13 + 1) // 2
+
+    def test_strategy_three_family_size(self):
+        family = disjoint_hamiltonian_cycles_prime_power(5, 2)
+        assert family.strategy == 3
+        assert 0 not in family.selected_shifts
+        assert len(family.selected_shifts) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            disjoint_hamiltonian_cycles(1, 2)
+        with pytest.raises(InvalidParameterError):
+            disjoint_hamiltonian_cycles(4, 1)
+
+    def test_verify_pairwise_disjoint_detects_violations(self):
+        d, n = 4, 2
+        cycles = disjoint_hamiltonian_cycles(d, n)
+        assert not verify_pairwise_disjoint([cycles[0], cycles[0]], d, n)
+        assert not verify_pairwise_disjoint([cycles[0][:-1]], d, n)

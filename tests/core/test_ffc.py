@@ -1,0 +1,276 @@
+"""Tests for the FFC algorithm (Chapter 2) and its supporting structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FaultFreeCycleResult,
+    RingEmbedding,
+    build_bstar,
+    find_fault_free_cycle,
+    guaranteed_cycle_length,
+    necklaces_visited_in_order,
+    node_fault_cycle_bound,
+    worst_case_fault_placement,
+)
+from repro.core.necklace_graph import ModifiedTree, NecklaceAdjacencyGraph, SpanningTree
+from repro.exceptions import (
+    DisconnectedGraphError,
+    EmbeddingError,
+    FaultBudgetExceededError,
+    InvalidParameterError,
+)
+from repro.graphs import DeBruijnGraph
+from repro.words import necklace_of
+
+
+class TestGuarantees:
+    def test_no_fault_guarantee(self):
+        assert guaranteed_cycle_length(3, 4, 0) == 81
+
+    def test_prop_2_2_guarantee(self):
+        assert guaranteed_cycle_length(4, 6, 2) == 4096 - 12
+        assert guaranteed_cycle_length(3, 3, 1) == 24
+
+    def test_prop_2_3_binary_guarantee(self):
+        assert guaranteed_cycle_length(2, 10, 1) == 1024 - 11
+
+    def test_out_of_regime_raises(self):
+        with pytest.raises(FaultBudgetExceededError):
+            guaranteed_cycle_length(3, 3, 2)
+        with pytest.raises(FaultBudgetExceededError):
+            guaranteed_cycle_length(2, 5, 2)
+        with pytest.raises(InvalidParameterError):
+            guaranteed_cycle_length(3, 3, -1)
+
+
+class TestBStar:
+    def test_example_2_1_bstar(self):
+        bstar = build_bstar(3, 3, [(0, 2, 0), (1, 1, 2)])
+        assert bstar.size == 21
+        assert len(bstar.necklaces()) == 9
+        assert (0, 2, 0) not in bstar
+        assert (0, 0, 2) not in bstar  # same necklace as 020
+        assert (0, 0, 0) in bstar
+
+    def test_root_is_canonical_representative(self):
+        bstar = build_bstar(3, 3, [(0, 2, 0)])
+        root_neck = necklace_of(bstar.root, 3)
+        assert bstar.root == root_neck.representative
+
+    def test_root_hint_respected(self):
+        bstar = build_bstar(2, 5, [(1, 1, 1, 1, 1)], root_hint=(0, 0, 0, 0, 1))
+        assert bstar.root == (0, 0, 0, 0, 1)
+
+    def test_faulty_root_hint_falls_back(self):
+        bstar = build_bstar(2, 5, [(0, 0, 0, 0, 1)], root_hint=(0, 0, 0, 0, 1))
+        assert bstar.root != (0, 0, 0, 0, 1)
+        assert bstar.size > 0
+
+    def test_all_nodes_faulty_raises(self):
+        with pytest.raises(DisconnectedGraphError):
+            build_bstar(2, 2, [(0, 0), (0, 1), (1, 1)])
+
+    def test_n_must_be_at_least_two(self):
+        with pytest.raises(InvalidParameterError):
+            build_bstar(3, 1, [])
+
+    def test_bstar_is_union_of_whole_necklaces(self):
+        bstar = build_bstar(2, 6, [(0, 1, 1, 0, 1, 1)])
+        for node in bstar.nodes:
+            assert necklace_of(node, 2).node_set <= bstar.nodes
+
+
+class TestTreesOnExample21:
+    """Walk the paper's Example 2.1 through every intermediate structure."""
+
+    @pytest.fixture
+    def result(self):
+        return find_fault_free_cycle(3, 3, [(0, 2, 0), (1, 1, 2)], root_hint=(0, 0, 0))
+
+    def test_nstar_vertices(self, result):
+        reps = {nk.representative for nk in result.adjacency.necklaces}
+        assert reps == {
+            (0, 0, 0), (0, 0, 1), (0, 1, 1), (1, 1, 1), (0, 1, 2),
+            (1, 2, 2), (2, 2, 2), (0, 2, 1), (0, 2, 2),
+        }
+
+    def test_nstar_edges_match_figure_2_3(self, result):
+        adj = result.adjacency
+        nk = lambda w: necklace_of(w, 3)
+        # a few labelled adjacencies read off Figure 2.3
+        assert adj.has_edge(nk((0, 0, 0)), nk((0, 0, 1)), (0, 0))
+        assert adj.has_edge(nk((0, 0, 1)), nk((0, 1, 1)), (0, 1))
+        assert adj.has_edge(nk((0, 1, 1)), nk((1, 1, 1)), (1, 1))
+        assert adj.has_edge(nk((0, 1, 2)), nk((1, 2, 2)), (1, 2))
+        assert adj.has_edge(nk((1, 2, 2)), nk((2, 2, 2)), (2, 2))
+        assert adj.has_edge(nk((0, 0, 1)), nk((0, 2, 1)), (1, 0))
+        assert adj.has_edge(nk((0, 2, 1)), nk((0, 2, 2)), (0, 2))
+        assert not adj.has_edge(nk((0, 0, 0)), nk((1, 1, 1)), (1, 1))
+
+    def test_spanning_tree_is_valid(self, result):
+        result.spanning_tree.validate()
+        # 9 necklaces -> 8 tree edges
+        assert len(result.spanning_tree.parent) == 8
+
+    def test_stars_have_single_parent(self, result):
+        for label, members in result.spanning_tree.stars().items():
+            assert len(members) == len(set(members))
+            assert len(label) == 2
+
+    def test_modified_tree_is_valid(self, result):
+        result.modified_tree.validate()
+        # D has as many edges as T edges plus one closing edge per label group
+        tree_edges = len(result.spanning_tree.parent)
+        labels = len(result.spanning_tree.stars())
+        assert len(result.modified_tree.edges()) == tree_edges + labels
+
+    def test_cycle_matches_paper(self, result):
+        expected = [
+            (0, 0, 0), (0, 0, 1), (0, 1, 1), (1, 1, 1), (1, 1, 0), (1, 0, 1),
+            (0, 1, 2), (1, 2, 2), (2, 2, 2), (2, 2, 1), (2, 1, 2), (1, 2, 0),
+            (2, 0, 1), (0, 1, 0), (1, 0, 2), (0, 2, 2), (2, 2, 0), (2, 0, 2),
+            (0, 2, 1), (2, 1, 0), (1, 0, 0),
+        ]
+        assert list(result.cycle) == expected
+
+    def test_necklace_walk_is_closed(self, result):
+        walk = necklaces_visited_in_order(result)
+        assert len(walk) == 21
+        # the walk visits every surviving necklace at least once
+        assert set(walk) == set(result.adjacency.necklaces)
+
+
+class TestFFCCorrectness:
+    @pytest.mark.parametrize(
+        "d,n,faults",
+        [
+            (2, 4, []),
+            (2, 5, [(0, 1, 0, 1, 1)]),
+            (2, 6, [(1, 1, 1, 1, 1, 1)]),
+            (3, 3, [(0, 2, 0), (1, 1, 2)]),
+            (3, 4, [(0, 1, 2, 2)]),
+            (4, 3, [(0, 1, 2), (3, 3, 1)]),
+            (4, 4, [(0, 1, 2, 3), (3, 2, 1, 0)]),
+            (5, 3, [(0, 1, 2), (3, 4, 0), (2, 2, 4)]),
+        ],
+    )
+    def test_cycle_is_valid_and_spans_bstar(self, d, n, faults):
+        result = find_fault_free_cycle(d, n, faults)
+        assert isinstance(result, FaultFreeCycleResult)
+        result.embedding.validate()
+        assert result.length == result.bstar.size
+        assert result.embedding.dilation == 1
+        assert result.embedding.congestion == 1
+        # no faulty node appears on the cycle
+        assert not (set(result.cycle) & set(map(tuple, faults)))
+
+    def test_no_faults_gives_debruijn_hamiltonian_cycle(self):
+        for d, n in [(2, 5), (3, 3), (4, 2)]:
+            result = find_fault_free_cycle(d, n)
+            assert result.embedding.is_hamiltonian()
+            assert DeBruijnGraph(d, n).is_hamiltonian_cycle(result.cycle)
+
+    def test_prop_2_2_bound_met(self):
+        # f <= d-2 faults: cycle length >= d^n - nf
+        for d, n, f in [(3, 3, 1), (4, 3, 2), (4, 4, 2), (5, 3, 3), (6, 3, 4)]:
+            faults = worst_case_fault_placement(d, n, f)
+            result = find_fault_free_cycle(d, n, faults)
+            assert result.length >= node_fault_cycle_bound(d, n, f)
+            assert result.meets_guarantee()
+
+    def test_prop_2_2_bound_is_tight_on_worst_case_placement(self):
+        # the adversarial placement removes exactly nf nodes and the FFC cycle
+        # achieves exactly d^n - nf, so the bound is met with equality
+        for d, n, f in [(4, 3, 2), (5, 3, 3), (4, 4, 2)]:
+            faults = worst_case_fault_placement(d, n, f)
+            result = find_fault_free_cycle(d, n, faults)
+            assert result.length == d**n - n * f
+
+    def test_prop_2_3_binary_single_fault(self):
+        for n in range(4, 9):
+            for fault in [(0,) * n, (0, 1) * (n // 2) + (0,) * (n % 2), (1,) * n]:
+                result = find_fault_free_cycle(2, n, [fault])
+                assert result.length >= 2**n - (n + 1)
+
+    def test_strict_mode_rejects_excess_faults(self):
+        with pytest.raises(FaultBudgetExceededError):
+            find_fault_free_cycle(3, 3, [(0, 0, 1), (0, 1, 1), (1, 1, 1)], strict=True)
+
+    def test_non_strict_mode_handles_many_faults(self):
+        rng = np.random.default_rng(7)
+        faults = [tuple(rng.integers(0, 2, size=8)) for _ in range(20)]
+        result = find_fault_free_cycle(2, 8, faults)
+        result.embedding.validate()
+        assert result.length == result.bstar.size
+
+    def test_duplicate_faults_are_deduplicated(self):
+        result = find_fault_free_cycle(3, 3, [(0, 2, 0), (0, 2, 0), (2, 0, 0)])
+        assert result.length == 24
+
+    def test_rotated_embedding_preserves_validity(self):
+        result = find_fault_free_cycle(3, 3, [(0, 2, 0)])
+        other = result.embedding.rotated_to(result.cycle[5])
+        other.validate()
+        assert set(other.cycle) == set(result.cycle)
+
+
+class TestRingEmbeddingClass:
+    def test_invalid_cycle_detected(self):
+        emb = RingEmbedding(2, 3, ((0, 0, 1), (1, 1, 1)))
+        assert not emb.is_valid()
+        with pytest.raises(EmbeddingError):
+            emb.validate()
+
+    def test_fault_hit_detected(self):
+        cycle = ((0, 0, 1), (0, 1, 0), (1, 0, 0))
+        emb = RingEmbedding(2, 3, cycle, faulty_nodes=frozenset({(0, 1, 0)}))
+        assert not emb.is_valid()
+
+    def test_faulty_edge_hit_detected(self):
+        cycle = ((0, 0, 1), (0, 1, 0), (1, 0, 0))
+        emb = RingEmbedding(2, 3, cycle, faulty_edges=frozenset({((0, 0, 1), (0, 1, 0))}))
+        assert not emb.is_valid()
+
+    def test_avoids_helper(self):
+        cycle = ((0, 0, 1), (0, 1, 0), (1, 0, 0))
+        emb = RingEmbedding(2, 3, cycle)
+        assert emb.avoids(nodes=[(1, 1, 1)])
+        assert not emb.avoids(nodes=[(0, 1, 0)])
+        assert not emb.avoids(edges=[((1, 0, 0), (0, 0, 1))])
+
+    def test_as_sequence(self):
+        cycle = ((0, 0, 1), (0, 1, 0), (1, 0, 0))
+        assert RingEmbedding(2, 3, cycle).as_sequence() == [0, 0, 1]
+
+    def test_rotate_to_unknown_node_rejected(self):
+        emb = RingEmbedding(2, 3, ((0, 0, 1), (0, 1, 0), (1, 0, 0)))
+        with pytest.raises(InvalidParameterError):
+            emb.rotated_to((1, 1, 1))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(2, 4),
+    st.integers(3, 5),
+    st.data(),
+)
+def test_ffc_random_faults_property(d, n, data):
+    """Property: for random fault sets the FFC output is always a valid simple
+    cycle covering exactly the surviving component and avoiding every fault."""
+    num_faults = data.draw(st.integers(0, 4))
+    faults = [
+        tuple(data.draw(st.integers(0, d - 1)) for _ in range(n)) for _ in range(num_faults)
+    ]
+    try:
+        result = find_fault_free_cycle(d, n, faults)
+    except DisconnectedGraphError:
+        return
+    result.embedding.validate()
+    assert result.length == result.bstar.size
+    assert not (set(result.cycle) & set(faults))
+    # spanning tree and modified tree satisfy their structural invariants
+    result.spanning_tree.validate()
+    result.modified_tree.validate()

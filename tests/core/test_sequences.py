@@ -1,0 +1,145 @@
+"""Tests for repro.core.sequences (Section 3.1 representation + Rees composition)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    de_bruijn_sequence,
+    decompose_rees_edge,
+    edges_of_sequence,
+    is_cycle_sequence,
+    is_hamiltonian_sequence,
+    nodes_of_sequence,
+    rees_composition,
+    sequence_of_cycle,
+    sequences_edge_disjoint,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graphs import DeBruijnGraph
+
+
+class TestWindows:
+    def test_paper_5_cycle_example(self):
+        # [0,1,2,1,2] denotes the 5-cycle (012, 121, 212, 120, 201) in B(3,3)
+        nodes = nodes_of_sequence([0, 1, 2, 1, 2], 3)
+        assert nodes == [(0, 1, 2), (1, 2, 1), (2, 1, 2), (1, 2, 0), (2, 0, 1)]
+        assert is_cycle_sequence([0, 1, 2, 1, 2], 3, 3)
+
+    def test_edges_are_nplus1_windows(self):
+        edges = edges_of_sequence([0, 1, 2, 1, 2], 3)
+        assert edges[0] == (0, 1, 2, 1)
+        assert len(edges) == 5
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            nodes_of_sequence([], 3)
+
+    def test_sequence_of_cycle_roundtrip(self):
+        seq = [0, 1, 2, 1, 2]
+        assert sequence_of_cycle(nodes_of_sequence(seq, 3)) == seq
+
+    def test_sequence_of_cycle_rejects_non_cycle(self):
+        with pytest.raises(InvalidParameterError):
+            sequence_of_cycle([(0, 1, 2), (2, 1, 0)])
+
+    def test_sequence_of_loop_node(self):
+        assert sequence_of_cycle([(1, 1, 1)]) == [1]
+
+    def test_is_cycle_rejects_repeated_window(self):
+        assert not is_cycle_sequence([0, 1, 0, 1], 2, 2)  # windows 01,10,01,10 repeat
+
+    def test_is_cycle_rejects_bad_digit(self):
+        assert not is_cycle_sequence([0, 1, 2], 2, 2)
+
+    def test_is_hamiltonian_requires_full_length(self):
+        assert is_hamiltonian_sequence([0, 0, 0, 1, 0, 1, 1, 1], 2, 3)
+        assert not is_hamiltonian_sequence([0, 0, 1, 1], 2, 3)
+
+    def test_edge_disjointness(self):
+        a = [0, 0, 1, 1]  # edges of a 4-cycle in B(2,2)
+        b = [0, 1]        # 2-cycle (01, 10)
+        assert sequences_edge_disjoint(a, b, 2)
+        assert not sequences_edge_disjoint(a, a, 2)
+
+
+class TestReesComposition:
+    def test_paper_example_3_5(self):
+        # A = [0,0,1,1] in B(2,2), B = [0,0,2,2,1,2,0,1,1] in B(3,2)
+        a = [0, 0, 1, 1]
+        b = [0, 0, 2, 2, 1, 2, 0, 1, 1]
+        expected = [0, 0, 5, 5, 1, 2, 3, 4, 1, 0, 3, 5, 2, 1, 5, 3, 1, 1,
+                    3, 3, 2, 2, 4, 5, 0, 1, 4, 3, 0, 2, 5, 4, 2, 0, 4, 4]
+        assert rees_composition(a, b, 2, 3, 2) == expected
+        assert is_hamiltonian_sequence(expected, 6, 2)
+
+    def test_requires_coprime(self):
+        a = de_bruijn_sequence(2, 2)
+        b = de_bruijn_sequence(4, 2)
+        with pytest.raises(InvalidParameterError):
+            rees_composition(a, b, 2, 4, 2)
+
+    def test_requires_hamiltonian_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            rees_composition([0, 1], de_bruijn_sequence(3, 2), 2, 3, 2)
+
+    @pytest.mark.parametrize("s,t,n", [(2, 3, 2), (2, 3, 3), (3, 4, 2), (2, 5, 2), (4, 3, 2)])
+    def test_composition_is_hamiltonian(self, s, t, n):
+        a = de_bruijn_sequence(s, n)
+        b = de_bruijn_sequence(t, n)
+        composed = rees_composition(a, b, s, t, n)
+        assert is_hamiltonian_sequence(composed, s * t, n)
+
+    def test_decompose_rees_edge(self):
+        a_edge, b_edge = decompose_rees_edge((5, 3, 1), 2, 3)
+        assert a_edge == (1, 1, 0)
+        assert b_edge == (2, 0, 1)
+
+    def test_decompose_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            decompose_rees_edge((6, 0), 2, 3)
+
+    def test_composed_edges_project_correctly(self):
+        s, t, n = 2, 3, 2
+        a = de_bruijn_sequence(s, n)
+        b = de_bruijn_sequence(t, n)
+        composed = rees_composition(a, b, s, t, n)
+        a_edges = set(edges_of_sequence(a, n))
+        b_edges = set(edges_of_sequence(b, n))
+        for edge in edges_of_sequence(composed, n):
+            ea, eb = decompose_rees_edge(edge, s, t)
+            assert ea in a_edges
+            assert eb in b_edges
+
+
+class TestDeBruijnSequence:
+    @pytest.mark.parametrize("d,n", [(2, 1), (2, 3), (2, 6), (3, 3), (4, 2), (5, 2), (6, 2), (3, 4)])
+    def test_fkm_sequence_is_hamiltonian(self, d, n):
+        seq = de_bruijn_sequence(d, n)
+        assert is_hamiltonian_sequence(seq, d, n)
+
+    def test_lexicographically_least_binary(self):
+        # the classical "grand-daddy" De Bruijn sequence for d=2, n=4
+        assert de_bruijn_sequence(2, 4) == [0, 0, 0, 0, 1, 0, 0, 1, 1, 0, 1, 0, 1, 1, 1, 1]
+
+    def test_nodes_form_debruijn_hamiltonian_cycle(self):
+        d, n = 3, 3
+        seq = de_bruijn_sequence(d, n)
+        cycle = nodes_of_sequence(seq, n)
+        assert DeBruijnGraph(d, n).is_hamiltonian_cycle(cycle)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            de_bruijn_sequence(1, 3)
+        with pytest.raises(InvalidParameterError):
+            de_bruijn_sequence(2, 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 4), st.integers(2, 4))
+def test_every_sequence_cycle_is_graph_cycle(d, n):
+    seq = de_bruijn_sequence(d, n)
+    cycle = nodes_of_sequence(seq, n)
+    g = DeBruijnGraph(d, n)
+    assert g.is_cycle(cycle)
+    assert sequence_of_cycle(cycle) == seq

@@ -1,0 +1,225 @@
+"""Unit and property tests for repro.gf.field (GF(p^e) arithmetic)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError, NotPrimePowerError
+from repro.gf import GF, ExtensionField, PrimeField
+
+FIELD_ORDERS = [2, 3, 4, 5, 7, 8, 9, 13, 16, 25, 27]
+
+
+@pytest.fixture(params=FIELD_ORDERS)
+def field(request):
+    return GF(request.param)
+
+
+class TestConstruction:
+    def test_factory_prime(self):
+        assert isinstance(GF(7), PrimeField)
+
+    def test_factory_extension(self):
+        assert isinstance(GF(8), ExtensionField)
+
+    def test_factory_rejects_non_prime_power(self):
+        with pytest.raises(NotPrimePowerError):
+            GF(6)
+        with pytest.raises(NotPrimePowerError):
+            GF(12)
+
+    def test_factory_is_cached(self):
+        assert GF(9) is GF(9)
+
+    def test_prime_field_rejects_modulus(self):
+        with pytest.raises(InvalidParameterError):
+            GF(5, modulus=(1, 1))
+
+    def test_extension_rejects_reducible_modulus(self):
+        # x^2 + 1 = (x+1)^2 over GF(2)
+        with pytest.raises(InvalidParameterError):
+            ExtensionField(2, 2, modulus=(1, 0, 1))
+
+    def test_extension_accepts_explicit_irreducible_modulus(self):
+        # x^2 + x + 1 is irreducible over GF(2)
+        f = ExtensionField(2, 2, modulus=(1, 1, 1))
+        assert f.order == 4
+
+    def test_attributes(self):
+        f = GF(27)
+        assert f.characteristic == 3
+        assert f.degree == 3
+        assert f.order == 27
+        assert list(f.elements) == list(range(27))
+
+
+class TestFieldAxioms:
+    def test_additive_group(self, field):
+        q = field.order
+        for a in range(q):
+            assert field.add(a, field.zero) == a
+            assert field.add(a, field.neg(a)) == field.zero
+        # commutativity / associativity on a sample
+        sample = list(range(min(q, 8)))
+        for a in sample:
+            for b in sample:
+                assert field.add(a, b) == field.add(b, a)
+                for c in sample:
+                    assert field.add(field.add(a, b), c) == field.add(a, field.add(b, c))
+
+    def test_multiplicative_group(self, field):
+        q = field.order
+        for a in range(1, q):
+            inv = field.inv(a)
+            assert field.mul(a, inv) == field.one
+            assert field.mul(a, field.one) == a
+        sample = list(range(1, min(q, 9)))
+        for a in sample:
+            for b in sample:
+                assert field.mul(a, b) == field.mul(b, a)
+
+    def test_distributivity(self, field):
+        q = field.order
+        sample = list(range(min(q, 7)))
+        for a in sample:
+            for b in sample:
+                for c in sample:
+                    lhs = field.mul(a, field.add(b, c))
+                    rhs = field.add(field.mul(a, b), field.mul(a, c))
+                    assert lhs == rhs
+
+    def test_no_zero_divisors(self, field):
+        q = field.order
+        for a in range(1, q):
+            for b in range(1, q):
+                assert field.mul(a, b) != field.zero
+
+    def test_division_by_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inv(field.zero)
+
+    def test_characteristic_additive_order(self, field):
+        p = field.characteristic
+        total = field.zero
+        for _ in range(p):
+            total = field.add(total, field.one)
+        assert total == field.zero
+
+    def test_frobenius_is_additive(self, field):
+        # (a + b)^p = a^p + b^p in characteristic p
+        p = field.characteristic
+        q = field.order
+        sample = list(range(min(q, 9)))
+        for a in sample:
+            for b in sample:
+                lhs = field.pow(field.add(a, b), p)
+                rhs = field.add(field.pow(a, p), field.pow(b, p))
+                assert lhs == rhs
+
+    def test_fermat_little_theorem(self, field):
+        q = field.order
+        for a in range(1, q):
+            assert field.pow(a, q - 1) == field.one
+
+    def test_out_of_range_rejected(self, field):
+        with pytest.raises(InvalidParameterError):
+            field.add(field.order, 0)
+        with pytest.raises(InvalidParameterError):
+            field.mul(0, -1)
+
+
+class TestHelperOperations:
+    def test_sub_div(self):
+        f = GF(7)
+        assert f.sub(3, 5) == 5
+        assert f.div(6, 2) == 3
+
+    def test_pow_negative_exponent(self):
+        f = GF(9)
+        for a in range(1, 9):
+            assert f.mul(f.pow(a, -1), a) == f.one
+            assert f.pow(a, -2) == f.inv(f.mul(a, a))
+
+    def test_sum_and_dot(self):
+        f = GF(5)
+        assert f.sum([1, 2, 3, 4]) == 0
+        assert f.dot([1, 2], [3, 4]) == (3 + 8) % 5
+
+    def test_generator_has_full_order(self, field):
+        g = field.generator()
+        assert field.multiplicative_order(g) == field.order - 1
+
+    def test_multiplicative_order_of_one(self, field):
+        assert field.multiplicative_order(field.one) == 1
+
+    def test_multiplicative_order_of_zero_raises(self, field):
+        with pytest.raises(InvalidParameterError):
+            field.multiplicative_order(field.zero)
+
+
+class TestExtensionEncoding:
+    def test_coeff_roundtrip_gf8(self):
+        f = GF(8)
+        for a in range(8):
+            assert f.from_coeffs(f.to_coeffs(a)) == a
+
+    def test_coeff_roundtrip_gf27(self):
+        f = GF(27)
+        for a in range(27):
+            coeffs = f.to_coeffs(a)
+            assert len(coeffs) == 3
+            assert all(0 <= c < 3 for c in coeffs)
+            assert f.from_coeffs(coeffs) == a
+
+    def test_addition_is_componentwise(self):
+        f = GF(9)
+        p = f.characteristic
+        for a in range(9):
+            for b in range(9):
+                ca, cb = f.to_coeffs(a), f.to_coeffs(b)
+                expected = f.from_coeffs((x + y) % p for x, y in zip(ca, cb))
+                assert f.add(a, b) == expected
+
+    def test_gf4_multiplication_table_from_paper(self):
+        # Example 3.2: GF(2^2) = {0, 1, z, z^2} with z^2 + z + 1 = 0, so
+        # 1 + z = z^2, z * z^2 = 1, z^3 = 1.  With modulus x^2+x+1 the element
+        # encodings are: 0->0, 1->1, z->2, z^2 = z+1 -> 3.
+        f = GF(4, modulus=(1, 1, 1))
+        z, z2 = 2, 3
+        assert f.add(1, z) == z2
+        assert f.add(1, z2) == z
+        assert f.add(z, z2) == 1
+        assert f.mul(z, z) == z2
+        assert f.mul(z, z2) == 1
+        assert f.pow(z, 3) == 1
+
+
+class TestEquality:
+    def test_fields_with_same_order_equal(self):
+        assert GF(8) == GF(8)
+        assert hash(GF(8)) == hash(GF(8))
+
+    def test_fields_with_different_order_not_equal(self):
+        assert GF(8) != GF(9)
+
+    def test_extension_with_different_modulus_not_equal(self):
+        # GF(4) with the standard modulus vs explicitly constructed one
+        default = GF(4)
+        other = ExtensionField(2, 2, modulus=(1, 1, 1))
+        assert default.modulus == (1, 1, 1)
+        assert default == other
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(FIELD_ORDERS), st.data())
+def test_random_triples_satisfy_ring_identities(q, data):
+    f = GF(q)
+    a = data.draw(st.integers(0, q - 1))
+    b = data.draw(st.integers(0, q - 1))
+    c = data.draw(st.integers(0, q - 1))
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+    assert f.add(a, b) == f.add(b, a)
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.sub(f.add(a, b), b) == a
+    if b != 0:
+        assert f.mul(f.div(a, b), b) == a

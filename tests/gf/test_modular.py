@@ -1,0 +1,249 @@
+"""Unit and property tests for repro.gf.modular."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError, NotPrimePowerError
+from repro.gf import (
+    as_prime_power,
+    divisors,
+    euler_phi,
+    is_prime,
+    is_prime_power,
+    is_primitive_root,
+    is_quadratic_residue,
+    legendre_symbol,
+    lemma_3_5_conditions,
+    mobius,
+    multiplicative_order,
+    prime_factorization,
+    prime_power_decomposition,
+    primitive_root,
+    primitive_roots,
+    two_as_odd_power,
+    two_as_odd_power_sum,
+)
+
+SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+ODD_PRIMES = [p for p in SMALL_PRIMES if p != 2]
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in SMALL_PRIMES:
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for n in [0, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 27, 33, 35, 39]:
+            assert not is_prime(n)
+
+    def test_larger_values(self):
+        assert is_prime(7919)
+        assert not is_prime(7917)
+
+
+class TestFactorization:
+    def test_example(self):
+        assert prime_factorization(360) == ((2, 3), (3, 2), (5, 1))
+
+    def test_prime(self):
+        assert prime_factorization(13) == ((13, 1),)
+
+    def test_one(self):
+        assert prime_factorization(1) == ()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            prime_factorization(0)
+
+    @given(st.integers(1, 10000))
+    def test_product_reconstructs(self, n):
+        prod = 1
+        for p, e in prime_factorization(n):
+            assert is_prime(p)
+            prod *= p**e
+        assert prod == n
+
+    def test_prime_power_decomposition(self):
+        assert prime_power_decomposition(360) == (8, 9, 5)
+        assert prime_power_decomposition(6) == (2, 3)
+        assert prime_power_decomposition(28) == (4, 7)
+
+    def test_is_prime_power(self):
+        for q in [2, 3, 4, 5, 7, 8, 9, 16, 25, 27, 32, 49]:
+            assert is_prime_power(q)
+        for n in [1, 6, 10, 12, 15, 24, 36]:
+            assert not is_prime_power(n)
+
+    def test_as_prime_power(self):
+        assert as_prime_power(8) == (2, 3)
+        assert as_prime_power(49) == (7, 2)
+        with pytest.raises(NotPrimePowerError):
+            as_prime_power(12)
+
+
+class TestArithmeticFunctions:
+    def test_divisors(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        assert divisors(13) == [1, 13]
+
+    @given(st.integers(1, 2000))
+    def test_divisors_actually_divide(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(set(ds))
+
+    def test_euler_phi_known(self):
+        known = {1: 1, 2: 1, 3: 2, 4: 2, 5: 4, 6: 2, 9: 6, 10: 4, 12: 4, 36: 12}
+        for n, phi in known.items():
+            assert euler_phi(n) == phi
+
+    @given(st.integers(1, 500))
+    def test_euler_phi_matches_bruteforce(self, n):
+        brute = sum(1 for k in range(1, n + 1) if math.gcd(k, n) == 1)
+        assert euler_phi(n) == brute
+
+    def test_mobius_known(self):
+        known = {1: 1, 2: -1, 3: -1, 4: 0, 5: -1, 6: 1, 12: 0, 30: -1, 35: 1}
+        for n, mu in known.items():
+            assert mobius(n) == mu
+
+    @given(st.integers(2, 300))
+    def test_mobius_sum_over_divisors_is_zero(self, n):
+        assert sum(mobius(d) for d in divisors(n)) == 0
+
+    @given(st.integers(1, 300))
+    def test_phi_equals_mobius_convolution(self, n):
+        # phi(n) = sum_{d|n} mu(d) * n/d
+        assert euler_phi(n) == sum(mobius(d) * (n // d) for d in divisors(n))
+
+
+class TestMultiplicativeGroup:
+    def test_multiplicative_order_known(self):
+        assert multiplicative_order(2, 7) == 3
+        assert multiplicative_order(3, 7) == 6
+        assert multiplicative_order(7, 13) == 12
+
+    def test_multiplicative_order_rejects_non_coprime(self):
+        with pytest.raises(InvalidParameterError):
+            multiplicative_order(6, 9)
+
+    @given(st.sampled_from(ODD_PRIMES), st.data())
+    def test_order_divides_group_order(self, p, data):
+        a = data.draw(st.integers(1, p - 1))
+        order = multiplicative_order(a, p)
+        assert (p - 1) % order == 0
+        assert pow(a, order, p) == 1
+
+    def test_primitive_root_known(self):
+        assert primitive_root(2) == 1
+        assert primitive_root(3) == 2
+        assert primitive_root(5) == 2
+        assert primitive_root(7) == 3
+        assert primitive_root(13) == 2
+
+    def test_primitive_root_rejects_composite(self):
+        with pytest.raises(InvalidParameterError):
+            primitive_root(8)
+
+    def test_7_is_primitive_root_of_13(self):
+        # the paper's Example 3.3 uses lambda = 7 for Z_13
+        assert is_primitive_root(7, 13)
+
+    def test_primitive_roots_count(self):
+        # number of primitive roots of p is phi(p-1)
+        for p in ODD_PRIMES:
+            assert len(primitive_roots(p)) == euler_phi(p - 1)
+
+    @given(st.sampled_from(ODD_PRIMES))
+    def test_primitive_root_generates_group(self, p):
+        g = primitive_root(p)
+        generated = {pow(g, k, p) for k in range(p - 1)}
+        assert generated == set(range(1, p))
+
+
+class TestQuadraticCharacter:
+    def test_legendre_of_zero(self):
+        assert legendre_symbol(0, 7) == 0
+        assert legendre_symbol(14, 7) == 0
+
+    def test_legendre_rejects_two(self):
+        with pytest.raises(InvalidParameterError):
+            legendre_symbol(3, 2)
+
+    @given(st.sampled_from(ODD_PRIMES), st.data())
+    def test_legendre_matches_bruteforce(self, p, data):
+        a = data.draw(st.integers(1, p - 1))
+        squares = {(x * x) % p for x in range(1, p)}
+        expected = 1 if a in squares else -1
+        assert legendre_symbol(a, p) == expected
+        assert is_quadratic_residue(a, p) == (expected == 1)
+
+    def test_two_is_nonresidue_iff_pm3_mod_8(self):
+        # [Ros84, Theorem 9.4] as cited in the paper's Lemma 3.5 discussion
+        for p in ODD_PRIMES:
+            expected = p % 8 in (3, 5)
+            assert (not is_quadratic_residue(2, p)) == expected
+
+
+class TestLemma35:
+    def test_paper_example_z13(self):
+        # "when p is 13 both (a) and (b) are satisfied since 7 is a primitive
+        #  root of Z13, and 2 = 7^11 = 7 + 7^9 (mod 13)"
+        conds = lemma_3_5_conditions(13)
+        assert conds["a"] and conds["b"]
+        a_exp = two_as_odd_power(13, root=7)
+        assert a_exp is not None and a_exp % 2 == 1
+        pair = two_as_odd_power_sum(13, root=7)
+        assert pair is not None
+        A, B = pair
+        assert A % 2 == 1 and B % 2 == 1
+        assert (pow(7, A, 13) + pow(7, B, 13)) % 13 == 2
+
+    def test_paper_example_z5(self):
+        # "in Z5 only (a) is satisfied"
+        conds = lemma_3_5_conditions(5)
+        assert conds["a"] and not conds["b"]
+
+    def test_lemma_3_5_holds_for_all_small_odd_primes(self):
+        # Lemma 3.5: at least one of (a), (b) holds for every odd prime
+        for p in [3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]:
+            conds = lemma_3_5_conditions(p)
+            assert conds["a"] or conds["b"], p
+
+    def test_condition_b_holds_for_pm1_mod_8(self):
+        # sufficient condition stated in the paper
+        for p in [7, 17, 23, 31, 41, 47]:
+            assert p % 8 in (1, 7)
+            assert lemma_3_5_conditions(p)["b"], p
+
+    def test_two_as_odd_power_verifies(self):
+        for p in [3, 5, 11, 13, 19, 29, 37]:
+            exp = two_as_odd_power(p)
+            if exp is not None:
+                lam = primitive_root(p)
+                assert exp % 2 == 1
+                assert pow(lam, exp, p) == 2
+
+    def test_two_as_odd_power_sum_verifies(self):
+        for p in [7, 13, 17, 23, 29, 31, 37, 41]:
+            pair = two_as_odd_power_sum(p)
+            if pair is not None:
+                lam = primitive_root(p)
+                A, B = pair
+                assert A % 2 == 1 and B % 2 == 1
+                assert (pow(lam, A, p) + pow(lam, B, p)) % p == 2
+
+    def test_rejects_p_equal_two(self):
+        with pytest.raises(InvalidParameterError):
+            two_as_odd_power(2)
+        with pytest.raises(InvalidParameterError):
+            two_as_odd_power_sum(2)
+
+    def test_rejects_non_primitive_root(self):
+        with pytest.raises(InvalidParameterError):
+            two_as_odd_power(13, root=4)

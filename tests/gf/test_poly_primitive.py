@@ -1,0 +1,268 @@
+"""Unit and property tests for repro.gf.poly and repro.gf.primitive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError, NoPrimitivePolynomialError
+from repro.gf import (
+    GF,
+    Poly,
+    euler_phi,
+    find_irreducible,
+    find_primitive_polynomial,
+    is_irreducible,
+    is_primitive,
+    polynomial_order,
+    primitive_polynomial_coefficients,
+)
+
+
+def poly_from_ints(field, coeffs):
+    return Poly(field, [c % field.order for c in coeffs])
+
+
+class TestPolyBasics:
+    def test_trailing_zeros_stripped(self):
+        f = GF(5)
+        p = Poly(f, (1, 2, 0, 0))
+        assert p.coeffs == (1, 2)
+        assert p.degree == 1
+
+    def test_zero_polynomial(self):
+        f = GF(3)
+        z = Poly.zero(f)
+        assert z.is_zero
+        assert z.degree == -1
+
+    def test_monomial_and_x(self):
+        f = GF(3)
+        assert Poly.x(f).coeffs == (0, 1)
+        assert Poly.monomial(f, 3).coeffs == (0, 0, 0, 1)
+        assert Poly.monomial(f, 2, 2).coeffs == (0, 0, 2)
+
+    def test_invalid_coefficient_rejected(self):
+        f = GF(3)
+        with pytest.raises(InvalidParameterError):
+            Poly(f, (3,))
+
+    def test_immutability(self):
+        f = GF(3)
+        p = Poly.one(f)
+        with pytest.raises(AttributeError):
+            p.coeffs = (2,)
+
+    def test_getitem_beyond_degree(self):
+        f = GF(3)
+        p = Poly(f, (1, 2))
+        assert p[5] == 0
+
+    def test_characteristic_roundtrip(self):
+        f = GF(5)
+        rec = (3, 0, 2)
+        p = Poly.from_characteristic(f, rec)
+        assert p.degree == 3
+        assert p.is_monic
+        assert p.recurrence_coefficients() == rec
+
+    def test_recurrence_coefficients_requires_monic(self):
+        f = GF(5)
+        with pytest.raises(InvalidParameterError):
+            Poly(f, (1, 2)).scale(2).recurrence_coefficients()
+
+
+class TestPolyArithmetic:
+    def test_add_sub(self):
+        f = GF(5)
+        a = Poly(f, (1, 2, 3))
+        b = Poly(f, (4, 3, 2))
+        assert (a + b).coeffs == ()  # (5,5,5) -> zero polynomial
+        assert (a - a).is_zero
+
+    def test_mul_known(self):
+        f = GF(2)
+        # (x+1)^2 = x^2 + 1 over GF(2)
+        a = Poly(f, (1, 1))
+        assert (a * a).coeffs == (1, 0, 1)
+
+    def test_divmod_reconstructs(self):
+        f = GF(7)
+        a = Poly(f, (3, 1, 4, 1, 5))
+        b = Poly(f, (2, 0, 1))
+        q, r = a.divmod(b)
+        assert q * b + r == a
+        assert r.degree < b.degree
+
+    def test_division_by_zero(self):
+        f = GF(3)
+        with pytest.raises(ZeroDivisionError):
+            Poly.one(f).divmod(Poly.zero(f))
+
+    def test_gcd_known(self):
+        f = GF(2)
+        # gcd(x^2+1, x+1) = x+1 over GF(2) since x^2+1=(x+1)^2
+        a = Poly(f, (1, 0, 1))
+        b = Poly(f, (1, 1))
+        assert a.gcd(b) == b
+
+    def test_gcd_coprime(self):
+        f = GF(3)
+        a = Poly(f, (1, 0, 1))  # x^2+1, irreducible over GF(3)
+        b = Poly(f, (1, 1))
+        assert a.gcd(b).degree == 0
+
+    def test_pow_mod(self):
+        f = GF(5)
+        modulus = Poly(f, (2, 1, 1))
+        x = Poly.x(f)
+        manual = Poly.one(f)
+        for _ in range(13):
+            manual = (manual * x) % modulus
+        assert x.pow_mod(13, modulus) == manual
+
+    def test_evaluate(self):
+        f = GF(7)
+        p = Poly(f, (1, 2, 3))  # 1 + 2x + 3x^2
+        for x in range(7):
+            assert p.evaluate(x) == (1 + 2 * x + 3 * x * x) % 7
+
+    def test_evaluate_extension_field(self):
+        f = GF(4)
+        p = Poly(f, (1, 1))  # x + 1
+        for x in range(4):
+            assert p.evaluate(x) == f.add(x, 1)
+
+    def test_derivative(self):
+        f = GF(3)
+        p = Poly(f, (1, 2, 1, 1))  # 1 + 2x + x^2 + x^3
+        # derivative: 2 + 2x + 3x^2 = 2 + 2x over GF(3)
+        assert p.derivative().coeffs == (2, 2)
+
+    def test_mixed_fields_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Poly.one(GF(3)) + Poly.one(GF(5))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from([2, 3, 5, 4, 9]), st.data())
+    def test_ring_axioms_random(self, q, data):
+        f = GF(q)
+        coeffs = st.lists(st.integers(0, q - 1), min_size=0, max_size=5)
+        a = Poly(f, data.draw(coeffs))
+        b = Poly(f, data.draw(coeffs))
+        c = Poly(f, data.draw(coeffs))
+        assert a + b == b + a
+        assert a * b == b * a
+        assert a * (b + c) == a * b + a * c
+        if not b.is_zero:
+            q_, r_ = a.divmod(b)
+            assert q_ * b + r_ == a
+
+
+class TestIrreducibility:
+    def test_known_irreducible_gf2(self):
+        f = GF(2)
+        assert is_irreducible(Poly(f, (1, 1, 1)))      # x^2+x+1
+        assert is_irreducible(Poly(f, (1, 1, 0, 1)))   # x^3+x+1
+        assert not is_irreducible(Poly(f, (1, 0, 1)))  # x^2+1=(x+1)^2
+
+    def test_known_irreducible_gf3(self):
+        f = GF(3)
+        assert is_irreducible(Poly(f, (1, 0, 1)))       # x^2+1
+        assert not is_irreducible(Poly(f, (2, 0, 1)))   # x^2+2 = x^2-1
+
+    def test_degree_one_always_irreducible(self):
+        f = GF(5)
+        for a in range(5):
+            assert is_irreducible(Poly(f, (a, 1)))
+
+    def test_constants_not_irreducible(self):
+        f = GF(5)
+        assert not is_irreducible(Poly.one(f))
+        assert not is_irreducible(Poly.zero(f))
+
+    def test_find_irreducible_has_right_degree(self):
+        for q in [2, 3, 4, 5, 9]:
+            for deg in [1, 2, 3]:
+                p = find_irreducible(GF(q), deg)
+                assert p.degree == deg
+                assert is_irreducible(p)
+
+    def test_irreducible_count_gf2_degree4(self):
+        # there are exactly 3 monic irreducible polynomials of degree 4 over GF(2)
+        f = GF(2)
+        count = 0
+        for v in range(16):
+            coeffs = [(v >> i) & 1 for i in range(4)] + [1]
+            if is_irreducible(Poly(f, coeffs)):
+                count += 1
+        assert count == 3
+
+
+class TestPrimitivity:
+    def test_paper_example_3_1(self):
+        # p(x) = x^2 - x - 3 is primitive over GF(5)
+        f = GF(5)
+        p = Poly.from_characteristic(f, (3, 1))  # x^2 - 1x - 3
+        assert is_primitive(p)
+        assert polynomial_order(p) == 24
+
+    def test_paper_example_3_2(self):
+        # x^2 - x - z is primitive over GF(4) where z is a generator
+        f = GF(4, modulus=(1, 1, 1))
+        z = 2
+        p = Poly.from_characteristic(f, (z, 1))
+        assert is_primitive(p)
+        assert polynomial_order(p) == 15
+
+    def test_x3_x_1_primitive_gf2(self):
+        # Example 3.6 uses c_{i+3} = c_{i+2} + c_i, i.e. x^3 - x^2 - 1
+        f = GF(2)
+        p = Poly.from_characteristic(f, (1, 0, 1))
+        assert is_primitive(p)
+
+    def test_irreducible_but_not_primitive(self):
+        # x^2 + 1 over GF(3) is irreducible with order 4 != 8
+        f = GF(3)
+        p = Poly(f, (1, 0, 1))
+        assert is_irreducible(p)
+        assert polynomial_order(p) == 4
+        assert not is_primitive(p)
+
+    def test_polynomial_order_divides_group_order(self):
+        for q, deg in [(2, 3), (2, 4), (3, 2), (5, 2), (4, 2)]:
+            field = GF(q)
+            p = find_irreducible(field, deg)
+            order = polynomial_order(p)
+            assert (q**deg - 1) % order == 0
+
+    def test_polynomial_order_rejects_x_divisible(self):
+        f = GF(3)
+        with pytest.raises(InvalidParameterError):
+            polynomial_order(Poly(f, (0, 1, 1)))
+
+    def test_find_primitive_polynomial(self):
+        for q, deg, period in [(2, 3, 7), (2, 4, 15), (3, 2, 8), (5, 2, 24), (4, 2, 15)]:
+            p = find_primitive_polynomial(GF(q), deg)
+            assert p.degree == deg
+            assert is_primitive(p)
+            assert polynomial_order(p) == period
+
+    def test_primitive_polynomial_count_gf2_degree4(self):
+        # phi(15)/4 = 2 primitive polynomials of degree 4 over GF(2)
+        f = GF(2)
+        count = 0
+        for v in range(16):
+            coeffs = [(v >> i) & 1 for i in range(4)] + [1]
+            if is_primitive(Poly(f, coeffs)):
+                count += 1
+        assert count == euler_phi(15) // 4
+
+    def test_primitive_polynomial_coefficients_cached_wrapper(self):
+        coeffs = primitive_polynomial_coefficients(5, 2)
+        assert len(coeffs) == 2
+        f = GF(5)
+        assert is_primitive(Poly.from_characteristic(f, coeffs))
+
+    def test_find_primitive_rejects_bad_degree(self):
+        with pytest.raises(InvalidParameterError):
+            find_primitive_polynomial(GF(3), 0)

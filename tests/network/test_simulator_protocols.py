@@ -1,0 +1,266 @@
+"""Tests for the message-passing simulator and the Section 2.4 protocols."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import disjoint_hamiltonian_cycles, find_fault_free_cycle, nodes_of_sequence
+from repro.exceptions import InvalidParameterError, SimulationError
+from repro.network import (
+    BroadcastProgram,
+    Message,
+    NodeContext,
+    NodeProgram,
+    SynchronousDeBruijnNetwork,
+    all_to_all_cost_model,
+    run_broadcast,
+    run_distributed_ffc,
+    run_necklace_probe,
+    sample_edge_faults,
+    sample_node_faults,
+    simulate_all_to_all,
+)
+from repro.words import necklace_of
+import numpy as np
+
+
+class EchoProgram(NodeProgram):
+    """Toy program: everyone sends one ping to every successor, then halts."""
+
+    def on_start(self, ctx):
+        ctx.state["received"] = 0
+        ctx.send_to_all_successors("ping")
+
+    def on_round(self, ctx, messages):
+        ctx.state["received"] += len(messages)
+        ctx.halt()
+
+    def result(self, ctx):
+        return ctx.state["received"]
+
+
+class TestSimulator:
+    def test_echo_counts_indegree(self):
+        net = SynchronousDeBruijnNetwork(3, 2)
+        result = net.run(lambda node: EchoProgram())
+        assert result.halted
+        # every node receives one ping per live predecessor (indegree 3)
+        assert all(count == 3 for count in result.node_results.values())
+        assert result.messages_delivered == 27
+
+    def test_faulty_nodes_do_not_participate(self):
+        net = SynchronousDeBruijnNetwork(3, 2, faulty_nodes=[(0, 0)])
+        result = net.run(lambda node: EchoProgram())
+        assert (0, 0) not in result.node_results
+        # messages addressed to the faulty node are dropped
+        assert result.messages_dropped > 0
+
+    def test_faulty_edges_drop_messages(self):
+        net = SynchronousDeBruijnNetwork(2, 3, faulty_edges=[(((0, 0, 0)), ((0, 0, 1)))])
+        result = net.run(lambda node: EchoProgram())
+        assert result.node_results[(0, 0, 1)] == 1  # one of its two in-edges is dead
+
+    def test_invalid_faulty_edge_rejected(self):
+        with pytest.raises(SimulationError):
+            SynchronousDeBruijnNetwork(2, 3, faulty_edges=[(((0, 0, 0)), ((1, 1, 1)))])
+
+    def test_send_to_non_neighbor_rejected(self):
+        class Bad(NodeProgram):
+            def on_start(self, ctx):
+                ctx.send((1, 1, 1), "x")
+
+            def on_round(self, ctx, messages):
+                ctx.halt()
+
+        net = SynchronousDeBruijnNetwork(2, 3)
+        with pytest.raises(SimulationError):
+            net.run(lambda node: Bad())
+
+    def test_double_send_on_one_link_rejected(self):
+        class Bad(NodeProgram):
+            def on_start(self, ctx):
+                ctx.send(ctx.successors[0], "x")
+                ctx.send(ctx.successors[0], "y")
+
+            def on_round(self, ctx, messages):
+                ctx.halt()
+
+        net = SynchronousDeBruijnNetwork(2, 3)
+        with pytest.raises(SimulationError):
+            net.run(lambda node: Bad())
+
+    def test_nonterminating_program_detected(self):
+        class Chatter(NodeProgram):
+            def on_round(self, ctx, messages):
+                ctx.send_to_all_successors("again")
+
+        net = SynchronousDeBruijnNetwork(2, 2)
+        with pytest.raises(SimulationError):
+            net.run(lambda node: Chatter(), max_rounds=20)
+
+    def test_participants_restriction(self):
+        net = SynchronousDeBruijnNetwork(2, 3)
+        result = net.run(lambda node: EchoProgram(), participants=[(0, 0, 0), (0, 0, 1)])
+        assert set(result.node_results) == {(0, 0, 0), (0, 0, 1)}
+
+
+class TestNecklaceProbe:
+    def test_no_faults_all_healthy(self):
+        net = SynchronousDeBruijnNetwork(3, 3)
+        result, healthy = run_necklace_probe(net)
+        assert len(healthy) == 27
+        assert result.rounds <= 3 + 1
+
+    def test_faulty_necklaces_detected(self):
+        net = SynchronousDeBruijnNetwork(3, 3, faulty_nodes=[(0, 2, 0), (1, 1, 2)])
+        _, healthy = run_necklace_probe(net)
+        assert len(healthy) == 21
+        assert (2, 0, 0) not in healthy  # same necklace as the faulty 020
+        assert (0, 0, 0) in healthy
+
+    def test_members_collected_in_order(self):
+        net = SynchronousDeBruijnNetwork(2, 4)
+        result, _ = run_necklace_probe(net)
+        info = result.node_results[(0, 0, 1, 1)]
+        assert set(info["members"]) == necklace_of((0, 0, 1, 1), 2).node_set
+
+    def test_loop_necklace_healthy(self):
+        net = SynchronousDeBruijnNetwork(2, 3)
+        result, healthy = run_necklace_probe(net)
+        assert (1, 1, 1) in healthy
+
+
+class TestBroadcast:
+    def test_levels_equal_bfs_distance(self):
+        net = SynchronousDeBruijnNetwork(2, 4)
+        root = (0, 0, 0, 1)
+        _, info = run_broadcast(net, root, net.graph.nodes())
+        assert info[root]["level"] == 0
+        assert max(i["level"] for i in info.values()) == 4  # diameter of B(2,4)
+        # parent of each non-root node is a predecessor one level closer
+        for node, data in info.items():
+            if node == root:
+                continue
+            parent = data["parent"]
+            assert parent in net.graph.predecessors(node)
+            assert info[parent]["level"] == data["level"] - 1
+
+    def test_root_must_participate(self):
+        net = SynchronousDeBruijnNetwork(2, 3)
+        with pytest.raises(SimulationError):
+            run_broadcast(net, (0, 0, 1), [(0, 0, 0)])
+
+    def test_unreachable_nodes_have_no_level(self):
+        # removing necklace of 0101... disconnects nothing in B(2,4)? use faults
+        net = SynchronousDeBruijnNetwork(2, 2, faulty_nodes=[(0, 1)])
+        participants = [w for w in net.graph.nodes() if w not in {(0, 1), (1, 0)}]
+        _, info = run_broadcast(net, (0, 0), participants)
+        assert info[(0, 0)]["level"] == 0
+        assert info[(1, 1)]["level"] is None  # cut off once the 01/10 necklace is gone
+
+
+class TestDistributedFFC:
+    @pytest.mark.parametrize(
+        "d,n,faults",
+        [
+            (3, 3, [(0, 2, 0), (1, 1, 2)]),
+            (2, 5, [(0, 1, 0, 1, 1)]),
+            (2, 6, []),
+            (4, 3, [(0, 1, 2), (3, 3, 1)]),
+            (3, 4, [(0, 1, 2, 2)]),
+            (5, 2, [(0, 1)]),
+        ],
+    )
+    def test_matches_centralized_algorithm(self, d, n, faults):
+        dres = run_distributed_ffc(d, n, faults)
+        cres = find_fault_free_cycle(d, n, faults)
+        assert list(dres.cycle) == list(cres.cycle)
+
+    def test_step_counts_are_o_k_plus_n(self):
+        d, n = 2, 7
+        dres = run_distributed_ffc(d, n, [(0, 0, 1, 1, 0, 1, 1)])
+        assert dres.probe_rounds == n
+        assert dres.broadcast_steps <= 2 * n
+        assert dres.coordination_rounds <= 2 * n + 1
+        assert dres.total_steps <= 5 * n + 1
+
+    def test_example_2_1_cycle(self):
+        dres = run_distributed_ffc(3, 3, [(0, 2, 0), (1, 1, 2)], root_hint=(0, 0, 0))
+        assert len(dres.cycle) == 21
+        assert dres.cycle[0] == (0, 0, 0)
+        assert dres.cycle[1] == (0, 0, 1)
+
+    def test_messages_are_counted(self):
+        dres = run_distributed_ffc(2, 4, [])
+        assert dres.messages_delivered > 0
+
+
+class TestAllToAll:
+    def test_single_ring_completes(self):
+        ring = nodes_of_sequence(disjoint_hamiltonian_cycles(4, 2)[0], 2)
+        stats = simulate_all_to_all([ring])
+        assert stats.complete
+        assert stats.steps == len(ring) - 1
+        assert stats.per_link_payload == len(ring) - 1
+
+    def test_multiple_rings_split_traffic(self):
+        cycles = disjoint_hamiltonian_cycles(4, 2)
+        rings = [nodes_of_sequence(c, 2) for c in cycles]
+        stats = simulate_all_to_all(rings)
+        assert stats.complete
+        assert stats.rings == 3
+        # same number of fragments per link, but each fragment is 1/3 size:
+        # full-message units per link drop by a factor of `rings`
+        assert stats.per_link_payload / stats.rings < simulate_all_to_all(rings[:1]).per_link_payload
+
+    def test_mismatched_rings_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            simulate_all_to_all([[(0, 1), (1, 0)], [(0, 1), (1, 1)]])
+        with pytest.raises(InvalidParameterError):
+            simulate_all_to_all([])
+
+    def test_cost_model_speedup(self):
+        slow = all_to_all_cost_model(64, 1024, 1, alpha=1, beta=0.01)
+        fast = all_to_all_cost_model(64, 1024, 3, alpha=1, beta=0.01)
+        assert fast < slow
+        with pytest.raises(InvalidParameterError):
+            all_to_all_cost_model(1, 10, 1)
+
+
+class TestFaultSampling:
+    def test_node_fault_sampling_deterministic(self):
+        rng1 = np.random.default_rng(42)
+        rng2 = np.random.default_rng(42)
+        assert sample_node_faults(2, 10, 5, rng1) == sample_node_faults(2, 10, 5, rng2)
+
+    def test_node_fault_sampling_distinct_and_valid(self):
+        faults = sample_node_faults(4, 5, 50, np.random.default_rng(1))
+        assert len(set(faults)) == 50
+        assert all(len(w) == 5 and all(0 <= x < 4 for x in w) for w in faults)
+
+    def test_node_fault_exclusion(self):
+        faults = sample_node_faults(2, 4, 10, np.random.default_rng(3), exclude=((0, 0, 0, 1),))
+        assert (0, 0, 0, 1) not in faults
+
+    def test_too_many_faults_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sample_node_faults(2, 3, 9)
+
+    def test_edge_fault_sampling(self):
+        faults = sample_edge_faults(3, 3, 10, np.random.default_rng(0))
+        assert len(set(faults)) == 10
+        for label in faults:
+            assert len(label) == 4
+            assert len(set(label)) > 1  # no loop edges by default
+
+
+class TestMessageAndContext:
+    def test_message_repr(self):
+        msg = Message((0, 1), (1, 0), "tag", None, 3)
+        assert "01" in repr(msg) and "10" in repr(msg)
+
+    def test_context_halt_flag(self):
+        ctx = NodeContext((0, 1), 2, 2, ((1, 0), (1, 1)), ((0, 0), (1, 0)))
+        assert not ctx.halted
+        ctx.halt()
+        assert ctx.halted

@@ -1,0 +1,148 @@
+"""Unit and property tests for repro.words.alphabet."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import AlphabetError, InvalidParameterError
+from repro.words import (
+    all_words,
+    alternating_word,
+    constant_word,
+    int_to_word,
+    iter_words,
+    letter_count,
+    random_word,
+    validate_alphabet,
+    validate_word,
+    weight,
+    word_to_int,
+    words_as_array,
+)
+
+
+class TestValidation:
+    def test_validate_alphabet_accepts_small_sizes(self):
+        assert validate_alphabet(2) == 2
+        assert validate_alphabet(13) == 13
+
+    def test_validate_alphabet_rejects_one(self):
+        with pytest.raises(InvalidParameterError):
+            validate_alphabet(1)
+
+    def test_validate_alphabet_rejects_bool(self):
+        with pytest.raises(InvalidParameterError):
+            validate_alphabet(True)
+
+    def test_validate_alphabet_rejects_non_int(self):
+        with pytest.raises(InvalidParameterError):
+            validate_alphabet(2.5)
+
+    def test_validate_word_accepts_valid(self):
+        assert validate_word([1, 1, 2, 0], 3) == (1, 1, 2, 0)
+
+    def test_validate_word_rejects_out_of_range_digit(self):
+        with pytest.raises(AlphabetError):
+            validate_word((0, 3), 3)
+
+    def test_validate_word_rejects_negative_digit(self):
+        with pytest.raises(AlphabetError):
+            validate_word((0, -1), 3)
+
+    def test_validate_word_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            validate_word((), 3)
+
+
+class TestEncoding:
+    def test_paper_example_1120(self):
+        # the node 1120 of B(3,4) used in Section 2.1
+        assert word_to_int((1, 1, 2, 0), 3) == 42
+        assert int_to_word(42, 3, 4) == (1, 1, 2, 0)
+
+    def test_zero_word(self):
+        assert word_to_int((0, 0, 0), 5) == 0
+        assert int_to_word(0, 5, 3) == (0, 0, 0)
+
+    def test_max_word(self):
+        assert word_to_int((4, 4, 4), 5) == 124
+        assert int_to_word(124, 5, 3) == (4, 4, 4)
+
+    def test_int_to_word_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            int_to_word(8, 2, 3)
+        with pytest.raises(InvalidParameterError):
+            int_to_word(-1, 2, 3)
+
+    @given(st.integers(2, 6), st.integers(1, 6), st.data())
+    def test_roundtrip_random(self, d, n, data):
+        value = data.draw(st.integers(0, d**n - 1))
+        assert word_to_int(int_to_word(value, d, n), d) == value
+
+    @given(st.integers(2, 6), st.integers(1, 6), st.data())
+    def test_roundtrip_word_side(self, d, n, data):
+        word = tuple(data.draw(st.integers(0, d - 1)) for _ in range(n))
+        assert int_to_word(word_to_int(word, d), d, n) == word
+
+
+class TestEnumeration:
+    def test_iter_words_count_and_order(self):
+        words = list(iter_words(2, 3))
+        assert len(words) == 8
+        assert words[0] == (0, 0, 0)
+        assert words[-1] == (1, 1, 1)
+        assert words == sorted(words)
+
+    def test_all_words_matches_iter(self):
+        assert all_words(3, 2) == list(iter_words(3, 2))
+
+    def test_iter_words_numeric_order(self):
+        for i, w in enumerate(iter_words(3, 3)):
+            assert word_to_int(w, 3) == i
+
+    def test_iter_words_rejects_bad_length(self):
+        with pytest.raises(InvalidParameterError):
+            list(iter_words(2, 0))
+
+    def test_words_as_array_matches_tuples(self):
+        arr = words_as_array(3, 3)
+        assert arr.shape == (27, 3)
+        for i, w in enumerate(iter_words(3, 3)):
+            assert tuple(int(x) for x in arr[i]) == w
+
+    def test_words_as_array_dtype_large_alphabet(self):
+        arr = words_as_array(300, 1)
+        assert arr.dtype == np.int64
+        assert arr.shape == (300, 1)
+
+
+class TestHelpers:
+    def test_weight_and_letter_count_paper_example(self):
+        # Section 2.1: x = 1120 -> wt=4, wt0=1, wt1=2, wt2=1
+        x = (1, 1, 2, 0)
+        assert weight(x) == 4
+        assert letter_count(x, 0) == 1
+        assert letter_count(x, 1) == 2
+        assert letter_count(x, 2) == 1
+
+    def test_constant_word(self):
+        assert constant_word(3, 4) == (3, 3, 3, 3)
+        with pytest.raises(InvalidParameterError):
+            constant_word(1, 0)
+
+    def test_alternating_word_even_odd(self):
+        assert alternating_word(1, 0, 4) == (1, 0, 1, 0)
+        assert alternating_word(1, 0, 5) == (1, 0, 1, 0, 1)
+
+    def test_random_word_respects_alphabet(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            w = random_word(4, 6, rng)
+            assert len(w) == 6
+            assert all(0 <= x < 4 for x in w)
+
+    def test_random_word_deterministic_with_seed(self):
+        a = random_word(4, 6, np.random.default_rng(123))
+        b = random_word(4, 6, np.random.default_rng(123))
+        assert a == b

@@ -1,0 +1,166 @@
+"""Unit and property tests for repro.words.necklaces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.words import (
+    Necklace,
+    all_necklaces,
+    all_words,
+    faulty_necklaces,
+    iter_necklace_representatives,
+    min_rotation,
+    necklace_lengths_histogram,
+    necklace_of,
+    necklace_partition,
+    period,
+)
+
+small_dn = st.tuples(st.integers(2, 4), st.integers(1, 6))
+
+
+class TestNecklaceClass:
+    def test_paper_example_N1120(self):
+        # Section 2.1: N(1120) = [0112] = (1120, 1201, 2011, 0112)
+        nk = necklace_of((1, 1, 2, 0), 3)
+        assert nk.representative == (0, 1, 1, 2)
+        assert nk.nodes == ((1, 1, 2, 0), (1, 2, 0, 1), (2, 0, 1, 1), (0, 1, 1, 2))
+        assert len(nk) == 4
+
+    def test_short_necklace(self):
+        nk = necklace_of((0, 1, 0, 1), 2)
+        assert len(nk) == 2
+        assert nk.node_set == {(0, 1, 0, 1), (1, 0, 1, 0)}
+
+    def test_loop_necklace(self):
+        nk = necklace_of((2, 2, 2), 3)
+        assert len(nk) == 1
+        assert nk.nodes == ((2, 2, 2),)
+
+    def test_equality_and_hash(self):
+        a = necklace_of((1, 2, 0, 1), 3)
+        b = necklace_of((0, 1, 1, 2), 3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_ordering_by_representative(self):
+        a = necklace_of((0, 0, 1), 2)
+        b = necklace_of((0, 1, 1), 2)
+        assert a < b
+
+    def test_direct_construction_requires_minimal_representative(self):
+        with pytest.raises(InvalidParameterError):
+            Necklace((1, 0, 0), 2)
+
+    def test_contains(self):
+        nk = necklace_of((0, 1, 1, 2), 3)
+        assert (2, 0, 1, 1) in nk
+        assert (0, 0, 0, 0) not in nk
+        assert "not a word" not in nk
+
+    def test_successor_in_necklace_is_left_rotation(self):
+        nk = necklace_of((0, 1, 1, 2), 3)
+        assert nk.successor_in_necklace((1, 1, 2, 0)) == (1, 2, 0, 1)
+
+    def test_successor_of_loop_node_is_itself(self):
+        nk = necklace_of((1, 1, 1), 2)
+        assert nk.successor_in_necklace((1, 1, 1)) == (1, 1, 1)
+
+    def test_successor_rejects_non_member(self):
+        nk = necklace_of((0, 1, 1), 2)
+        with pytest.raises(InvalidParameterError):
+            nk.successor_in_necklace((0, 0, 0))
+
+    def test_nodes_end_at_representative(self):
+        nk = necklace_of((0, 0, 1, 1), 2)
+        assert nk.nodes[-1] == nk.representative
+
+    def test_contains_any(self):
+        nk = necklace_of((0, 1, 1), 2)
+        assert nk.contains_any([(0, 0, 0), (1, 1, 0)])
+        assert not nk.contains_any([(0, 0, 0)])
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize(
+        "d,n,expected",
+        [
+            (2, 1, 2),
+            (2, 2, 3),
+            (2, 3, 4),
+            (2, 4, 6),
+            (2, 5, 8),
+            (2, 6, 14),
+            (3, 3, 11),
+            (3, 4, 24),
+            (4, 3, 24),
+        ],
+    )
+    def test_necklace_counts_known_values(self, d, n, expected):
+        # classical necklace counts (OEIS A000031 for d=2, A001867 for d=3, ...)
+        assert len(all_necklaces(d, n)) == expected
+
+    @given(small_dn)
+    @settings(max_examples=25, deadline=None)
+    def test_representatives_are_minimal_and_sorted(self, dn):
+        d, n = dn
+        reps = list(iter_necklace_representatives(d, n))
+        assert reps == sorted(reps)
+        for rep in reps:
+            assert rep == min_rotation(rep)
+
+    @given(small_dn)
+    @settings(max_examples=25, deadline=None)
+    def test_necklaces_partition_all_words(self, dn):
+        d, n = dn
+        seen = set()
+        for nk in all_necklaces(d, n):
+            members = nk.node_set
+            assert not (members & seen)
+            seen |= members
+        assert seen == set(all_words(d, n))
+
+    @given(small_dn)
+    @settings(max_examples=25, deadline=None)
+    def test_necklace_lengths_divide_n(self, dn):
+        d, n = dn
+        for nk in all_necklaces(d, n):
+            assert n % len(nk) == 0
+
+    def test_partition_mapping_consistent(self):
+        part = necklace_partition(3, 3)
+        assert len(part) == 27
+        for word, nk in part.items():
+            assert word in nk
+            assert nk == necklace_of(word, 3)
+
+    def test_histogram_sums_to_word_count(self):
+        hist = necklace_lengths_histogram(2, 6)
+        assert sum(length * count for length, count in hist.items()) == 2**6
+        assert sum(hist.values()) == len(all_necklaces(2, 6))
+
+    def test_histogram_b33(self):
+        # B(3,3): 3 loop necklaces of length 1, 8 of length 3
+        assert necklace_lengths_histogram(3, 3) == {1: 3, 3: 8}
+
+
+class TestFaultyNecklaces:
+    def test_paper_example_2_1(self):
+        # Example 2.1: faults 020 and 112 in B(3,3)
+        faulty = faulty_necklaces([(0, 2, 0), (1, 1, 2)], 3)
+        reps = {nk.representative for nk in faulty}
+        assert reps == {(0, 0, 2), (1, 1, 2)}
+        # together they cover 6 nodes, leaving 21 fault-free nodes
+        covered = set()
+        for nk in faulty:
+            covered |= nk.node_set
+        assert len(covered) == 6
+
+    def test_multiple_faults_same_necklace(self):
+        faulty = faulty_necklaces([(0, 1, 1), (1, 1, 0)], 2)
+        assert len(faulty) == 1
+
+    def test_no_faults(self):
+        assert faulty_necklaces([], 2) == set()

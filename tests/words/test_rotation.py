@@ -1,0 +1,153 @@
+"""Unit and property tests for repro.words.rotation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.words import (
+    all_rotations,
+    aperiodic_root,
+    concatenation_power,
+    distinct_rotations,
+    is_aperiodic,
+    min_rotation,
+    min_rotation_index,
+    period,
+    rotate_left,
+    rotate_left_int,
+    rotate_right,
+    word_to_int,
+)
+
+words = st.integers(2, 5).flatmap(
+    lambda d: st.lists(st.integers(0, d - 1), min_size=1, max_size=12).map(tuple)
+)
+
+
+class TestRotateBasics:
+    def test_paper_example(self):
+        # Section 4.1: pi^2(0001) = 0100
+        assert rotate_left((0, 0, 0, 1), 2) == (0, 1, 0, 0)
+
+    def test_rotate_left_one(self):
+        assert rotate_left((1, 1, 2, 0)) == (1, 2, 0, 1)
+
+    def test_rotate_right_inverts_left(self):
+        w = (0, 1, 2, 2, 1)
+        assert rotate_right(rotate_left(w, 3), 3) == w
+
+    def test_rotate_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            rotate_left(())
+
+    def test_rotation_by_length_is_identity(self):
+        w = (0, 1, 0, 1, 1)
+        assert rotate_left(w, len(w)) == w
+
+    @given(words, st.integers(-20, 20), st.integers(-20, 20))
+    def test_rotations_compose_additively(self, w, i, j):
+        assert rotate_left(rotate_left(w, i), j) == rotate_left(w, i + j)
+
+
+class TestPeriod:
+    def test_aperiodic_word(self):
+        assert period((0, 1, 1, 2)) == 4
+        assert is_aperiodic((0, 1, 1, 2))
+
+    def test_constant_word_period_one(self):
+        assert period((3, 3, 3, 3)) == 1
+
+    def test_half_period(self):
+        assert period((0, 1, 0, 1)) == 2
+        assert not is_aperiodic((0, 1, 0, 1))
+
+    def test_period_divides_length(self):
+        # loop over every binary word up to length 8
+        for n in range(1, 9):
+            for v in range(2**n):
+                w = tuple((v >> i) & 1 for i in range(n))
+                assert n % period(w) == 0
+
+    @given(words)
+    def test_period_divides_length_property(self, w):
+        assert len(w) % period(w) == 0
+
+    @given(words)
+    def test_rotation_by_period_is_identity(self, w):
+        assert rotate_left(w, period(w)) == w
+
+    @given(words, st.integers(2, 4))
+    def test_concatenation_power_period(self, w, k):
+        root = aperiodic_root(w)
+        assert period(concatenation_power(root, k)) == len(root)
+
+    @given(words)
+    def test_aperiodic_root_reconstructs_word(self, w):
+        root = aperiodic_root(w)
+        assert is_aperiodic(root)
+        assert concatenation_power(root, len(w) // len(root)) == w
+
+    def test_concatenation_power_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            concatenation_power((0, 1), 0)
+
+
+class TestRotationSets:
+    def test_all_rotations_length(self):
+        assert len(all_rotations((0, 1, 0, 1))) == 4
+
+    def test_distinct_rotations_collapse_periodic(self):
+        assert distinct_rotations((0, 1, 0, 1)) == [(0, 1, 0, 1), (1, 0, 1, 0)]
+
+    @given(words)
+    def test_distinct_rotation_count_is_period(self, w):
+        rots = distinct_rotations(w)
+        assert len(rots) == period(w)
+        assert len(set(rots)) == len(rots)
+
+    @given(words)
+    def test_distinct_rotations_subset_of_all(self, w):
+        assert set(distinct_rotations(w)) == set(all_rotations(w))
+
+
+class TestMinRotation:
+    def test_paper_necklace_example(self):
+        # N(1120) = [0112]
+        assert min_rotation((1, 1, 2, 0)) == (0, 1, 1, 2)
+
+    def test_already_minimal(self):
+        assert min_rotation((0, 0, 1)) == (0, 0, 1)
+
+    def test_constant(self):
+        assert min_rotation((2, 2, 2)) == (2, 2, 2)
+
+    @given(words)
+    def test_matches_bruteforce(self, w):
+        assert min_rotation(w) == min(all_rotations(w))
+
+    @given(words)
+    def test_min_rotation_index_within_period(self, w):
+        idx = min_rotation_index(w)
+        assert 0 <= idx < period(w)
+        assert rotate_left(w, idx) == min_rotation(w)
+
+    @given(words)
+    def test_min_rotation_is_numeric_minimum(self, w):
+        d = max(w) + 1 if max(w) > 0 else 2
+        best = min(all_rotations(w), key=lambda r: word_to_int(r, d))
+        assert word_to_int(min_rotation(w), d) == word_to_int(best, d)
+
+
+class TestIntRotation:
+    @given(st.integers(2, 5), st.integers(1, 8), st.data())
+    def test_matches_tuple_rotation(self, d, n, data):
+        from repro.words import int_to_word
+
+        value = data.draw(st.integers(0, d**n - 1))
+        i = data.draw(st.integers(0, 3 * n))
+        w = int_to_word(value, d, n)
+        assert rotate_left_int(value, d, n, i) == word_to_int(rotate_left(w, i), d)
+
+    def test_zero_rotation_identity(self):
+        assert rotate_left_int(42, 3, 4, 0) == 42
