@@ -4,6 +4,7 @@ from .experiments import EXPERIMENTS, available_experiments, run_experiment
 from .fault_simulation import (
     PAPER_FAULT_COUNTS,
     FaultSimulationRow,
+    FaultSweepRunner,
     simulate_fault_row,
     simulate_fault_table,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "run_experiment",
     "PAPER_FAULT_COUNTS",
     "FaultSimulationRow",
+    "FaultSweepRunner",
     "simulate_fault_row",
     "simulate_fault_table",
     "HypercubeComparison",

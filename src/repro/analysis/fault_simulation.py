@@ -10,6 +10,23 @@ a neighbouring node is used instead.  Averages, maxima and minima over many
 trials give one table row per ``f``, alongside the analytic reference
 ``d**n - n*f``.
 
+The heavy lifting is done by :class:`FaultSweepRunner`, which builds the
+integer-word codec tables (:mod:`repro.words.codec`) once and reuses them
+across every trial of every row:
+
+* the faulty-necklace mask is a single vectorized ``isin`` over the
+  representative table instead of a Python walk per necklace;
+* because removing whole necklaces keeps the De Bruijn digraph *balanced*
+  (every surviving node keeps indegree equal to outdegree, Section 2.5), the
+  component containing ``R`` is strongly connected, so ONE directed BFS
+  yields both the component size and the root eccentricity;
+* the per-trial statistics are accumulated into numpy arrays.
+
+This is what lets ``simulate_fault_table`` scale from the paper's
+``d**n ≈ 1024`` graphs to ``B(4, 10)`` with ~10^6 nodes.  The original
+per-trial tuple implementation is preserved in
+:mod:`repro.analysis.reference` for cross-validation and benchmarking.
+
 The paper does not state its trial count; the default here is 200 trials per
 row, configurable, with a seeded generator so every run is reproducible.
 """
@@ -18,15 +35,23 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from ..graphs.components import component_stats_from_root, residual_after_node_faults
+from ..graphs.components import ResidualGraph, bfs_levels
 from ..network.faults import sample_node_faults
-from ..words.alphabet import Word, word_to_int
+from ..words.alphabet import Word, validate_word, word_to_int
+from ..words.codec import get_codec
 
-__all__ = ["FaultSimulationRow", "simulate_fault_row", "simulate_fault_table", "PAPER_FAULT_COUNTS"]
+__all__ = [
+    "FaultSimulationRow",
+    "FaultSweepRunner",
+    "simulate_fault_row",
+    "simulate_fault_table",
+    "PAPER_FAULT_COUNTS",
+]
 
 #: The fault counts tabulated by the paper: 0..10 then 20, 30, 40, 50.
 PAPER_FAULT_COUNTS: tuple[int, ...] = tuple(range(11)) + (20, 30, 40, 50)
@@ -64,6 +89,134 @@ def _default_root(n: int) -> Word:
     return (0,) * (n - 1) + (1,)
 
 
+class FaultSweepRunner:
+    """Batched fault-sweep engine for one ``B(d, n)`` and one measurement root.
+
+    Construction touches the shared codec (cached per ``(d, n)``); every
+    precomputed table — rotation, necklace representative, successor matrix —
+    is then amortised across all trials of all rows.  Instances hold no
+    mutable state, so one runner can serve many seeded sweeps.
+    """
+
+    def __init__(self, d: int, n: int, root: Sequence[int] | None = None) -> None:
+        self.codec = get_codec(d, n)
+        self.d, self.n = self.codec.d, self.codec.n
+        root_word = _default_root(n) if root is None else tuple(int(x) for x in root)
+        self.root = validate_word(root_word, d)
+        if len(self.root) != self.n:
+            raise InvalidParameterError(
+                f"root {self.root} has length {len(self.root)}, expected {self.n} "
+                f"for B({self.d},{self.n})"
+            )
+        self.root_code = word_to_int(self.root, d)
+        self._intact_dist: np.ndarray | None = None
+
+    # -- one trial -----------------------------------------------------------
+    def run_trial(self, f: int, rng: np.random.Generator) -> tuple[int, int]:
+        """Run one random trial: returns ``(component_size, root_eccentricity)``."""
+        faults = sample_node_faults(self.d, self.n, f, rng)
+        return self.measure(faults)
+
+    def measure(self, faults: Iterable[Sequence[int]]) -> tuple[int, int]:
+        """Measure component size and eccentricity for an explicit fault set."""
+        codec = self.codec
+        fault_words = [validate_word(w, self.d) for w in faults]
+        for w in fault_words:
+            if len(w) != self.n:
+                raise InvalidParameterError(
+                    f"fault {w} has length {len(w)}, expected {self.n} "
+                    f"for B({self.d},{self.n})"
+                )
+        fault_codes = np.asarray(
+            [word_to_int(w, self.d) for w in fault_words], dtype=codec.dtype
+        )
+        removed = codec.faulty_necklace_mask(fault_codes)
+        root = self._measurement_root(removed)
+        if root is None:
+            return 0, 0
+        # Whole-necklace removal keeps the digraph balanced, so the weak
+        # component of the root is strongly connected: one directed BFS gives
+        # both the component (the reached set) and the eccentricity.
+        dist = bfs_levels(ResidualGraph(self.d, self.n, removed), root, direction="out")
+        return int((dist >= 0).sum()), int(dist.max())
+
+    # -- root fallback --------------------------------------------------------
+    def _measurement_root(self, removed: np.ndarray) -> int | None:
+        """The root ``R``, or the paper's "neighboring node" fallback.
+
+        The fallback takes the surviving nodes closest to ``R`` in the
+        fault-free graph (hop distance, either direction) and among those
+        prefers one lying in the largest component (ties: smallest code).
+
+        The smallest-code tie-break is a deliberate, deterministic rule; the
+        historical implementation (:mod:`repro.analysis.reference`) broke
+        such ties by incidental discovery order, which can pick a different
+        (equally valid) root when several equally-near survivors tie on
+        component size — a configuration requiring the root's necklace *and*
+        all of its neighbours to die, far outside the tabulated regimes.
+        """
+        if not removed[self.root_code]:
+            return self.root_code
+        alive = ~removed
+        if not alive.any():
+            return None
+        if self._intact_dist is None:
+            intact = ResidualGraph(self.d, self.n, np.zeros(self.codec.size, dtype=bool))
+            self._intact_dist = bfs_levels(intact, self.root_code, direction="both")
+        dist = self._intact_dist
+        nearest = dist[alive].min()
+        candidates = np.flatnonzero(alive & (dist == nearest))
+        if candidates.size == 1:
+            return int(candidates[0])
+        best_root, best_size = None, -1
+        residual = ResidualGraph(self.d, self.n, removed)
+        for value in candidates.tolist():
+            size = int((bfs_levels(residual, value, direction="out") >= 0).sum())
+            if size > best_size:
+                best_root, best_size = value, size
+        return best_root
+
+    # -- rows and tables ------------------------------------------------------
+    def run_row(
+        self, f: int, trials: int = 200, rng: np.random.Generator | None = None
+    ) -> FaultSimulationRow:
+        """Simulate one table row: ``trials`` random fault sets of size ``f``."""
+        if trials < 1:
+            raise InvalidParameterError("at least one trial is required")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        sizes = np.empty(trials, dtype=np.int64)
+        eccs = np.empty(trials, dtype=np.int64)
+        for t in range(trials):
+            sizes[t], eccs[t] = self.run_trial(f, rng)
+        return FaultSimulationRow(
+            f=f,
+            trials=trials,
+            avg_size=float(sizes.mean()),
+            max_size=int(sizes.max()),
+            min_size=int(sizes.min()),
+            reference_size=self.d**self.n - self.n * f,
+            avg_ecc=float(eccs.mean()),
+            max_ecc=int(eccs.max()),
+            min_ecc=int(eccs.min()),
+        )
+
+    def run_table(
+        self,
+        fault_counts: Iterable[int] = PAPER_FAULT_COUNTS,
+        trials: int = 200,
+        seed: int = 0,
+    ) -> list[FaultSimulationRow]:
+        """Simulate a full table, sharing one seeded generator across rows."""
+        rng = np.random.default_rng(seed)
+        return [self.run_row(f, trials=trials, rng=rng) for f in fault_counts]
+
+
+@lru_cache(maxsize=8)
+def _cached_runner(d: int, n: int, root: Word | None) -> FaultSweepRunner:
+    return FaultSweepRunner(d, n, root=root)
+
+
 def simulate_fault_row(
     d: int,
     n: int,
@@ -75,38 +228,11 @@ def simulate_fault_row(
     """Simulate one table row: ``trials`` random fault sets of size ``f``.
 
     Follows the paper's measurement protocol exactly, including the fallback
-    to a neighbouring root when ``R`` falls inside a faulty necklace.
+    to a neighbouring root when ``R`` falls inside a faulty necklace.  Thin
+    wrapper over a cached :class:`FaultSweepRunner`.
     """
-    if trials < 1:
-        raise InvalidParameterError("at least one trial is required")
-    if rng is None:
-        rng = np.random.default_rng(0)
-    root_word = _default_root(n) if root is None else tuple(int(x) for x in root)
-    sizes: list[int] = []
-    eccs: list[int] = []
-    for _ in range(trials):
-        faults = sample_node_faults(d, n, f, rng)
-        residual = residual_after_node_faults(d, n, faults, remove_whole_necklaces=True)
-        measure_root = _live_root(residual, root_word, d, n)
-        if measure_root is None:
-            # every candidate root died; record the empty component
-            sizes.append(0)
-            eccs.append(0)
-            continue
-        stats = component_stats_from_root(residual, measure_root)
-        sizes.append(stats.component_size)
-        eccs.append(stats.root_eccentricity)
-    return FaultSimulationRow(
-        f=f,
-        trials=trials,
-        avg_size=float(np.mean(sizes)),
-        max_size=int(np.max(sizes)),
-        min_size=int(np.min(sizes)),
-        reference_size=d**n - n * f,
-        avg_ecc=float(np.mean(eccs)),
-        max_ecc=int(np.max(eccs)),
-        min_ecc=int(np.min(eccs)),
-    )
+    root_key = None if root is None else tuple(int(x) for x in root)
+    return _cached_runner(d, n, root_key).run_row(f, trials=trials, rng=rng)
 
 
 def simulate_fault_table(
@@ -118,46 +244,7 @@ def simulate_fault_table(
     root: Sequence[int] | None = None,
 ) -> list[FaultSimulationRow]:
     """Simulate a full table (Table 2.1 with ``d=2, n=10``; Table 2.2 with ``d=4, n=5``)."""
-    rng = np.random.default_rng(seed)
-    return [
-        simulate_fault_row(d, n, f, trials=trials, rng=rng, root=root) for f in fault_counts
-    ]
-
-
-def _live_root(residual, root_word: Word, d: int, n: int) -> int | None:
-    """Return the int encoding of the measurement root, or of a nearby fallback.
-
-    The paper: "If R was in a faulty necklace, a neighboring node was used
-    instead."  The fallback scans R's De Bruijn successors and predecessors,
-    then the remaining nodes in numeric order.
-    """
-    root_int = word_to_int(root_word, d)
-    if residual.is_alive(root_int):
-        return root_int
-    # Breadth-first over the *fault-free* graph from R: the closest surviving
-    # nodes play the role of "a neighboring node" in the paper's protocol.
-    # Among the equally close survivors prefer one in the largest component
-    # (a neighbour that happens to be isolated — e.g. 0^n when R's necklace
-    # dies — would not be a sensible stand-in for R).
-    from ..graphs.components import component_of
-
-    visited = {root_word}
-    frontier = [root_word]
-    while frontier:
-        nxt: list[Word] = []
-        alive_here: list[int] = []
-        for node in frontier:
-            neighbours = [node[1:] + (a,) for a in range(d)] + [(a,) + node[:-1] for a in range(d)]
-            for candidate in sorted(neighbours):
-                if candidate in visited:
-                    continue
-                visited.add(candidate)
-                value = word_to_int(candidate, d)
-                if residual.is_alive(value):
-                    alive_here.append(value)
-                else:
-                    nxt.append(candidate)
-        if alive_here:
-            return max(alive_here, key=lambda v: len(component_of(residual, v)))
-        frontier = nxt
-    return None
+    root_key = None if root is None else tuple(int(x) for x in root)
+    return _cached_runner(d, n, root_key).run_table(
+        fault_counts=fault_counts, trials=trials, seed=seed
+    )

@@ -25,12 +25,18 @@ checked against each other in the integration tests.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
 
 from ..exceptions import EmbeddingError, FaultBudgetExceededError, InvalidParameterError
 from ..words.alphabet import Word
 from ..words.necklaces import necklace_of
-from .necklace_graph import BStar, ModifiedTree, NecklaceAdjacencyGraph, SpanningTree, build_bstar
+from .necklace_graph import (
+    BStar,
+    FFCEngine,
+    ModifiedTree,
+    NecklaceAdjacencyGraph,
+    SpanningTree,
+    build_bstar,
+)
 from .ring_embedding import RingEmbedding
 
 __all__ = ["FaultFreeCycleResult", "find_fault_free_cycle", "guaranteed_cycle_length"]
@@ -59,9 +65,13 @@ def guaranteed_cycle_length(d: int, n: int, f: int) -> int:
     )
 
 
-@dataclass(frozen=True)
 class FaultFreeCycleResult:
     """Everything produced by one run of the FFC algorithm.
+
+    The integer kernel computes only the cycle itself; the readable necklace
+    scaffolding (``N*``, ``T``, ``D``) is materialised lazily on first access
+    so that hot-path callers (fault sweeps, benchmarks) never pay for it.
+    The tuple pipeline (``kernel="tuple"``) attaches it eagerly.
 
     Attributes
     ----------
@@ -78,11 +88,44 @@ class FaultFreeCycleResult:
         The modified tree ``D`` (Step 2).
     """
 
-    embedding: RingEmbedding
-    bstar: BStar
-    adjacency: NecklaceAdjacencyGraph
-    spanning_tree: SpanningTree
-    modified_tree: ModifiedTree
+    def __init__(
+        self,
+        embedding: RingEmbedding,
+        bstar: BStar,
+        adjacency: NecklaceAdjacencyGraph | None = None,
+        spanning_tree: SpanningTree | None = None,
+        modified_tree: ModifiedTree | None = None,
+        engine: FFCEngine | None = None,
+    ) -> None:
+        self.embedding = embedding
+        self.bstar = bstar
+        self._adjacency = adjacency
+        self._spanning_tree = spanning_tree
+        self._modified_tree = modified_tree
+        self._engine = engine
+
+    @property
+    def adjacency(self) -> NecklaceAdjacencyGraph:
+        """The necklace adjacency graph ``N*`` (built on demand)."""
+        if self._adjacency is None:
+            self._adjacency = NecklaceAdjacencyGraph(self.bstar)
+        return self._adjacency
+
+    @property
+    def spanning_tree(self) -> SpanningTree:
+        """The spanning tree ``T`` (built on demand, reusing the kernel's engine)."""
+        if self._spanning_tree is None:
+            self._spanning_tree = SpanningTree.from_broadcast(
+                self.adjacency, engine=self._engine
+            )
+        return self._spanning_tree
+
+    @property
+    def modified_tree(self) -> ModifiedTree:
+        """The modified tree ``D`` (built on demand)."""
+        if self._modified_tree is None:
+            self._modified_tree = ModifiedTree.from_spanning_tree(self.spanning_tree)
+        return self._modified_tree
 
     @property
     def cycle(self) -> tuple[Word, ...]:
@@ -116,6 +159,7 @@ def find_fault_free_cycle(
     faults: Iterable[Sequence[int]] = (),
     root_hint: Sequence[int] | None = None,
     strict: bool = False,
+    kernel: str = "codec",
 ) -> FaultFreeCycleResult:
     """Run the FFC algorithm and return the fault-free ring plus all intermediate structure.
 
@@ -134,6 +178,12 @@ def find_fault_free_cycle(
         (default) the algorithm runs regardless, exactly like the paper's
         simulations, and simply returns the Hamiltonian cycle of whatever
         ``B*`` is left.
+    kernel:
+        ``"codec"`` (default) runs Steps 1.1–3 on integer codes via
+        :class:`~repro.core.necklace_graph.FFCEngine`; ``"tuple"`` runs the
+        readable reference implementation in
+        :mod:`repro.core.tuple_reference`.  Both produce identical cycles
+        (the test-suite pins this); the codec kernel is the fast path.
 
     Returns
     -------
@@ -141,16 +191,21 @@ def find_fault_free_cycle(
         With a validated embedding: a simple cycle of ``B(d, n)`` covering
         every node of ``B*`` and avoiding every faulty node.
     """
+    if kernel not in ("codec", "tuple"):
+        raise InvalidParameterError(f"kernel must be 'codec' or 'tuple', got {kernel!r}")
     fault_list = [tuple(int(x) for x in f) for f in faults]
     if strict:
         guaranteed_cycle_length(d, n, len(set(fault_list)))  # raises if out of regime
 
-    bstar = build_bstar(d, n, fault_list, root_hint=root_hint)
-    adjacency = NecklaceAdjacencyGraph(bstar)
-    tree = SpanningTree.from_broadcast(adjacency)
-    dtree = ModifiedTree.from_spanning_tree(tree)
+    if kernel == "tuple":
+        from .tuple_reference import find_fault_free_cycle_reference
 
-    cycle = _assemble_cycle(bstar, adjacency, dtree)
+        return find_fault_free_cycle_reference(d, n, fault_list, root_hint=root_hint)
+
+    bstar = build_bstar(d, n, fault_list, root_hint=root_hint)
+    engine = FFCEngine(bstar)
+    cycle_codes = engine.cycle_codes()
+    cycle = bstar.codec.decode_many(cycle_codes)
     embedding = RingEmbedding(
         d=d,
         n=n,
@@ -162,44 +217,7 @@ def find_fault_free_cycle(
         raise EmbeddingError(
             f"FFC cycle has length {len(cycle)} but B* has {bstar.size} nodes"
         )
-    return FaultFreeCycleResult(
-        embedding=embedding,
-        bstar=bstar,
-        adjacency=adjacency,
-        spanning_tree=tree,
-        modified_tree=dtree,
-    )
-
-
-def _assemble_cycle(
-    bstar: BStar, adjacency: NecklaceAdjacencyGraph, dtree: ModifiedTree
-) -> list[Word]:
-    """Step 3: follow the successor rule from the root until the cycle closes."""
-    successor_cache: dict[Word, Word] = {}
-
-    def successor(node: Word) -> Word:
-        cached = successor_cache.get(node)
-        if cached is not None:
-            return cached
-        w = node[1:]
-        nk = adjacency.necklace_of(node)
-        target = dtree.successor_necklace(nk, w)
-        if target is not None:
-            result = adjacency.entry_node(target, w)
-        else:
-            result = node[1:] + node[:1]  # necklace successor w alpha
-        successor_cache[node] = result
-        return result
-
-    start = bstar.root
-    cycle = [start]
-    current = successor(start)
-    while current != start:
-        if len(cycle) > bstar.size:
-            raise EmbeddingError("FFC successor walk failed to close into a cycle")
-        cycle.append(current)
-        current = successor(current)
-    return cycle
+    return FaultFreeCycleResult(embedding=embedding, bstar=bstar, engine=engine)
 
 
 def necklaces_visited_in_order(result: FaultFreeCycleResult) -> list:

@@ -28,14 +28,22 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
-from ..exceptions import DisconnectedGraphError, EmbeddingError, InvalidParameterError
-from ..graphs.components import component_of, residual_after_node_faults
-from ..graphs.debruijn import DeBruijnGraph
-from ..words.alphabet import Word, int_to_word, word_to_int
-from ..words.necklaces import Necklace, necklace_of
-from ..words.rotation import min_rotation
+import numpy as np
 
-__all__ = ["BStar", "NecklaceAdjacencyGraph", "SpanningTree", "ModifiedTree", "build_bstar"]
+from ..exceptions import DisconnectedGraphError, EmbeddingError, InvalidParameterError
+from ..graphs.components import ResidualGraph, bfs_levels, component_of, residual_after_node_faults
+from ..words.alphabet import Word, int_to_word, word_to_int
+from ..words.codec import WordCodec, get_codec
+from ..words.necklaces import Necklace
+
+__all__ = [
+    "BStar",
+    "FFCEngine",
+    "NecklaceAdjacencyGraph",
+    "SpanningTree",
+    "ModifiedTree",
+    "build_bstar",
+]
 
 
 @dataclass(frozen=True)
@@ -61,15 +69,37 @@ class BStar:
     nodes: frozenset[Word]
     root: Word
     faulty_nodes: frozenset[Word] = field(default_factory=frozenset)
+    #: Int codes of the surviving nodes, ascending (the fast-path view of
+    #: ``nodes``; rebuilt lazily when the instance was constructed by hand).
+    codes: np.ndarray | None = field(default=None, compare=False, repr=False)
 
     @property
     def size(self) -> int:
         return len(self.nodes)
 
+    @property
+    def codec(self) -> WordCodec:
+        """The shared integer-word codec of the host graph."""
+        return get_codec(self.d, self.n)
+
+    def node_codes(self) -> np.ndarray:
+        """Int codes of the surviving nodes, ascending."""
+        if self.codes is not None:
+            return self.codes
+        codes = np.sort(self.codec.encode_many(self.nodes))
+        object.__setattr__(self, "codes", codes)
+        return codes
+
+    @property
+    def root_code(self) -> int:
+        """Int code of the root ``R``."""
+        return self.codec.encode(self.root)
+
     def necklaces(self) -> list[Necklace]:
         """The necklaces making up ``B*``, sorted by canonical representative."""
-        reps = {necklace_of(w, self.d) for w in self.nodes}
-        return sorted(reps)
+        codec = self.codec
+        reps = np.unique(codec.rep[self.node_codes()])
+        return [Necklace(rep, self.d) for rep in codec.decode_many(reps)]
 
     def __contains__(self, word: object) -> bool:
         return word in self.nodes
@@ -105,7 +135,7 @@ def build_bstar(
     """
     if n < 2:
         raise InvalidParameterError("the FFC machinery requires n >= 2")
-    graph = DeBruijnGraph(d, n)
+    codec = get_codec(d, n)
     fault_words = [tuple(int(x) for x in f) for f in faults]
     residual = residual_after_node_faults(d, n, fault_words, remove_whole_necklaces=True)
     if residual.num_alive == 0:
@@ -122,28 +152,38 @@ def build_bstar(
     if hint_word is not None:
         comp = component_of(residual, word_to_int(hint_word, d))
     else:
-        best_root = None
-        best_len = -1
-        seen: set[int] = set()
-        for value in residual.alive_nodes():
-            if int(value) in seen:
+        assigned = residual.removed_mask.copy()
+        alive = residual.alive_nodes()
+        best_comp = None
+        idx = 0
+        while idx < alive.size:
+            value = int(alive[idx])
+            if assigned[value]:
+                idx += 1
                 continue
-            c = component_of(residual, int(value))
-            seen.update(int(v) for v in c)
-            if len(c) > best_len:
-                best_len = len(c)
-                best_root = c
-        comp = best_root
-    node_set = frozenset(int_to_word(int(v), d, n) for v in comp)
+            c = component_of(residual, value)
+            assigned[c] = True
+            if best_comp is None or len(c) > len(best_comp):
+                best_comp = c
+        comp = best_comp
 
     if hint_word is not None:
-        root = min_rotation(hint_word)
+        root_code = int(codec.rep[word_to_int(hint_word, d)])
     else:
-        root = min(w for w in node_set if w == min_rotation(w))
+        root_code = int(codec.rep[comp].min())
     # The canonical representative of a surviving necklace is itself surviving.
-    if root not in node_set:  # pragma: no cover - defensive: necklaces are whole
+    if not residual.is_alive(root_code):  # pragma: no cover - defensive: necklaces are whole
         raise EmbeddingError("internal error: chosen root fell outside B*")
-    return BStar(d=d, n=n, nodes=node_set, root=root, faulty_nodes=frozenset(fault_words))
+
+    node_set = frozenset(codec.decode_many(comp))
+    return BStar(
+        d=d,
+        n=n,
+        nodes=node_set,
+        root=codec.decode(root_code),
+        faulty_nodes=frozenset(fault_words),
+        codes=np.sort(np.asarray(comp, dtype=codec.dtype)),
+    )
 
 
 class NecklaceAdjacencyGraph:
@@ -249,50 +289,44 @@ class SpanningTree:
     node_parents: dict[Word, Word]
 
     @classmethod
-    def from_broadcast(cls, adjacency: NecklaceAdjacencyGraph) -> "SpanningTree":
-        """Build ``T`` from the BFS broadcast tree ``T'`` of ``B*`` (Steps 1.1–1.2)."""
+    def from_broadcast(
+        cls, adjacency: NecklaceAdjacencyGraph, engine: "FFCEngine | None" = None
+    ) -> "SpanningTree":
+        """Build ``T`` from the BFS broadcast tree ``T'`` of ``B*`` (Steps 1.1–1.2).
+
+        The construction runs on integer codes (:class:`FFCEngine`) and is
+        converted to the readable tuple/:class:`~repro.words.necklaces.Necklace`
+        form at this boundary; the reference tuple implementation it replaced
+        lives on in :mod:`repro.core.tuple_reference` and is cross-checked
+        against this one in the test-suite.  Pass ``engine`` to reuse an
+        already-built kernel instead of recomputing the broadcast.
+        """
         bstar = adjacency.bstar
-        d = bstar.d
-        root_node = bstar.root
+        if engine is None:
+            engine = FFCEngine(bstar)
+        elif engine.bstar is not bstar:
+            raise InvalidParameterError("engine was built for a different B*")
+        codec = bstar.codec
+        d, n = bstar.d, bstar.n
 
-        # --- Step 1.1: BFS broadcast from R over B*; T' parent = minimal
-        # predecessor at the previous level (the tie rule of the paper).
-        levels: dict[Word, int] = {root_node: 0}
-        frontier = [root_node]
-        while frontier:
-            nxt: list[Word] = []
-            for node in frontier:
-                for a in range(d):
-                    succ = node[1:] + (a,)
-                    if succ in bstar.nodes and succ not in levels:
-                        levels[succ] = levels[node] + 1
-                        nxt.append(succ)
-            frontier = nxt
-        if len(levels) != bstar.size:
-            raise DisconnectedGraphError(
-                "B* is not connected from the chosen root; pick the component's own root"
-            )
+        alive = bstar.node_codes()
+        words = codec.decode_many(alive)
+        lv = engine.levels[alive]
+        levels: dict[Word, int] = {w: int(level) for w, level in zip(words, lv)}
+
         node_parents: dict[Word, Word] = {}
-        for node, level in levels.items():
-            if node == root_node:
-                continue
-            preds = [(a,) + node[:-1] for a in range(d)]
-            candidates = [p for p in preds if levels.get(p, -1) == level - 1]
-            node_parents[node] = min(candidates)
+        for w, code in zip(words, alive.tolist()):
+            p = int(engine.parent_of[code])
+            if p >= 0:
+                node_parents[w] = codec.decode(p)
 
-        # --- Step 1.2: per necklace, pick the earliest-received member and
-        # inherit its T' parent's necklace; label the tree edge by the chosen
-        # member's length-(n-1) prefix w (the member reads "w alpha").
-        root_necklace = adjacency.necklace_of(root_node)
+        root_necklace = adjacency.necklace_of(bstar.root)
         parent: dict[Necklace, tuple[Necklace, Word]] = {}
-        for nk in adjacency.necklaces:
-            if nk == root_necklace:
-                continue
-            members = sorted(node for node in nk.node_set if node in bstar.nodes)
-            chosen = min(members, key=lambda m: (levels[m], m))
-            label = chosen[:-1]  # chosen = w alpha -> label w
-            parent_node = node_parents[chosen]  # beta w
-            parent[nk] = (adjacency.necklace_of(parent_node), label)
+        for child_rep, (parent_rep, label) in engine.tree_edges.items():
+            child_nk = Necklace(codec.decode(child_rep), d)
+            parent_nk = Necklace(codec.decode(parent_rep), d)
+            label_word = int_to_word(label, d, n - 1)
+            parent[child_nk] = (parent_nk, label_word)
         return cls(
             adjacency=adjacency,
             root=root_necklace,
@@ -415,3 +449,153 @@ class ModifiedTree:
                 current = mapping[current]
             if seen != members:
                 raise EmbeddingError(f"label {label} edges split into several cycles")
+
+
+class FFCEngine:
+    """The integer-coded FFC kernel: Steps 1.1–3 on codes, no tuples anywhere.
+
+    Given a :class:`BStar`, the engine computes — entirely on int codes and
+    numpy arrays — the BFS broadcast levels, the minimal-predecessor parents
+    of ``T'``, the per-necklace chosen members and tree edges of ``T``, the
+    directed label cycles of the modified tree ``D``, and finally the
+    Hamiltonian cycle of ``B*``.  Tie-breaking matches the tuple reference
+    implementation exactly (base-``d`` numeric order coincides with the
+    lexicographic order on digit tuples), so the cycle produced here is
+    *identical* to the one from :mod:`repro.core.tuple_reference`; the
+    test-suite pins that equivalence.
+
+    Attributes
+    ----------
+    levels:
+        Full-size int64 array; ``levels[x]`` is the broadcast level of code
+        ``x`` (``-1`` outside ``B*``).
+    parent_of:
+        Full-size int64 array; ``parent_of[x]`` is the ``T'`` parent of ``x``
+        (the minimal predecessor one level closer to the root), ``-1`` for the
+        root and for codes outside ``B*``.
+    tree_edges:
+        ``{child_rep: (parent_rep, label)}`` — the tree ``T`` on necklace
+        representative codes, labels encoded as length-``(n-1)`` ints.
+    outgoing:
+        ``{(rep, label): target_rep}`` — the modified tree ``D``.
+    """
+
+    def __init__(self, bstar: BStar) -> None:
+        self.bstar = bstar
+        codec = bstar.codec
+        self.codec = codec
+        self._suffix_members: dict[tuple[int, int], int] | None = None
+        d, size = codec.d, codec.size
+        alive = bstar.node_codes()
+        root_code = bstar.root_code
+
+        # --- Step 1.1: BFS broadcast from R over B* (vectorized sweep).
+        removed = np.ones(size, dtype=bool)
+        removed[alive] = False
+        levels = bfs_levels(ResidualGraph(bstar.d, bstar.n, removed), root_code, direction="out")
+        if (levels[alive] < 0).any():
+            raise DisconnectedGraphError(
+                "B* is not connected from the chosen root; pick the component's own root"
+            )
+        self.levels = levels
+
+        # T' parent of every node: the minimal predecessor at the previous
+        # level (the tie rule of the paper), computed for all nodes at once.
+        preds = codec.predecessor_table[alive].astype(np.int64)  # (N, d)
+        want = (levels[alive] - 1)[:, None]
+        candidates = np.where(levels[preds] == want, preds, size)
+        parents = candidates.min(axis=1)
+        parents[levels[alive] == 0] = -1  # the root has no T' parent
+        if (parents >= size).any():  # pragma: no cover - BFS guarantees a parent
+            raise EmbeddingError("broadcast produced a node with no parent at the previous level")
+        parent_of = np.full(size, -1, dtype=np.int64)
+        parent_of[alive] = parents
+        self.parent_of = parent_of
+
+        # --- Step 1.2: per necklace, the earliest-received member (ties:
+        # minimal code) via one lexsort over (necklace, level, code).
+        reps = codec.rep[alive]
+        order = np.lexsort((alive, levels[alive], reps))
+        sorted_reps = reps[order]
+        first = np.r_[True, sorted_reps[1:] != sorted_reps[:-1]]
+        chosen = alive[order[first]].astype(np.int64)  # one per necklace, rep-ascending
+        chosen_reps = sorted_reps[first].astype(np.int64)
+        self.necklace_reps = chosen_reps
+
+        tree_edges: dict[int, tuple[int, int]] = {}
+        root_rep = int(codec.rep[root_code])
+        for child_rep, member in zip(chosen_reps.tolist(), chosen.tolist()):
+            if child_rep == root_rep:
+                continue
+            label = member // d  # member reads "w alpha" -> label w
+            parent_node = int(parent_of[member])  # "beta w"
+            tree_edges[child_rep] = (int(codec.rep[parent_node]), label)
+        self.tree_edges = tree_edges
+
+        # --- Step 2: rewrite each star T_w as a directed label cycle ordered
+        # by necklace representative (the modified tree D).
+        star_parent: dict[int, int] = {}
+        star_children: dict[int, list[int]] = {}
+        for child_rep, (parent_rep, label) in tree_edges.items():
+            if label in star_parent and star_parent[label] != parent_rep:
+                raise EmbeddingError(
+                    f"label {label} has two distinct parents; T_w is not a star"
+                )
+            star_parent[label] = parent_rep
+            star_children.setdefault(label, []).append(child_rep)
+        outgoing: dict[tuple[int, int], int] = {}
+        for label, children in star_children.items():
+            ordered = sorted({star_parent[label], *children})
+            k = len(ordered)
+            for i, rep in enumerate(ordered):
+                outgoing[(rep, label)] = ordered[(i + 1) % k]
+        self.outgoing = outgoing
+
+    # -- queries ---------------------------------------------------------------
+    def member_with_suffix(self, rep: int, suffix: int) -> int:
+        """The unique member ``beta w`` of necklace ``rep`` with suffix ``w``."""
+        member = self._suffix_map().get((int(rep), int(suffix)))
+        if member is None:
+            raise InvalidParameterError(
+                f"necklace {rep} has no node with suffix code {suffix}"
+            )
+        return member
+
+    def _suffix_map(self) -> dict[tuple[int, int], int]:
+        """``{(rep, suffix): member}`` over all of ``B*`` (each pair is unique)."""
+        if self._suffix_members is None:
+            codec = self.codec
+            alive = self.bstar.node_codes()
+            reps = codec.rep[alive].tolist()
+            suffixes = (alive % codec.high).tolist()
+            self._suffix_members = dict(zip(zip(reps, suffixes), alive.tolist()))
+        return self._suffix_members
+
+    def successor_codes(self) -> np.ndarray:
+        """Step 3: the FFC successor of every code (rotation unless D diverts).
+
+        ``succ[x] = pi(x)`` by default; for each outgoing ``w``-edge of ``D``
+        the exit node ``alpha w`` of the source necklace is redirected to the
+        entry node ``w beta`` of the target necklace.
+        """
+        codec = self.codec
+        succ = codec.rotate1.astype(np.int64)
+        for (src_rep, label), dst_rep in self.outgoing.items():
+            exit_node = self.member_with_suffix(src_rep, label)
+            entry_node = int(codec.rotate1[self.member_with_suffix(dst_rep, label)])
+            succ[exit_node] = entry_node
+        return succ
+
+    def cycle_codes(self) -> np.ndarray:
+        """Assemble the fault-free cycle by walking the successor pointers."""
+        succ = self.successor_codes().tolist()
+        start = self.bstar.root_code
+        limit = self.bstar.size
+        cycle = [start]
+        current = succ[start]
+        while current != start:
+            if len(cycle) > limit:
+                raise EmbeddingError("FFC successor walk failed to close into a cycle")
+            cycle.append(current)
+            current = succ[current]
+        return np.asarray(cycle, dtype=np.int64)

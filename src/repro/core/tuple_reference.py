@@ -1,0 +1,231 @@
+"""Reference tuple-encoded FFC pipeline (the pre-codec implementation).
+
+The production path of :func:`repro.core.ffc.find_fault_free_cycle` runs on
+integer codes (:class:`repro.core.necklace_graph.FFCEngine`).  This module
+preserves the original, readable tuple-of-digits implementation of Steps
+1.1–3 exactly as it stood before the codec refactor.  It exists for two
+reasons:
+
+* **cross-validation** — the test-suite asserts that the integer kernel and
+  this reference produce identical spanning trees and identical cycles on
+  randomized fault sets, so a regression in either implementation is caught
+  by the other;
+* **benchmarking** — ``benchmarks/test_codec_speedup.py`` measures the
+  integer kernel against this baseline (the ISSUE's ``>= 5x`` acceptance
+  criterion is asserted there).
+
+Nothing here is exported from :mod:`repro.core`; reach for
+``find_fault_free_cycle(..., kernel="tuple")`` instead of importing this
+module directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..exceptions import DisconnectedGraphError, EmbeddingError, InvalidParameterError
+from ..graphs.components import component_of, residual_after_node_faults
+from ..graphs.debruijn import DeBruijnGraph
+from ..words.alphabet import Word, int_to_word, word_to_int
+from ..words.necklaces import Necklace
+from ..words.rotation import min_rotation
+from .necklace_graph import (
+    BStar,
+    ModifiedTree,
+    NecklaceAdjacencyGraph,
+    SpanningTree,
+)
+from .ring_embedding import RingEmbedding
+
+__all__ = [
+    "build_bstar_reference",
+    "spanning_tree_from_broadcast_reference",
+    "assemble_cycle_reference",
+    "find_fault_free_cycle_reference",
+]
+
+
+def build_bstar_reference(
+    d: int,
+    n: int,
+    faults: Iterable[Sequence[int]],
+    root_hint: Sequence[int] | None = None,
+) -> BStar:
+    """The original ``B*`` construction: tuple decoding and Booth root scans."""
+    if n < 2:
+        raise InvalidParameterError("the FFC machinery requires n >= 2")
+    fault_words = [tuple(int(x) for x in f) for f in faults]
+    residual = residual_after_node_faults(d, n, fault_words, remove_whole_necklaces=True)
+    if residual.num_alive == 0:
+        raise DisconnectedGraphError("all nodes of B(d, n) are contained in faulty necklaces")
+
+    hint_word: Word | None = None
+    if root_hint is not None:
+        hint_word = tuple(int(x) for x in root_hint)
+        if len(hint_word) != n:
+            raise InvalidParameterError(f"root hint {hint_word} must have length {n}")
+        if not residual.is_alive(word_to_int(hint_word, d)):
+            hint_word = None
+
+    if hint_word is not None:
+        comp = component_of(residual, word_to_int(hint_word, d))
+    else:
+        best_root = None
+        best_len = -1
+        seen: set[int] = set()
+        for value in residual.alive_nodes():
+            if int(value) in seen:
+                continue
+            c = component_of(residual, int(value))
+            seen.update(int(v) for v in c)
+            if len(c) > best_len:
+                best_len = len(c)
+                best_root = c
+        comp = best_root
+    node_set = frozenset(int_to_word(int(v), d, n) for v in comp)
+
+    if hint_word is not None:
+        root = min_rotation(hint_word)
+    else:
+        root = min(w for w in node_set if w == min_rotation(w))
+    if root not in node_set:  # pragma: no cover - defensive: necklaces are whole
+        raise EmbeddingError("internal error: chosen root fell outside B*")
+    return BStar(d=d, n=n, nodes=node_set, root=root, faulty_nodes=frozenset(fault_words))
+
+
+def spanning_tree_from_broadcast_reference(adjacency: NecklaceAdjacencyGraph) -> SpanningTree:
+    """Steps 1.1–1.2 on tuple words: BFS broadcast, then per-necklace election."""
+    bstar = adjacency.bstar
+    d = bstar.d
+    root_node = bstar.root
+
+    # --- Step 1.1: BFS broadcast from R over B*; T' parent = minimal
+    # predecessor at the previous level (the tie rule of the paper).
+    levels: dict[Word, int] = {root_node: 0}
+    frontier = [root_node]
+    while frontier:
+        nxt: list[Word] = []
+        for node in frontier:
+            for a in range(d):
+                succ = node[1:] + (a,)
+                if succ in bstar.nodes and succ not in levels:
+                    levels[succ] = levels[node] + 1
+                    nxt.append(succ)
+        frontier = nxt
+    if len(levels) != bstar.size:
+        raise DisconnectedGraphError(
+            "B* is not connected from the chosen root; pick the component's own root"
+        )
+    node_parents: dict[Word, Word] = {}
+    for node, level in levels.items():
+        if node == root_node:
+            continue
+        preds = [(a,) + node[:-1] for a in range(d)]
+        candidates = [p for p in preds if levels.get(p, -1) == level - 1]
+        node_parents[node] = min(candidates)
+
+    # --- Step 1.2: per necklace, pick the earliest-received member and
+    # inherit its T' parent's necklace; label the tree edge by the chosen
+    # member's length-(n-1) prefix w (the member reads "w alpha").
+    root_necklace = adjacency.necklace_of(root_node)
+    parent: dict[Necklace, tuple[Necklace, Word]] = {}
+    for nk in adjacency.necklaces:
+        if nk == root_necklace:
+            continue
+        members = sorted(node for node in nk.node_set if node in bstar.nodes)
+        chosen = min(members, key=lambda m: (levels[m], m))
+        label = chosen[:-1]  # chosen = w alpha -> label w
+        parent_node = node_parents[chosen]  # beta w
+        parent[nk] = (adjacency.necklace_of(parent_node), label)
+    return SpanningTree(
+        adjacency=adjacency,
+        root=root_necklace,
+        parent=parent,
+        node_levels=levels,
+        node_parents=node_parents,
+    )
+
+
+def assemble_cycle_reference(
+    bstar: BStar, adjacency: NecklaceAdjacencyGraph, dtree: ModifiedTree
+) -> list[Word]:
+    """Step 3 on tuple words: follow the successor rule until the cycle closes."""
+    successor_cache: dict[Word, Word] = {}
+
+    def successor(node: Word) -> Word:
+        cached = successor_cache.get(node)
+        if cached is not None:
+            return cached
+        w = node[1:]
+        nk = adjacency.necklace_of(node)
+        target = dtree.successor_necklace(nk, w)
+        if target is not None:
+            result = adjacency.entry_node(target, w)
+        else:
+            result = node[1:] + node[:1]  # necklace successor w alpha
+        successor_cache[node] = result
+        return result
+
+    start = bstar.root
+    cycle = [start]
+    current = successor(start)
+    while current != start:
+        if len(cycle) > bstar.size:
+            raise EmbeddingError("FFC successor walk failed to close into a cycle")
+        cycle.append(current)
+        current = successor(current)
+    return cycle
+
+
+def find_fault_free_cycle_reference(
+    d: int,
+    n: int,
+    faults: Iterable[Sequence[int]] = (),
+    root_hint: Sequence[int] | None = None,
+):
+    """The complete tuple pipeline, returning the same result type as the kernel.
+
+    The returned :class:`~repro.core.ffc.FaultFreeCycleResult` carries its
+    scaffolding eagerly (the tuple pipeline builds it anyway).
+    """
+    from .ffc import FaultFreeCycleResult
+
+    fault_list = [tuple(int(x) for x in f) for f in faults]
+    bstar = build_bstar_reference(d, n, fault_list, root_hint=root_hint)
+    adjacency = NecklaceAdjacencyGraph(bstar)
+    tree = spanning_tree_from_broadcast_reference(adjacency)
+    dtree = ModifiedTree.from_spanning_tree(tree)
+
+    cycle = assemble_cycle_reference(bstar, adjacency, dtree)
+    embedding = RingEmbedding(
+        d=d,
+        n=n,
+        cycle=tuple(cycle),
+        faulty_nodes=frozenset(fault_list),
+    )
+    _validate_embedding_reference(embedding)
+    if len(cycle) != bstar.size:
+        raise EmbeddingError(
+            f"FFC cycle has length {len(cycle)} but B* has {bstar.size} nodes"
+        )
+    return FaultFreeCycleResult(
+        embedding=embedding,
+        bstar=bstar,
+        adjacency=adjacency,
+        spanning_tree=tree,
+        modified_tree=dtree,
+    )
+
+
+def _validate_embedding_reference(embedding: RingEmbedding) -> None:
+    """The original per-edge tuple validation of the embedded ring."""
+    host = DeBruijnGraph(embedding.d, embedding.n)
+    if len(embedding.cycle) == 0:
+        raise EmbeddingError("embedded ring is empty")
+    if len(set(embedding.cycle)) != len(embedding.cycle):
+        raise EmbeddingError("embedded ring visits a node twice")
+    if not host.is_cycle(embedding.cycle):
+        raise EmbeddingError("embedded ring is not a cycle of the host graph")
+    hit_nodes = set(embedding.cycle) & embedding.faulty_nodes
+    if hit_nodes:
+        raise EmbeddingError(f"embedded ring visits faulty nodes {sorted(hit_nodes)}")

@@ -28,9 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from ..words.alphabet import Word, int_to_word, word_to_int
-from ..words.necklaces import faulty_necklaces
-from .debruijn import DeBruijnGraph, predecessor_matrix, successor_matrix
+from ..words.alphabet import Word, int_to_word, validate_word, word_to_int
+from ..words.codec import get_codec
 
 __all__ = [
     "ResidualGraph",
@@ -100,19 +99,27 @@ def residual_after_node_faults(
         faulty node is removed entirely; when False only the faulty nodes
         themselves are removed.
     """
-    graph = DeBruijnGraph(d, n)
-    mask = np.zeros(graph.num_nodes, dtype=bool)
-    fault_words: list[Word] = []
+    codec = get_codec(d, n)
+    fault_codes: list[int] = []
     for f in faults:
-        word = int_to_word(int(f), d, n) if isinstance(f, (int, np.integer)) else tuple(int(x) for x in f)
-        fault_words.append(word)
+        if isinstance(f, (int, np.integer)):
+            int_to_word(int(f), d, n)  # range check
+            fault_codes.append(int(f))
+        else:
+            word = validate_word(f, d)
+            if len(word) != n:
+                raise InvalidParameterError(
+                    f"fault {word} has length {len(word)}, expected {n} for B({d},{n})"
+                )
+            fault_codes.append(word_to_int(word, d))
+    codes = np.asarray(fault_codes, dtype=codec.dtype)
     if remove_whole_necklaces:
-        for nk in faulty_necklaces(fault_words, d):
-            for member in nk.node_set:
-                mask[word_to_int(member, d)] = True
+        # one isin over the representative table replaces the per-necklace
+        # Python expansion: a word dies iff its necklace contains a fault.
+        mask = codec.faulty_necklace_mask(codes)
     else:
-        for word in fault_words:
-            mask[word_to_int(word, d)] = True
+        mask = np.zeros(codec.size, dtype=bool)
+        mask[codes] = True
     return ResidualGraph(d, n, mask)
 
 
@@ -133,21 +140,30 @@ def bfs_levels(residual: ResidualGraph, root: int, direction: str = "out") -> np
     if residual.removed_mask[root]:
         raise InvalidParameterError(f"root {root} has been removed from the graph")
 
-    matrices = []
-    if direction in ("out", "both"):
-        matrices.append(successor_matrix(residual.d, residual.n))
-    if direction in ("in", "both"):
-        matrices.append(predecessor_matrix(residual.d, residual.n))
+    codec = get_codec(residual.d, residual.n)
+    if direction == "out":
+        table = codec.successor_table
+    elif direction == "in":
+        table = codec.predecessor_table
+    else:
+        table = codec.neighbour_table
 
+    alive = ~residual.removed_mask
     dist = np.full(size, -1, dtype=np.int64)
     dist[root] = 0
     frontier = np.array([root], dtype=np.int64)
     level = 0
     while frontier.size:
         level += 1
-        nxt_parts = [m[frontier].ravel() for m in matrices]
-        nxt = np.unique(np.concatenate(nxt_parts)) if len(nxt_parts) > 1 else np.unique(nxt_parts[0])
-        fresh = nxt[(dist[nxt] == -1) & (~residual.removed_mask[nxt])]
+        nxt = table[frontier].ravel()
+        if nxt.size < size >> 3:
+            # sparse frontier: sort-based dedup beats a full-size flag pass
+            cand = np.unique(nxt)
+            fresh = cand[(dist[cand] == -1) & alive[cand]]
+        else:
+            flags = np.zeros(size, dtype=bool)
+            flags[nxt] = True
+            fresh = np.flatnonzero(flags & alive & (dist == -1))
         dist[fresh] = level
         frontier = fresh
     return dist

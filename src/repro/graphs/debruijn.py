@@ -34,6 +34,7 @@ from ..words.alphabet import (
     validate_word,
     word_to_int,
 )
+from ..words.codec import WordCodec, get_codec
 
 __all__ = [
     "DeBruijnGraph",
@@ -219,6 +220,17 @@ class DeBruijnGraph:
     def predecessor_matrix(self) -> np.ndarray:
         """Vectorized predecessor table; see :func:`predecessor_matrix`."""
         return predecessor_matrix(self.d, self.n)
+
+    @property
+    def codec(self) -> WordCodec:
+        """The shared integer-word codec for this graph (cached per ``(d, n)``).
+
+        The codec carries the rotation/necklace-representative/period tables
+        and the read-only successor/predecessor matrices that power every
+        vectorized fast path (:mod:`repro.graphs.components`,
+        :mod:`repro.analysis.fault_simulation`).
+        """
+        return get_codec(self.d, self.n)
 
     # -- degrees -------------------------------------------------------------------
     def in_degree(self, word: Sequence[int]) -> int:

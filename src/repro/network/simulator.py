@@ -37,10 +37,25 @@ class SimulationResult:
     ----------
     rounds:
         Number of synchronous rounds executed (the paper's "communication steps").
+    messages_sent:
+        Total number of messages handed to the network by the programs.
     messages_delivered:
         Total number of messages successfully delivered.
     messages_dropped:
-        Messages lost to faulty nodes or faulty links.
+        Total messages lost, for any reason (the sum of the three
+        ``dropped_*`` counters below).  Conservation holds by construction
+        and is asserted by the simulator:
+        ``messages_sent == messages_delivered + messages_dropped``.
+    dropped_faulty_link:
+        Messages lost crossing a faulty link (they die on the wire, whatever
+        the state of the addressee).
+    dropped_faulty_node:
+        Messages that crossed a healthy link but were addressed to a faulty
+        processor (the "total failure" model of Section 1.1).
+    dropped_no_receiver:
+        Messages addressed to a healthy processor that is not participating
+        in the current computation (e.g. nodes of faulty necklaces sitting
+        out the FFC protocol).
     node_results:
         ``{node: program.result(ctx)}`` for every live node.
     halted:
@@ -53,6 +68,10 @@ class SimulationResult:
     node_results: dict[Word, Any]
     halted: bool
     phase_rounds: dict[str, int] = field(default_factory=dict)
+    messages_sent: int = 0
+    dropped_faulty_link: int = 0
+    dropped_faulty_node: int = 0
+    dropped_no_receiver: int = 0
 
 
 class SynchronousDeBruijnNetwork:
@@ -123,8 +142,11 @@ class SynchronousDeBruijnNetwork:
             contexts[w] = ctx
             programs[w] = program_factory(w) if callable(program_factory) else program_factory
 
+        sent = 0
         delivered = 0
-        dropped = 0
+        dropped_link = 0
+        dropped_node = 0
+        dropped_silent = 0
         in_flight: list[Message] = []
         for w in live_nodes:
             programs[w].on_start(contexts[w])
@@ -132,20 +154,26 @@ class SynchronousDeBruijnNetwork:
         for _ in range(max_rounds):
             # collect messages sent during the previous step
             for w in live_nodes:
-                in_flight.extend(contexts[w]._drain_outbox(rounds))
+                outgoing = contexts[w]._drain_outbox(rounds)
+                sent += len(outgoing)
+                in_flight.extend(outgoing)
             if not in_flight and all(contexts[w].halted for w in live_nodes):
                 break
-            # deliver
+            # deliver, attributing every loss to a distinct cause: a message
+            # crossing a faulty link dies on the wire before the state of the
+            # addressee can matter, then a faulty addressee swallows it, then
+            # a healthy-but-silent (non-participating) addressee ignores it.
             inboxes: dict[Word, list[Message]] = {w: [] for w in live_nodes}
             for msg in in_flight:
-                if msg.dst in self.faulty_nodes or (msg.src, msg.dst) in self.faulty_edges:
-                    dropped += 1
-                    continue
-                if msg.dst in inboxes:
+                if (msg.src, msg.dst) in self.faulty_edges:
+                    dropped_link += 1
+                elif msg.dst in self.faulty_nodes:
+                    dropped_node += 1
+                elif msg.dst in inboxes:
                     inboxes[msg.dst].append(msg)
                     delivered += 1
                 else:
-                    dropped += 1
+                    dropped_silent += 1
             in_flight = []
             rounds += 1
             progressed = False
@@ -160,10 +188,20 @@ class SynchronousDeBruijnNetwork:
         else:
             raise SimulationError(f"protocol did not terminate within {max_rounds} rounds")
 
+        dropped = dropped_link + dropped_node + dropped_silent
+        if sent != delivered + dropped:  # pragma: no cover - accounting invariant
+            raise SimulationError(
+                f"message conservation violated: sent {sent} != "
+                f"delivered {delivered} + dropped {dropped}"
+            )
         return SimulationResult(
             rounds=rounds,
             messages_delivered=delivered,
             messages_dropped=dropped,
             node_results={w: programs[w].result(contexts[w]) for w in live_nodes},
             halted=all(contexts[w].halted for w in live_nodes),
+            messages_sent=sent,
+            dropped_faulty_link=dropped_link,
+            dropped_faulty_node=dropped_node,
+            dropped_no_receiver=dropped_silent,
         )

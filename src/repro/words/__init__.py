@@ -21,6 +21,7 @@ from .alphabet import (
     word_to_int,
     words_as_array,
 )
+from .codec import WordCodec, get_codec
 from .necklaces import (
     Necklace,
     all_necklaces,
@@ -43,6 +44,7 @@ from .rotation import (
     rotate_left,
     rotate_left_int,
     rotate_right,
+    rotate_right_int,
 )
 
 __all__ = [
@@ -59,6 +61,8 @@ __all__ = [
     "weight",
     "word_to_int",
     "words_as_array",
+    "WordCodec",
+    "get_codec",
     "Necklace",
     "all_necklaces",
     "faulty_necklaces",
@@ -78,4 +82,5 @@ __all__ = [
     "rotate_left",
     "rotate_left_int",
     "rotate_right",
+    "rotate_right_int",
 ]

@@ -64,7 +64,11 @@ def validate_alphabet(d: int) -> int:
     if not isinstance(d, (int, np.integer)) or isinstance(d, bool):
         raise InvalidParameterError(f"alphabet size must be an int, got {d!r}")
     if d < 2:
-        raise InvalidParameterError(f"alphabet size must be >= 2, got {d}")
+        raise InvalidParameterError(
+            f"alphabet size must be >= 2, got {d} "
+            f"(B(1, n) degenerates to a single self-loop node; the encoding "
+            f"helpers word_to_int/int_to_word still accept d = 1 directly)"
+        )
     return int(d)
 
 
@@ -91,12 +95,26 @@ def validate_word(word: Sequence[int], d: int) -> Word:
 def word_to_int(word: Sequence[int], d: int) -> int:
     """Return the int encoding of ``word`` (base-``d``, most-significant first).
 
+    Accepts the degenerate unary alphabet ``d = 1`` (every word encodes to
+    ``0``).  Digits outside ``{0, ..., d-1}`` raise :class:`AlphabetError`
+    rather than silently producing the encoding of a different word, and the
+    empty word is rejected — there is no length-0 node in any ``B(d, n)``.
+
     >>> word_to_int((1, 1, 2, 0), 3)
     42
     """
+    if d < 1:
+        raise InvalidParameterError(f"alphabet size must be >= 1, got {d}")
     value = 0
+    count = 0
     for x in word:
-        value = value * d + int(x)
+        x = int(x)
+        if not 0 <= x < d:
+            raise AlphabetError(f"digit {x} outside alphabet Z_{d} in word {tuple(word)}")
+        value = value * d + x
+        count += 1
+    if count == 0:
+        raise InvalidParameterError("words must be non-empty")
     return value
 
 
@@ -106,6 +124,10 @@ def int_to_word(value: int, d: int, n: int) -> Word:
     >>> int_to_word(42, 3, 4)
     (1, 1, 2, 0)
     """
+    if d < 1:
+        raise InvalidParameterError(f"alphabet size must be >= 1, got {d}")
+    if n < 1:
+        raise InvalidParameterError(f"word length must be >= 1, got {n}")
     if value < 0 or value >= d**n:
         raise InvalidParameterError(
             f"value {value} is not a valid encoding of a length-{n} word over Z_{d}"

@@ -32,6 +32,7 @@ __all__ = [
     "min_rotation_index",
     "aperiodic_root",
     "rotate_left_int",
+    "rotate_right_int",
     "concatenation_power",
 ]
 
@@ -156,9 +157,23 @@ def aperiodic_root(word: Sequence[int]) -> Word:
 
 def concatenation_power(word: Sequence[int], k: int) -> Word:
     """Return ``word`` concatenated with itself ``k`` times (``w^k``)."""
+    w = tuple(word)
+    if len(w) == 0:
+        raise InvalidParameterError("cannot take a concatenation power of the empty word")
     if k < 1:
         raise InvalidParameterError(f"concatenation power must be >= 1, got {k}")
-    return tuple(word) * k
+    return w * k
+
+
+def _check_int_word(value: int, d: int, n: int) -> None:
+    if d < 1:
+        raise InvalidParameterError(f"alphabet size must be >= 1, got {d}")
+    if n < 1:
+        raise InvalidParameterError(f"word length must be >= 1, got {n}")
+    if not 0 <= value < d**n:
+        raise InvalidParameterError(
+            f"value {value} is not a valid encoding of a length-{n} word over Z_{d}"
+        )
 
 
 def rotate_left_int(value: int, d: int, n: int, i: int = 1) -> int:
@@ -166,14 +181,28 @@ def rotate_left_int(value: int, d: int, n: int, i: int = 1) -> int:
 
     This is the fast path equivalent of :func:`rotate_left` for int-encoded
     words: digits shifted off the most-significant end re-enter at the
-    least-significant end.
+    least-significant end.  Like the tuple functions it accepts any ``i``
+    (negative or a multiple of ``n``) and the degenerate ``d = 1`` and
+    ``n = 1`` cases; a ``value`` outside ``range(d**n)`` raises instead of
+    silently rotating the digits of a different word.
     """
+    _check_int_word(value, d, n)
     i %= n
     if i == 0:
         return value
     high = d ** (n - i)
     head, tail = divmod(value, high)
     return tail * (d**i) + head
+
+
+def rotate_right_int(value: int, d: int, n: int, i: int = 1) -> int:
+    """Right-rotate the int-encoded length-``n`` word ``value`` by ``i`` positions.
+
+    The inverse of :func:`rotate_left_int`:
+    ``rotate_right_int(rotate_left_int(x, d, n, i), d, n, i) == x``.
+    """
+    _check_int_word(value, d, n)
+    return rotate_left_int(value, d, n, n - (i % n))
 
 
 def _sorted_divisors(n: int) -> list[int]:

@@ -120,3 +120,36 @@ class TestRegistry:
         description, text = run_experiment("table_2_2", trials=2, seed=1)
         assert "B(4,5)" in description
         assert "1019" in text
+
+
+class TestFaultSweepRunnerValidation:
+    def test_measure_rejects_wrong_length_faults(self):
+        from repro.analysis import FaultSweepRunner
+
+        runner = FaultSweepRunner(2, 6)
+        with pytest.raises(InvalidParameterError):
+            runner.measure([(1, 0, 1)])  # length 3 in B(2, 6)
+
+    def test_measure_rejects_out_of_alphabet_faults(self):
+        from repro.analysis import FaultSweepRunner
+        from repro.exceptions import AlphabetError
+
+        runner = FaultSweepRunner(2, 6)
+        with pytest.raises(AlphabetError):
+            runner.measure([(0, 0, 0, 0, 0, 3)])
+
+    def test_measure_matches_run_trial_statistics(self):
+        from repro.analysis import FaultSweepRunner
+
+        runner = FaultSweepRunner(3, 4)
+        size, ecc = runner.measure([(0, 1, 2, 2)])
+        assert size == 3**4 - 4  # one aperiodic necklace removed
+        assert ecc >= 4
+
+    def test_runner_rejects_wrong_length_root(self):
+        from repro.analysis import FaultSweepRunner
+
+        with pytest.raises(InvalidParameterError):
+            FaultSweepRunner(2, 6, root=(1, 0, 1))
+        with pytest.raises(InvalidParameterError):
+            FaultSweepRunner(2, 6, root=(1,) * 7)

@@ -241,3 +241,15 @@ def test_random_fault_component_stats_are_consistent(d, n, data):
     assert stats.component_size == len(comp)
     assert 0 <= stats.root_eccentricity < r.num_total
     assert sum(component_sizes(r)) == r.num_alive
+
+
+def test_residual_rejects_wrong_length_faults():
+    """A fault word of the wrong length must not silently map to another node."""
+    import pytest
+    from repro.exceptions import InvalidParameterError
+    from repro.graphs import residual_after_node_faults
+
+    with pytest.raises(InvalidParameterError):
+        residual_after_node_faults(2, 4, [(0, 1)])
+    with pytest.raises(InvalidParameterError):
+        residual_after_node_faults(2, 4, [(0, 1, 0, 1, 0)], remove_whole_necklaces=False)

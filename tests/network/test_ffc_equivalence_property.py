@@ -1,0 +1,105 @@
+"""Property-based equivalence: centralized vs distributed FFC, and both kernels.
+
+The paper's central claim for Chapter 2 is that the message-passing protocol
+of Section 2.4 realises exactly the centralized algorithm of Section 2.3.
+These tests pin that equivalence over randomized fault sets across a
+``(d, n)`` grid — including the ``f = d - 2`` boundary of Proposition 2.2 —
+and additionally pin the integer-coded kernel against the readable tuple
+reference implementation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import find_fault_free_cycle, worst_case_fault_placement
+from repro.exceptions import DisconnectedGraphError
+from repro.network import run_distributed_ffc
+
+#: Small-graph grid: the distributed simulator runs one Python program per
+#: processor, so property tests stay on graphs of at most a few hundred nodes.
+GRID = [(2, 4), (2, 5), (3, 3), (3, 4), (4, 3), (5, 2)]
+
+
+def _random_faults(data, d, n, f):
+    return [
+        tuple(data.draw(st.integers(0, d - 1), label=f"fault{i}digit") for _ in range(n))
+        for i in range(f)
+    ]
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.sampled_from(GRID), st.data())
+def test_distributed_matches_centralized_on_random_faults(dn, data):
+    d, n = dn
+    f = data.draw(st.integers(0, d + 1), label="fault_count")
+    faults = _random_faults(data, d, n, f)
+    try:
+        central = find_fault_free_cycle(d, n, faults)
+    except DisconnectedGraphError:
+        return
+    distributed = run_distributed_ffc(d, n, faults)
+    assert list(distributed.cycle) == list(central.cycle)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from([(3, 3), (4, 3), (5, 2), (4, 2)]), st.data())
+def test_distributed_matches_centralized_at_prop_2_2_boundary(dn, data):
+    """The f = d - 2 boundary: the largest fault count with a worst-case bound."""
+    d, n = dn
+    f = d - 2
+    faults = _random_faults(data, d, n, f)
+    central = find_fault_free_cycle(d, n, faults)
+    distributed = run_distributed_ffc(d, n, faults)
+    assert list(distributed.cycle) == list(central.cycle)
+    # Proposition 2.2's guarantee applies on the boundary
+    assert central.length >= d**n - n * f
+    assert central.meets_guarantee()
+
+
+@pytest.mark.parametrize("d,n", [(3, 3), (4, 3), (5, 2)])
+def test_distributed_matches_centralized_on_worst_case_placement(d, n):
+    """The adversarial placement achieving the Prop. 2.2 bound with equality."""
+    faults = worst_case_fault_placement(d, n, d - 2)
+    central = find_fault_free_cycle(d, n, faults)
+    distributed = run_distributed_ffc(d, n, faults)
+    assert list(distributed.cycle) == list(central.cycle)
+    assert central.length == d**n - n * (d - 2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sampled_from(GRID + [(2, 7), (2, 8), (3, 5)]), st.data())
+def test_codec_kernel_matches_tuple_reference(dn, data):
+    """The integer kernel and the tuple reference produce identical results."""
+    d, n = dn
+    f = data.draw(st.integers(0, 2 * d), label="fault_count")
+    faults = _random_faults(data, d, n, f)
+    try:
+        fast = find_fault_free_cycle(d, n, faults, kernel="codec")
+    except DisconnectedGraphError:
+        with pytest.raises(DisconnectedGraphError):
+            find_fault_free_cycle(d, n, faults, kernel="tuple")
+        return
+    slow = find_fault_free_cycle(d, n, faults, kernel="tuple")
+    assert list(fast.cycle) == list(slow.cycle)
+    assert fast.bstar.root == slow.bstar.root
+    assert fast.bstar.nodes == slow.bstar.nodes
+    assert fast.spanning_tree.parent == slow.spanning_tree.parent
+    assert fast.modified_tree.outgoing == slow.modified_tree.outgoing
+
+
+def test_seeded_random_sweep_distributed_equals_centralized():
+    """A deterministic seeded sweep (complementing the hypothesis searches)."""
+    rng = np.random.default_rng(2026)
+    for d, n in GRID:
+        for f in (0, 1, d - 2, d - 1):
+            if f < 0:
+                continue
+            faults = [tuple(int(x) for x in rng.integers(0, d, n)) for _ in range(f)]
+            try:
+                central = find_fault_free_cycle(d, n, faults)
+            except DisconnectedGraphError:
+                continue
+            distributed = run_distributed_ffc(d, n, faults)
+            assert list(distributed.cycle) == list(central.cycle)

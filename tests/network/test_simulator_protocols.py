@@ -264,3 +264,68 @@ class TestMessageAndContext:
         assert not ctx.halted
         ctx.halt()
         assert ctx.halted
+
+
+class TestMessageAccounting:
+    """Drop reasons are attributed distinctly and messages are conserved."""
+
+    def test_conservation_no_faults(self):
+        net = SynchronousDeBruijnNetwork(3, 2)
+        result = net.run(lambda node: EchoProgram())
+        assert result.messages_sent == 27
+        assert result.messages_sent == result.messages_delivered + result.messages_dropped
+        assert result.messages_dropped == 0
+
+    def test_faulty_node_drops_attributed(self):
+        net = SynchronousDeBruijnNetwork(3, 2, faulty_nodes=[(0, 0)])
+        result = net.run(lambda node: EchoProgram())
+        # the faulty node has indegree 3, but its self-loop sender is also
+        # faulty (it never runs), so 2 messages die at the faulty addressee
+        assert result.dropped_faulty_node == 2
+        assert result.dropped_faulty_link == 0
+        assert result.dropped_no_receiver == 0
+        assert result.messages_sent == result.messages_delivered + result.messages_dropped
+
+    def test_faulty_link_drops_attributed(self):
+        net = SynchronousDeBruijnNetwork(2, 3, faulty_edges=[((0, 0, 0), (0, 0, 1))])
+        result = net.run(lambda node: EchoProgram())
+        assert result.dropped_faulty_link == 1
+        assert result.dropped_faulty_node == 0
+        assert result.messages_sent == result.messages_delivered + result.messages_dropped
+
+    def test_faulty_link_into_faulty_node_counts_as_link_drop(self):
+        # a message crossing a faulty link towards a faulty node dies on the
+        # wire: it must not be double-counted, and the link is the cause
+        net = SynchronousDeBruijnNetwork(
+            2, 3, faulty_nodes=[(0, 0, 1)], faulty_edges=[((0, 0, 0), (0, 0, 1))]
+        )
+        result = net.run(lambda node: EchoProgram())
+        assert result.dropped_faulty_link == 1
+        # remaining in-edge of (0,0,1) from (1,0,0) dies at the node instead
+        assert result.dropped_faulty_node == 1
+        assert result.messages_sent == result.messages_delivered + result.messages_dropped
+
+    def test_non_participant_drops_attributed(self):
+        net = SynchronousDeBruijnNetwork(2, 3)
+        result = net.run(lambda node: EchoProgram(), participants=[(0, 0, 0), (0, 0, 1)])
+        # participants send to all successors; messages to silent healthy
+        # nodes are dropped under their own reason
+        assert result.dropped_no_receiver > 0
+        assert result.dropped_faulty_node == 0
+        assert result.dropped_faulty_link == 0
+        assert result.messages_sent == result.messages_delivered + result.messages_dropped
+
+    def test_total_matches_reason_sum(self):
+        net = SynchronousDeBruijnNetwork(
+            3, 2, faulty_nodes=[(1, 2)], faulty_edges=[((0, 0), (0, 1))]
+        )
+        result = net.run(lambda node: EchoProgram())
+        assert result.messages_dropped == (
+            result.dropped_faulty_link
+            + result.dropped_faulty_node
+            + result.dropped_no_receiver
+        )
+
+    def test_distributed_ffc_accounting_consistent(self):
+        dres = run_distributed_ffc(3, 3, [(0, 2, 0)])
+        assert dres.messages_delivered > 0

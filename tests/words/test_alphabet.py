@@ -146,3 +146,44 @@ class TestHelpers:
         a = random_word(4, 6, np.random.default_rng(123))
         b = random_word(4, 6, np.random.default_rng(123))
         assert a == b
+
+
+class TestEncodingHardening:
+    """Regression tests for degenerate-input handling in the encoders."""
+
+    def test_word_to_int_rejects_empty_word(self):
+        with pytest.raises(InvalidParameterError):
+            word_to_int((), 3)
+
+    def test_word_to_int_rejects_out_of_alphabet_digits(self):
+        with pytest.raises(AlphabetError):
+            word_to_int((5, 1), 3)
+        with pytest.raises(AlphabetError):
+            word_to_int((-1, 0), 2)
+
+    def test_word_to_int_accepts_unary_alphabet(self):
+        assert word_to_int((0, 0, 0), 1) == 0
+
+    def test_word_to_int_rejects_nonpositive_alphabet(self):
+        with pytest.raises(InvalidParameterError):
+            word_to_int((0,), 0)
+
+    def test_int_to_word_rejects_nonpositive_length(self):
+        with pytest.raises(InvalidParameterError):
+            int_to_word(0, 3, 0)
+        with pytest.raises(InvalidParameterError):
+            int_to_word(0, 3, -1)
+
+    def test_int_to_word_accepts_unary_alphabet(self):
+        assert int_to_word(0, 1, 4) == (0, 0, 0, 0)
+        with pytest.raises(InvalidParameterError):
+            int_to_word(1, 1, 4)
+
+    def test_unary_round_trip(self):
+        for n in (1, 2, 5):
+            assert word_to_int(int_to_word(0, 1, n), 1) == 0
+
+    def test_round_trip_length_one(self):
+        for d in (2, 3, 7):
+            for v in range(d):
+                assert word_to_int(int_to_word(v, d, 1), d) == v

@@ -1,0 +1,138 @@
+"""Tests for the integer-coded word kernel (repro.words.codec)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.words import (
+    WordCodec,
+    get_codec,
+    int_to_word,
+    min_rotation,
+    necklace_of,
+    period,
+    rotate_left,
+    word_to_int,
+)
+from repro.words.necklaces import iter_necklace_representatives
+
+
+class TestTables:
+    @pytest.mark.parametrize("d,n", [(2, 1), (2, 6), (3, 4), (5, 3)])
+    def test_tables_match_tuple_functions(self, d, n):
+        codec = get_codec(d, n)
+        for value in range(codec.size):
+            w = int_to_word(value, d, n)
+            assert codec.rotate1[value] == word_to_int(rotate_left(w), d)
+            assert codec.rep[value] == word_to_int(min_rotation(w), d)
+            assert codec.periods[value] == period(w)
+
+    def test_tables_are_read_only(self):
+        codec = get_codec(2, 4)
+        with pytest.raises(ValueError):
+            codec.rotate1[0] = 1
+        with pytest.raises(ValueError):
+            codec.successor_table[0, 0] = 1
+
+    def test_necklace_reps_match_fkm_enumeration(self):
+        for d, n in [(2, 6), (3, 4)]:
+            codec = get_codec(d, n)
+            expected = [word_to_int(r, d) for r in iter_necklace_representatives(d, n)]
+            assert codec.necklace_reps().tolist() == expected
+
+    def test_necklace_members_traversal_order(self):
+        codec = get_codec(3, 4)
+        rep = word_to_int((0, 1, 1, 2), 3)
+        members = codec.necklace_members(rep)
+        nk = necklace_of((0, 1, 1, 2), 3)
+        # starting from the representative, rotations visit the necklace
+        assert set(members) == {word_to_int(w, 3) for w in nk.node_set}
+        assert len(members) == len(nk)
+
+
+class TestScalarOps:
+    @given(st.integers(2, 5), st.integers(1, 8), st.data())
+    def test_encode_decode_round_trip(self, d, n, data):
+        codec = get_codec(d, n)
+        value = data.draw(st.integers(0, codec.size - 1))
+        assert codec.encode(codec.decode(value)) == value
+
+    @given(st.integers(2, 4), st.integers(2, 7), st.data())
+    def test_split_helpers(self, d, n, data):
+        codec = get_codec(d, n)
+        value = data.draw(st.integers(0, codec.size - 1))
+        w = codec.decode(value)
+        assert codec.suffix(value) == word_to_int(w[1:], d)
+        assert codec.prefix(value) == word_to_int(w[:-1], d)
+        assert codec.first_digit(value) == w[0]
+        assert codec.last_digit(value) == w[-1]
+
+    @given(st.integers(2, 4), st.integers(1, 7), st.data())
+    def test_debruijn_moves(self, d, n, data):
+        codec = get_codec(d, n)
+        value = data.draw(st.integers(0, codec.size - 1))
+        a = data.draw(st.integers(0, d - 1))
+        w = codec.decode(value)
+        assert codec.successor(value, a) == word_to_int(w[1:] + (a,), d)
+        assert codec.predecessor(value, a) == word_to_int((a,) + w[:-1], d)
+
+    @given(st.integers(2, 4), st.integers(1, 7), st.data())
+    def test_rotate_arbitrary_amounts(self, d, n, data):
+        codec = get_codec(d, n)
+        value = data.draw(st.integers(0, codec.size - 1))
+        i = data.draw(st.integers(-3 * n, 3 * n))
+        assert codec.rotate(value, i) == word_to_int(rotate_left(codec.decode(value), i), d)
+
+
+class TestVectorized:
+    def test_encode_many_round_trip(self):
+        codec = get_codec(3, 4)
+        words = [(0, 1, 1, 2), (2, 0, 1, 1), (0, 0, 0, 0)]
+        codes = codec.encode_many(words)
+        assert codec.decode_many(codes) == words
+
+    def test_encode_many_rejects_bad_words(self):
+        codec = get_codec(3, 4)
+        with pytest.raises(InvalidParameterError):
+            codec.encode_many([(0, 1)])  # wrong length
+        with pytest.raises(InvalidParameterError):
+            codec.encode_many([(0, 1, 2, 5)])  # digit outside Z_3
+
+    def test_encode_many_empty(self):
+        codec = get_codec(3, 4)
+        assert codec.encode_many([]).size == 0
+
+    def test_faulty_necklace_mask_matches_necklace_expansion(self):
+        codec = get_codec(3, 4)
+        faults = [(0, 1, 1, 2), (2, 2, 2, 2)]
+        mask = codec.faulty_necklace_mask(codec.encode_many(faults))
+        expected = np.zeros(codec.size, dtype=bool)
+        for f in faults:
+            for member in necklace_of(f, 3).node_set:
+                expected[word_to_int(member, 3)] = True
+        assert np.array_equal(mask, expected)
+
+    def test_faulty_necklace_mask_empty(self):
+        codec = get_codec(2, 5)
+        assert not codec.faulty_necklace_mask([]).any()
+
+    def test_faulty_necklace_mask_rejects_out_of_range(self):
+        codec = get_codec(2, 5)
+        with pytest.raises(InvalidParameterError):
+            codec.faulty_necklace_mask([codec.size])
+
+
+class TestCaching:
+    def test_get_codec_returns_shared_instance(self):
+        assert get_codec(2, 5) is get_codec(2, 5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WordCodec(1, 3)
+        with pytest.raises(InvalidParameterError):
+            WordCodec(2, 0)
+
+    def test_dtype_choice(self):
+        assert get_codec(2, 10).rotate1.dtype == np.int32

@@ -17,6 +17,7 @@ from repro.words import (
     rotate_left,
     rotate_left_int,
     rotate_right,
+    rotate_right_int,
     word_to_int,
 )
 
@@ -151,3 +152,78 @@ class TestIntRotation:
 
     def test_zero_rotation_identity(self):
         assert rotate_left_int(42, 3, 4, 0) == 42
+
+
+class TestDegenerateInputs:
+    """Regression tests for the edge-case hardening of the rotation layer."""
+
+    def test_rotation_by_any_multiple_of_n_is_identity(self):
+        w = (0, 1, 1, 0, 2)
+        for k in (-3, -1, 0, 1, 2, 10):
+            assert rotate_left(w, k * len(w)) == w
+            assert rotate_right(w, k * len(w)) == w
+
+    @given(words, st.integers(-30, 30))
+    def test_left_right_inverse_law(self, w, i):
+        assert rotate_right(rotate_left(w, i), i) == w
+        assert rotate_left(rotate_right(w, i), i) == w
+
+    @given(words, st.integers(-30, 30), st.integers(-30, 30))
+    def test_right_rotations_compose_additively(self, w, i, j):
+        assert rotate_right(rotate_right(w, i), j) == rotate_right(w, i + j)
+
+    def test_length_one_words(self):
+        assert rotate_left((4,), 3) == (4,)
+        assert rotate_right((4,), -7) == (4,)
+        assert period((4,)) == 1
+        assert is_aperiodic((4,))
+        assert min_rotation_index((4,)) == 0
+        assert distinct_rotations((4,)) == [(4,)]
+        assert aperiodic_root((4,)) == (4,)
+
+    def test_unary_alphabet_words(self):
+        # words over Z_1 are all-zero; every rotation fixes them
+        w = (0, 0, 0)
+        assert rotate_left(w, 2) == w
+        assert min_rotation(w) == w
+        assert period(w) == 1
+        assert rotate_left_int(0, 1, 3, 2) == 0
+        assert rotate_right_int(0, 1, 3, 5) == 0
+
+    def test_concatenation_power_rejects_empty_word(self):
+        with pytest.raises(InvalidParameterError):
+            concatenation_power((), 3)
+
+
+class TestIntRotationHardening:
+    def test_rotate_left_int_rejects_out_of_range_value(self):
+        with pytest.raises(InvalidParameterError):
+            rotate_left_int(8, 2, 3, 1)  # valid codes are 0..7
+        with pytest.raises(InvalidParameterError):
+            rotate_left_int(-1, 2, 3, 1)
+
+    def test_rotate_left_int_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            rotate_left_int(0, 0, 3, 1)
+        with pytest.raises(InvalidParameterError):
+            rotate_left_int(0, 2, 0, 1)
+
+    def test_rotation_by_multiples_of_n_int(self):
+        assert rotate_left_int(42, 3, 4, 4) == 42
+        assert rotate_left_int(42, 3, 4, -4) == 42
+        assert rotate_left_int(42, 3, 4, 8) == 42
+
+    @given(st.integers(2, 5), st.integers(1, 8), st.data())
+    def test_right_int_inverts_left_int(self, d, n, data):
+        value = data.draw(st.integers(0, d**n - 1))
+        i = data.draw(st.integers(-2 * n, 2 * n))
+        assert rotate_right_int(rotate_left_int(value, d, n, i), d, n, i) == value
+
+    @given(st.integers(2, 5), st.integers(1, 8), st.data())
+    def test_rotate_right_int_matches_tuple(self, d, n, data):
+        from repro.words import int_to_word
+
+        value = data.draw(st.integers(0, d**n - 1))
+        i = data.draw(st.integers(0, 3 * n))
+        w = int_to_word(value, d, n)
+        assert rotate_right_int(value, d, n, i) == word_to_int(rotate_right(w, i), d)
