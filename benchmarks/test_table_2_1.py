@@ -1,4 +1,10 @@
-"""E-T2.1 — Table 2.1: random node faults in B(2,10) (component size / eccentricity)."""
+"""E-T2.1 — Table 2.1: random node faults in B(2,10) (component size / eccentricity).
+
+``simulate_fault_table`` routes through the parallel sweep engine
+(:mod:`repro.engine.sweep`); the rows benchmarked here are bit-for-bit what
+``ParallelSweepEngine`` produces for any worker count — the multiprocess
+path itself is exercised in ``benchmarks/test_parallel_sweep.py``.
+"""
 
 from repro.analysis import format_fault_table, simulate_fault_table
 

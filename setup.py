@@ -1,0 +1,11 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so ``pip install -e . --no-use-pep517`` works on minimal environments
+whose setuptools predates self-contained PEP 660 editable installs (no
+``wheel`` package available); normal ``pip install -e .`` ignores this file's
+presence beyond using it as the legacy entry point.
+"""
+
+from setuptools import setup
+
+setup()

@@ -17,6 +17,12 @@ Layered architecture (lowest first):
   distributed protocols of Section 2.4.
 * :mod:`repro.analysis` — experiment harnesses reproducing every table and
   figure of the paper's evaluation.
+* :mod:`repro.engine` — the serving/orchestration subsystem: the resident
+  :class:`~repro.engine.service.EmbeddingService`, the multiprocess
+  :class:`~repro.engine.sweep.ParallelSweepEngine` (deterministic for any
+  worker count, JSON checkpoint/resume) and the bounded-cache audit.
+* :mod:`repro.cli` — the ``python -m repro`` / ``repro`` command line
+  (``experiment``, ``sweep``, ``embed``).
 """
 
 from ._version import __version__

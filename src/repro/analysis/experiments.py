@@ -2,10 +2,12 @@
 
 Each entry pairs an experiment identifier (e.g. ``"table_2_1"``) with a
 callable returning ``(description, text)`` where ``text`` is the regenerated
-table/figure rendered via :mod:`repro.analysis.reporting`.  The benchmark
-suite under ``benchmarks/`` and the ``examples/reproduce_paper_tables.py``
-script both drive this registry, and EXPERIMENTS.md records the outputs next
-to the paper's numbers.
+table/figure rendered via :mod:`repro.analysis.reporting`.  The
+``python -m repro experiment`` CLI (which ``examples/reproduce_paper_tables.py``
+delegates to) and the benchmark suite under ``benchmarks/`` both drive this
+registry.  The fault-table entries accept ``workers`` and fan their trials
+out through :class:`repro.engine.sweep.ParallelSweepEngine` — same rows,
+any worker count.
 """
 
 from __future__ import annotations
@@ -30,16 +32,16 @@ from .reporting import format_fault_table, format_mapping_table, format_table
 __all__ = ["EXPERIMENTS", "run_experiment", "available_experiments"]
 
 
-def _table_2_1(trials: int = 200, seed: int = 0) -> tuple[str, str]:
-    rows = simulate_fault_table(2, 10, trials=trials, seed=seed)
+def _table_2_1(trials: int = 200, seed: int = 0, workers: int | None = None) -> tuple[str, str]:
+    rows = simulate_fault_table(2, 10, trials=trials, seed=seed, workers=workers)
     return (
         "Table 2.1 — component size / eccentricity of R=0^9 1 in B(2,10) under random faults",
         format_fault_table(rows),
     )
 
 
-def _table_2_2(trials: int = 200, seed: int = 0) -> tuple[str, str]:
-    rows = simulate_fault_table(4, 5, trials=trials, seed=seed)
+def _table_2_2(trials: int = 200, seed: int = 0, workers: int | None = None) -> tuple[str, str]:
+    rows = simulate_fault_table(4, 5, trials=trials, seed=seed, workers=workers)
     return (
         "Table 2.2 — component size / eccentricity of R=0^4 1 in B(4,5) under random faults",
         format_fault_table(rows),

@@ -27,18 +27,27 @@ This is what lets ``simulate_fault_table`` scale from the paper's
 per-trial tuple implementation is preserved in
 :mod:`repro.analysis.reference` for cross-validation and benchmarking.
 
+Orchestration lives one layer up: ``simulate_fault_table`` routes through
+:class:`repro.engine.sweep.ParallelSweepEngine`, which derives one random
+stream per trial from ``numpy.random.SeedSequence(seed)`` — making rows
+bit-for-bit identical for any worker count and resumable from JSON
+checkpoints.  ``run_row``/``simulate_fault_row`` with an explicit ``rng``
+keep the older convention of threading one generator sequentially through
+the trials; the frozen reference implementation shares that convention, so
+the equivalence benchmarks keep comparing like with like.
+
 The paper does not state its trial count; the default here is 200 trials per
 row, configurable, with a seeded generator so every run is reproducible.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
+from ..engine.cache import LRUCache
 from ..exceptions import InvalidParameterError
 from ..graphs.components import ResidualGraph, bfs_levels
 from ..network.faults import sample_node_faults
@@ -81,6 +90,28 @@ class FaultSimulationRow:
             round(self.avg_ecc, 2),
             self.max_ecc,
             self.min_ecc,
+        )
+
+    @classmethod
+    def from_samples(
+        cls, d: int, n: int, f: int, sizes: np.ndarray, eccs: np.ndarray
+    ) -> "FaultSimulationRow":
+        """Build a row from per-trial samples (the one place the statistics live).
+
+        Both the legacy sequential :meth:`FaultSweepRunner.run_row` and the
+        engine's :class:`~repro.engine.sweep.ParallelSweepEngine` aggregate
+        through here, so their row statistics can never diverge.
+        """
+        return cls(
+            f=f,
+            trials=len(sizes),
+            avg_size=float(sizes.mean()),
+            max_size=int(sizes.max()),
+            min_size=int(sizes.min()),
+            reference_size=d**n - n * f,
+            avg_ecc=float(eccs.mean()),
+            max_ecc=int(eccs.max()),
+            min_ecc=int(eccs.min()),
         )
 
 
@@ -189,17 +220,7 @@ class FaultSweepRunner:
         eccs = np.empty(trials, dtype=np.int64)
         for t in range(trials):
             sizes[t], eccs[t] = self.run_trial(f, rng)
-        return FaultSimulationRow(
-            f=f,
-            trials=trials,
-            avg_size=float(sizes.mean()),
-            max_size=int(sizes.max()),
-            min_size=int(sizes.min()),
-            reference_size=self.d**self.n - self.n * f,
-            avg_ecc=float(eccs.mean()),
-            max_ecc=int(eccs.max()),
-            min_ecc=int(eccs.min()),
-        )
+        return FaultSimulationRow.from_samples(self.d, self.n, f, sizes, eccs)
 
     def run_table(
         self,
@@ -207,14 +228,28 @@ class FaultSweepRunner:
         trials: int = 200,
         seed: int = 0,
     ) -> list[FaultSimulationRow]:
-        """Simulate a full table, sharing one seeded generator across rows."""
-        rng = np.random.default_rng(seed)
-        return [self.run_row(f, trials=trials, rng=rng) for f in fault_counts]
+        """Simulate a full table through the sweep engine (inline, this process).
+
+        Delegates to :class:`repro.engine.sweep.ParallelSweepEngine` so that
+        every table — serial or parallel, library call or CLI — runs through
+        one orchestration path with the same per-trial seed streams.
+        """
+        from ..engine.sweep import ParallelSweepEngine
+
+        engine = ParallelSweepEngine(self.d, self.n, root=self.root, runner=self)
+        return engine.run(fault_counts=fault_counts, trials=trials, seed=seed)
 
 
-@lru_cache(maxsize=8)
+#: Bounded, observable runner cache: one entry per ``(d, n, root)`` served.
+#: Audited (stats/clear) through :mod:`repro.engine.caches`; worker processes
+#: of the parallel sweep engine reuse it so codec tables are built once per
+#: process, not once per shard.
+_RUNNER_CACHE = LRUCache(maxsize=8, name="analysis.fault_runners")
+
+
 def _cached_runner(d: int, n: int, root: Word | None) -> FaultSweepRunner:
-    return FaultSweepRunner(d, n, root=root)
+    key = (int(d), int(n), root)
+    return _RUNNER_CACHE.get_or_create(key, lambda: FaultSweepRunner(d, n, root=root))
 
 
 def simulate_fault_row(
@@ -242,9 +277,29 @@ def simulate_fault_table(
     trials: int = 200,
     seed: int = 0,
     root: Sequence[int] | None = None,
+    workers: int | None = None,
+    checkpoint_path: str | None = None,
+    progress: Callable | None = None,
 ) -> list[FaultSimulationRow]:
-    """Simulate a full table (Table 2.1 with ``d=2, n=10``; Table 2.2 with ``d=4, n=5``)."""
+    """Simulate a full table (Table 2.1 with ``d=2, n=10``; Table 2.2 with ``d=4, n=5``).
+
+    Routed through :class:`repro.engine.sweep.ParallelSweepEngine`: the
+    random stream of trial ``t`` of row ``r`` is derived from
+    ``SeedSequence(seed)`` by spawn index, so the rows are bit-for-bit
+    identical whether run inline (``workers=None``, the default), in a
+    1-worker pool or across ``workers > 1`` processes.  ``checkpoint_path``
+    enables JSON checkpoint/resume for long sweeps and ``progress`` receives
+    a :class:`~repro.engine.sweep.SweepProgress` per completed batch.
+    """
+    from ..engine.sweep import ParallelSweepEngine
+
     root_key = None if root is None else tuple(int(x) for x in root)
-    return _cached_runner(d, n, root_key).run_table(
-        fault_counts=fault_counts, trials=trials, seed=seed
+    engine = ParallelSweepEngine(
+        d,
+        n,
+        root=root_key,
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        progress=progress,
     )
+    return engine.run(fault_counts=fault_counts, trials=trials, seed=seed)

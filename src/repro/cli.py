@@ -1,0 +1,242 @@
+"""The ``python -m repro`` / ``repro`` command line interface.
+
+Three subcommands expose the engine subsystem and the experiment registry:
+
+``repro experiment [NAME ...]``
+    Run entries of :mod:`repro.analysis.experiments` (every table and figure
+    of the paper); ``--list`` enumerates them, ``--all`` runs everything.
+
+``repro sweep --d D --n N``
+    Drive a Table 2.1/2.2-style random-fault sweep through
+    :class:`repro.engine.sweep.ParallelSweepEngine`, with ``--workers`` for
+    multiprocess sharding (bit-for-bit identical rows for any worker
+    count), ``--checkpoint`` for JSON checkpoint/resume and ``--json`` for
+    machine-readable output.
+
+``repro embed --d D --n N --faults ...``
+    One :class:`repro.engine.service.EmbeddingService` query: the fault-free
+    ring for a faulty ``B(d, n)``, its length, and the guarantee check.
+
+Faulty nodes are written either as compact digit strings (``020`` for the
+word ``(0, 2, 0)``, alphabets up to 10) or comma-separated digits
+(``10,3,0`` for ``(10, 3, 0)`` in larger alphabets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from collections.abc import Sequence
+
+from .analysis.experiments import available_experiments, run_experiment
+from .analysis.reporting import format_fault_table
+from .exceptions import ReproError
+from ._version import __version__
+
+__all__ = ["main"]
+
+#: Experiment names whose registry entries accept sweep kwargs.
+_SWEEP_EXPERIMENTS = ("table_2_1", "table_2_2")
+
+
+def parse_word(text: str) -> tuple[int, ...]:
+    """Parse one node word: compact digits (``020``) or comma-separated (``0,2,0``)."""
+    text = text.strip()
+    try:
+        if "," in text:
+            return tuple(int(part) for part in text.split(","))
+        return tuple(int(ch) for ch in text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse word {text!r}: use digits like 020 or comma form 0,2,0"
+        ) from None
+
+
+def _parse_fault_counts(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(",") if part.strip() != "")
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse fault counts {text!r}: expected e.g. 0,1,2,5"
+        ) from None
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant ring embedding in De Bruijn networks "
+        "(Rowley & Bose, ICPP'91) — experiments, fault sweeps and the "
+        "embedding service.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser(
+        "experiment", help="run entries of the paper's experiment registry"
+    )
+    exp.add_argument("names", nargs="*", help="experiment names (see --list)")
+    exp.add_argument("--all", action="store_true", help="run every registered experiment")
+    exp.add_argument("--list", action="store_true", help="list experiment names and exit")
+    exp.add_argument("--trials", type=int, default=200,
+                     help="random-fault trials per row for the fault tables")
+    exp.add_argument("--seed", type=int, default=0, help="seed for the fault tables")
+    exp.add_argument("--workers", type=int, default=0,
+                     help="worker processes for the fault tables (0 = inline)")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a Table 2.1/2.2-style fault sweep through the engine"
+    )
+    sweep.add_argument("--d", type=int, required=True, help="De Bruijn alphabet size")
+    sweep.add_argument("--n", type=int, required=True, help="De Bruijn word length")
+    sweep.add_argument("--fault-counts", type=_parse_fault_counts, default=None,
+                       help="comma-separated fault counts (default: the paper's 0..10,20..50)")
+    sweep.add_argument("--trials", type=int, default=200, help="trials per row")
+    sweep.add_argument("--seed", type=int, default=0, help="base seed of the trial streams")
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = inline; results identical either way)")
+    sweep.add_argument("--root", type=parse_word, default=None,
+                       help="measurement root (default: the paper's 0...01)")
+    sweep.add_argument("--checkpoint", default=None,
+                       help="JSON checkpoint file for interrupt/resume")
+    sweep.add_argument("--no-resume", action="store_true",
+                       help="ignore an existing checkpoint and start fresh")
+    sweep.add_argument("--progress", action="store_true",
+                       help="report completed trials on stderr")
+    sweep.add_argument("--json", action="store_true", help="emit rows as JSON")
+
+    embed = sub.add_parser(
+        "embed", help="query the embedding service for one fault-free ring"
+    )
+    embed.add_argument("--d", type=int, required=True, help="De Bruijn alphabet size")
+    embed.add_argument("--n", type=int, required=True, help="De Bruijn word length")
+    embed.add_argument("--faults", type=parse_word, nargs="*", default=[],
+                       help="faulty nodes, e.g. --faults 020 112")
+    embed.add_argument("--root", type=parse_word, default=None,
+                       help="preferred root node for the returned cycle")
+    embed.add_argument("--show-cycle", action="store_true",
+                       help="print the full cycle (can be huge)")
+    embed.add_argument("--json", action="store_true", help="emit the response as JSON")
+
+    return parser
+
+
+# -- subcommand implementations ------------------------------------------------
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = available_experiments()
+    if args.list:
+        print("\n".join(names))
+        return 0
+    selected = names if args.all or not args.names else list(args.names)
+    unknown = [name for name in selected if name not in names]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"choose from: {', '.join(names)}", file=sys.stderr)
+        return 1
+    for name in selected:
+        kwargs = {}
+        if name in _SWEEP_EXPERIMENTS:
+            kwargs = {
+                "trials": args.trials,
+                "seed": args.seed,
+                "workers": args.workers or None,
+            }
+        description, text = run_experiment(name, **kwargs)
+        print("=" * 78)
+        print(f"{name}: {description}")
+        print("-" * 78)
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.fault_simulation import PAPER_FAULT_COUNTS
+    from .engine.sweep import ParallelSweepEngine, SweepProgress
+
+    def report(progress: SweepProgress) -> None:
+        print(
+            f"\r{progress.done_trials}/{progress.total_trials} trials "
+            f"(row f={progress.f})",
+            end="",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    engine = ParallelSweepEngine(
+        args.d,
+        args.n,
+        root=args.root,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        progress=report if args.progress else None,
+    )
+    rows = engine.run(
+        fault_counts=args.fault_counts if args.fault_counts is not None else PAPER_FAULT_COUNTS,
+        trials=args.trials,
+        seed=args.seed,
+        resume=not args.no_resume,
+    )
+    if args.progress:
+        print(file=sys.stderr)
+    if args.json:
+        payload = {
+            "d": args.d,
+            "n": args.n,
+            "trials": args.trials,
+            "seed": args.seed,
+            "rows": [dataclasses.asdict(row) for row in rows],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_fault_table(rows, title=f"Random-fault sweep of B({args.d},{args.n})"))
+    return 0
+
+
+def _cmd_embed(args: argparse.Namespace) -> int:
+    from .engine.service import EmbeddingService
+
+    service = EmbeddingService()
+    response = service.embed(args.d, args.n, faults=args.faults, root_hint=args.root)
+    if args.json:
+        print(json.dumps(response.as_dict(include_cycle=args.show_cycle), indent=2))
+        return 0
+    faults = ", ".join("".join(map(str, w)) for w in response.faults) or "(none)"
+    necklaces = ", ".join("".join(map(str, w)) for w in response.faulty_necklaces) or "(none)"
+    bound = "none (outside guaranteed regimes)" if response.guarantee_bound is None \
+        else str(response.guarantee_bound)
+    print(f"B({response.d},{response.n}) with {len(response.faults)} faulty node(s): {faults}")
+    print(f"faulty necklaces (canonical): {necklaces}")
+    print(f"fault-free ring length: {response.length} of {response.d ** response.n} nodes")
+    print(f"worst-case guarantee: {bound}; met: {response.meets_guarantee}")
+    print(f"service time: {response.elapsed_s * 1e3:.2f} ms")
+    if args.show_cycle:
+        print("cycle:", " ".join("".join(map(str, w)) for w in response.cycle))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (also the ``repro`` console script)."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "embed":
+            return _cmd_embed(args)
+    except BrokenPipeError:  # e.g. `repro experiment --all | head`
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except ReproError as exc:  # domain errors become one-line diagnostics
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

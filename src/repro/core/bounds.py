@@ -45,7 +45,7 @@ __all__ = [
 ]
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=512)
 def strategy_for_prime(p: int) -> dict:
     """Select the disjoint-HC strategy of Section 3.2.1 for the prime ``p``.
 
@@ -86,7 +86,7 @@ def strategy_for_prime(p: int) -> dict:
     )
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=1024)
 def psi_prime_power(p: int, e: int) -> int:
     """Return ``psi(p**e)``: guaranteed disjoint HCs in ``B(p**e, n)`` (Proposition 3.1).
 
@@ -109,7 +109,7 @@ def psi_prime_power(p: int, e: int) -> int:
     return (q - 1) // 2
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=1024)
 def psi(d: int) -> int:
     """Return ``psi(d)``: guaranteed disjoint HCs in ``B(d, n)`` (Proposition 3.2).
 
@@ -135,7 +135,7 @@ def disjoint_hc_upper_bound(d: int) -> int:
     return d - 1
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=1024)
 def edge_fault_phi(d: int) -> int:
     """Return ``\\varphi(d) = p_1^{e_1} + ... + p_k^{e_k} - 2k`` (Section 3.3)."""
     if d < 2:

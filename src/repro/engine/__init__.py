@@ -1,0 +1,64 @@
+"""repro.engine — the serving and orchestration subsystem.
+
+Three cooperating pieces turn the paper's algorithms into a long-lived
+system (the ROADMAP's production north star):
+
+* :class:`~repro.engine.service.EmbeddingService` — a resident query API
+  ``embed(d, n, faults) -> EmbeddingResponse`` with canonical fault
+  normalisation, bounded LRU caches and hit/latency counters.
+* :class:`~repro.engine.sweep.ParallelSweepEngine` — multiprocess sharded
+  execution of the Table 2.1/2.2 fault sweeps with per-trial
+  ``SeedSequence``-derived streams (bit-for-bit identical results for any
+  worker count), JSON checkpoint/resume and progress callbacks.
+* the ``python -m repro`` CLI (:mod:`repro.cli`) driving both plus the
+  experiment registry.
+
+:mod:`repro.engine.cache` provides the bounded-LRU primitive and
+:mod:`repro.engine.caches` the process-wide cache audit.
+
+The service/sweep symbols are loaded lazily (PEP 562): the analysis layer
+imports :mod:`repro.engine.cache` for its bounded runner cache while the
+sweep engine imports the analysis layer, and lazy loading keeps that
+mutual dependency acyclic at import time.
+"""
+
+from .cache import CacheStats, LRUCache
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "cache_stats",
+    "clear_caches",
+    "EmbeddingRequest",
+    "EmbeddingResponse",
+    "EmbeddingService",
+    "ParallelSweepEngine",
+    "SweepProgress",
+    "trial_seed_sequences",
+]
+
+_LAZY = {
+    "cache_stats": "caches",
+    "clear_caches": "caches",
+    "EmbeddingRequest": "service",
+    "EmbeddingResponse": "service",
+    "EmbeddingService": "service",
+    "ParallelSweepEngine": "sweep",
+    "SweepProgress": "sweep",
+    "trial_seed_sequences": "sweep",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from importlib import import_module
+
+        module = import_module(f".{_LAZY[name]}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

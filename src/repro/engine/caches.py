@@ -1,0 +1,78 @@
+"""Process-wide cache audit: every bounded cache, one stats/clear surface.
+
+A resident engine process memoises in several places: the codec tables
+(:func:`repro.words.codec.get_codec`), the fault-sweep runners
+(:mod:`repro.analysis.fault_simulation`), and the small number-theoretic
+caches under :mod:`repro.gf` and :mod:`repro.core.bounds`.  All of them are
+bounded (a PR-2 audit capped the formerly unbounded ones), and this module
+is the single place that can enumerate, snapshot and clear them — the
+service layer surfaces it through :meth:`EmbeddingService.stats`.
+
+Imports happen lazily inside the registry function so that importing
+:mod:`repro.engine` does not drag in the whole package.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .cache import LRUCache
+
+__all__ = ["cache_stats", "clear_caches"]
+
+
+def _registry() -> dict[str, Any]:
+    """Name -> cache object, for every audited cache in the process.
+
+    Values are either :class:`~repro.engine.cache.LRUCache` instances or
+    :func:`functools.lru_cache`-wrapped callables.
+    """
+    from ..analysis import fault_simulation
+    from ..core import bounds
+    from ..gf import field, modular, primitive
+    from ..words import codec
+
+    return {
+        "words.get_codec": codec.get_codec,
+        "analysis.fault_runners": fault_simulation._RUNNER_CACHE,
+        "gf.GF": field.GF,
+        "gf.smallest_irreducible": field._smallest_irreducible,
+        "gf.primitive_polynomial_coefficients": primitive.primitive_polynomial_coefficients,
+        "gf.prime_factorization": modular.prime_factorization,
+        "gf.primitive_root": modular.primitive_root,
+        "bounds.strategy_for_prime": bounds.strategy_for_prime,
+        "bounds.psi_prime_power": bounds.psi_prime_power,
+        "bounds.psi": bounds.psi,
+        "bounds.edge_fault_phi": bounds.edge_fault_phi,
+    }
+
+
+def _snapshot(name: str, cache: Any) -> dict[str, Any]:
+    if isinstance(cache, LRUCache):
+        return cache.stats().as_dict()
+    info = cache.cache_info()  # functools.lru_cache wrapper
+    return {
+        "name": name,
+        "maxsize": info.maxsize,
+        "currsize": info.currsize,
+        "hits": info.hits,
+        "misses": info.misses,
+        "evictions": max(0, info.misses - info.currsize) if info.maxsize else 0,
+        "hit_rate": round(info.hits / (info.hits + info.misses), 4)
+        if (info.hits + info.misses)
+        else 0.0,
+    }
+
+
+def cache_stats() -> dict[str, dict[str, Any]]:
+    """Snapshot every audited cache: ``{name: {maxsize, currsize, hits, ...}}``."""
+    return {name: _snapshot(name, cache) for name, cache in _registry().items()}
+
+
+def clear_caches() -> None:
+    """Evict every audited cache (counters on LRU caches are preserved)."""
+    for cache in _registry().values():
+        if isinstance(cache, LRUCache):
+            cache.clear()
+        else:
+            cache.cache_clear()

@@ -1,0 +1,238 @@
+"""The long-lived embedding query service.
+
+The FFC algorithm is, operationally, a *reconfiguration service*: a faulty
+``B(d, n)`` network asks "what fault-free ring do I run on now?" and wants
+the answer fast, repeatedly, for fault sets that often differ only
+cosmetically.  :class:`EmbeddingService` packages the Chapter 2 machinery
+behind exactly that API:
+
+* **Canonical normalisation** — the FFC result depends only on *which
+  necklaces* are faulty, so every request's fault set is reduced to sorted
+  canonical necklace representatives before the cache lookup.  Requests
+  whose faults are rotations of each other hit the same entry.
+* **Bounded caches** — recent ``(d, n, necklaces, root_hint) -> cycle``
+  answers and the per-graph codec tables are held in LRU caches of fixed
+  size (see :mod:`repro.engine.cache`), so a resident process serves hot
+  traffic from memory without unbounded growth.
+* **Counters** — hit/miss rates and latency totals are exposed via
+  :meth:`EmbeddingService.stats`, alongside the process-wide cache audit of
+  :mod:`repro.engine.caches`.
+
+The guarantee fields are computed per request from the *requested* fault
+count (Propositions 2.2/2.3 count faulty processors, not necklaces), so two
+requests sharing one cached cycle can still report different bounds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..core.ffc import find_fault_free_cycle, guaranteed_cycle_length
+from ..exceptions import FaultBudgetExceededError, InvalidParameterError
+from ..words.alphabet import Word, validate_word
+from ..words.codec import WordCodec, get_codec
+from .cache import LRUCache
+
+__all__ = ["EmbeddingRequest", "EmbeddingResponse", "EmbeddingService"]
+
+
+@dataclass(frozen=True)
+class EmbeddingRequest:
+    """One embedding query: which graph, which faulty processors, which root."""
+
+    d: int
+    n: int
+    faults: tuple[Word, ...] = ()
+    root_hint: Word | None = None
+
+    @classmethod
+    def make(
+        cls,
+        d: int,
+        n: int,
+        faults: Iterable[Sequence[int]] = (),
+        root_hint: Sequence[int] | None = None,
+    ) -> "EmbeddingRequest":
+        return cls(
+            d=int(d),
+            n=int(n),
+            faults=tuple(tuple(int(x) for x in w) for w in faults),
+            root_hint=None if root_hint is None else tuple(int(x) for x in root_hint),
+        )
+
+
+@dataclass(frozen=True)
+class EmbeddingResponse:
+    """Everything a reconfiguring network needs from one query.
+
+    Attributes
+    ----------
+    faulty_necklaces:
+        The canonical representatives of the necklaces the faults kill —
+        the normalised form actually used as the cache key.
+    guarantee_bound:
+        The applicable worst-case cycle-length bound (Proposition 2.2/2.3),
+        or ``None`` when the fault count is outside every guaranteed regime.
+    meets_guarantee:
+        ``length >= guarantee_bound`` (vacuously True with no bound: the
+        cycle always spans all of ``B*``).
+    cached:
+        True when the cycle came from the answer cache.
+    elapsed_s:
+        Wall-clock service time of this request (cache hits included).
+    """
+
+    d: int
+    n: int
+    faults: tuple[Word, ...]
+    faulty_necklaces: tuple[Word, ...]
+    cycle: tuple[Word, ...]
+    length: int
+    guarantee_bound: int | None
+    meets_guarantee: bool
+    cached: bool
+    elapsed_s: float
+
+    def as_dict(self, include_cycle: bool = True) -> dict:
+        data = {
+            "d": self.d,
+            "n": self.n,
+            "faults": [list(w) for w in self.faults],
+            "faulty_necklaces": [list(w) for w in self.faulty_necklaces],
+            "length": self.length,
+            "guarantee_bound": self.guarantee_bound,
+            "meets_guarantee": self.meets_guarantee,
+            "cached": self.cached,
+            "elapsed_s": self.elapsed_s,
+        }
+        if include_cycle:
+            data["cycle"] = [list(w) for w in self.cycle]
+        return data
+
+
+class EmbeddingService:
+    """Resident query API over the FFC algorithm (see the module docstring).
+
+    Parameters
+    ----------
+    max_cached_answers:
+        Bound on the ``(d, n, necklaces, root_hint) -> cycle`` LRU.
+    max_cached_codecs:
+        Bound on the per-graph codec-table LRU.  (The codec module keeps its
+        own small global cache; the service-level LRU pins the graphs *this
+        service* actually serves and gives them observable hit counters.)
+    """
+
+    def __init__(self, max_cached_answers: int = 256, max_cached_codecs: int = 4) -> None:
+        self._answers = LRUCache(max_cached_answers, name="engine.embedding_answers")
+        self._codecs = LRUCache(max_cached_codecs, name="engine.codec_tables")
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._total_latency = 0.0
+        self._compute_latency = 0.0
+
+    # -- queries --------------------------------------------------------------
+    def embed(
+        self,
+        d: int,
+        n: int,
+        faults: Iterable[Sequence[int]] = (),
+        root_hint: Sequence[int] | None = None,
+    ) -> EmbeddingResponse:
+        """Answer one reconfiguration query."""
+        return self.submit(EmbeddingRequest.make(d, n, faults, root_hint))
+
+    def embed_batch(self, requests: Iterable[EmbeddingRequest]) -> list[EmbeddingResponse]:
+        """Answer a batch of queries (shared caches make repeats nearly free)."""
+        return [self.submit(request) for request in requests]
+
+    def submit(self, request: EmbeddingRequest) -> EmbeddingResponse:
+        """Answer one pre-built :class:`EmbeddingRequest`."""
+        start = time.perf_counter()
+        codec = self._codec(request.d, request.n)
+        fault_words = self._validated_faults(codec, request.faults)
+        rep_codes = sorted({int(codec.rep[codec.encode(w)]) for w in fault_words})
+        key = (codec.d, codec.n, tuple(rep_codes), request.root_hint)
+
+        cycle = self._answers.get(key)
+        cached = cycle is not None
+        if not cached:
+            result = find_fault_free_cycle(
+                codec.d, codec.n, fault_words, root_hint=request.root_hint
+            )
+            cycle = result.cycle
+            self._answers.put(key, cycle)
+
+        bound = self._guarantee_bound(codec.d, codec.n, len(set(fault_words)))
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._requests += 1
+            self._total_latency += elapsed
+            if not cached:
+                self._compute_latency += elapsed
+        return EmbeddingResponse(
+            d=codec.d,
+            n=codec.n,
+            faults=tuple(fault_words),
+            faulty_necklaces=tuple(codec.decode(code) for code in rep_codes),
+            cycle=cycle,
+            length=len(cycle),
+            guarantee_bound=bound,
+            meets_guarantee=True if bound is None else len(cycle) >= bound,
+            cached=cached,
+            elapsed_s=elapsed,
+        )
+
+    # -- observability ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Service counters plus the bounded-cache audit of this process."""
+        from .caches import cache_stats  # local import: caches pulls many modules
+
+        with self._lock:
+            requests = self._requests
+            total_latency = self._total_latency
+            compute_latency = self._compute_latency
+        return {
+            "requests": requests,
+            "total_latency_s": total_latency,
+            "compute_latency_s": compute_latency,
+            "avg_latency_s": total_latency / requests if requests else 0.0,
+            "answers": self._answers.stats().as_dict(),
+            "codecs": self._codecs.stats().as_dict(),
+            "process_caches": cache_stats(),
+        }
+
+    def clear(self, include_process_caches: bool = False) -> None:
+        """Evict the service caches (optionally every audited process cache too)."""
+        self._answers.clear()
+        self._codecs.clear()
+        if include_process_caches:
+            from .caches import clear_caches
+
+            clear_caches()
+
+    # -- internals -------------------------------------------------------------
+    def _codec(self, d: int, n: int) -> WordCodec:
+        return self._codecs.get_or_create((int(d), int(n)), lambda: get_codec(d, n))
+
+    def _validated_faults(
+        self, codec: WordCodec, faults: Iterable[Sequence[int]]
+    ) -> list[Word]:
+        words = [validate_word(w, codec.d) for w in faults]
+        for w in words:
+            if len(w) != codec.n:
+                raise InvalidParameterError(
+                    f"fault {w} has length {len(w)}, expected {codec.n} "
+                    f"for B({codec.d},{codec.n})"
+                )
+        return words
+
+    @staticmethod
+    def _guarantee_bound(d: int, n: int, f: int) -> int | None:
+        try:
+            return guaranteed_cycle_length(d, n, f)
+        except FaultBudgetExceededError:
+            return None

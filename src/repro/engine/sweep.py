@@ -1,0 +1,350 @@
+"""Parallel, resumable orchestration of the Table 2.1/2.2 fault sweeps.
+
+:class:`ParallelSweepEngine` is the single orchestration path for the
+random-fault simulations of Section 2.5.2: the public
+:func:`repro.analysis.fault_simulation.simulate_fault_table`, the
+``python -m repro sweep`` CLI and the table benchmarks all route through it.
+
+The engine's contract is **bit-for-bit determinism independent of worker
+count**: a serial run, a 1-worker pool and an N-worker pool all produce
+identical rows for the same ``(d, n, root, fault_counts, trials, seed)``.
+That holds because the random stream is defined *per trial*, not per
+process: trial ``t`` of the row with fault count ``f`` always draws from
+
+``numpy.random.default_rng(SeedSequence(seed, spawn_key=(f, t)))``
+
+— the child that ``SeedSequence(seed).spawn(f + 1)[f].spawn(t + 1)[t]``
+would produce, constructed directly — so neither the assignment of trials
+to workers nor the order in which shards finish can change any sample.
+Keying the spawn tree by *fault count* rather than row position has a
+second dividend: a row's stream is independent of which other rows are
+swept, so ``fault_counts=(5,)`` alone reproduces the ``f=5`` row of a full
+table exactly.  (All of this replaces the pre-engine scheme of one
+generator threaded sequentially through every trial, which no parallel
+execution could reproduce; the sequential scheme survives unchanged in
+:meth:`FaultSweepRunner.run_row` for the frozen-reference comparisons.)
+
+Long sweeps — ``B(4, 10)`` has ~10^6 processors — additionally get JSON
+checkpointing: completed trials are flushed to disk every
+``checkpoint_every`` results (and always on the way out, even through an
+exception), and a rerun with the same ``(d, n, root, seed)`` resumes from
+the file and returns rows identical to an uninterrupted run — even when the
+rerun adds fault counts or grows the trial count, since every stream is
+keyed by ``(seed, f, t)`` alone.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..analysis.fault_simulation import (
+    PAPER_FAULT_COUNTS,
+    FaultSimulationRow,
+    FaultSweepRunner,
+    _cached_runner,
+)
+
+__all__ = [
+    "ParallelSweepEngine",
+    "SweepProgress",
+    "trial_seed_sequences",
+]
+
+#: Target shards per worker per row: small enough to amortise dispatch,
+#: large enough that a slow shard cannot leave the pool idle for long.
+_SHARDS_PER_WORKER = 4
+
+
+def trial_seed_sequences(
+    seed: int, fault_counts: Sequence[int], trials: int
+) -> list[list[np.random.SeedSequence]]:
+    """The canonical per-trial seed tree: ``seeds[row][trial]``.
+
+    Trial ``t`` of the row with fault count ``f`` gets the spawn-tree child
+    ``SeedSequence(seed, spawn_key=(f, t))`` — exactly the grandchild that
+    ``SeedSequence(seed).spawn(...)`` indexing by ``f`` then ``t`` yields,
+    constructed directly.  Every execution mode derives its generators from
+    this same tree, which is what makes worker count irrelevant to the
+    results; keying by ``f`` makes each row's stream independent of which
+    other rows are swept.
+    """
+    return [
+        [np.random.SeedSequence(seed, spawn_key=(int(f), t)) for t in range(trials)]
+        for f in fault_counts
+    ]
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """Progress snapshot handed to the engine's callback after each batch."""
+
+    done_trials: int
+    total_trials: int
+    f: int  # fault count of the batch that just completed
+
+    @property
+    def fraction(self) -> float:
+        return self.done_trials / self.total_trials if self.total_trials else 1.0
+
+
+def _run_shard(
+    payload: tuple,
+) -> tuple[int, list[tuple[int, int, int]]]:
+    """Worker entry point: run one shard of trials for one fault count.
+
+    ``payload`` is ``(d, n, root, f, items)`` with ``items`` a list of
+    ``(trial_index, SeedSequence)`` pairs.  The per-process runner is
+    shared across shards via the bounded runner cache, so codec tables are
+    built once per worker regardless of shard count.
+    """
+    d, n, root, f, items = payload
+    runner = _cached_runner(d, n, root)
+    out = []
+    for t, seq in items:
+        size, ecc = runner.run_trial(f, np.random.default_rng(seq))
+        out.append((t, size, ecc))
+    return f, out
+
+
+class _Checkpoint:
+    """Atomic JSON checkpoint of a sweep's completed trials.
+
+    Entries are keyed ``completed[f][trial]`` — by fault count, matching the
+    seed tree — so a checkpoint remains valid when the swept fault counts
+    *or* the trial count change: every trial stream depends only on
+    ``(seed, f, t)``, so shared ``(f, t)`` pairs are reused and only the
+    missing ones are computed.  The header ``(d, n, root, seed)`` *is*
+    validated; a mismatch there means the trial streams or the measured
+    graph differ and resuming would silently mix sweeps.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str, header: dict, info: dict | None = None) -> None:
+        self.path = path
+        self.header = header
+        #: written for provenance, never validated (see the class docstring)
+        self.info = info or {}
+
+    def load_completed(self) -> dict[tuple[int, int], tuple[int, int]]:
+        """Return ``(f, trial) -> (size, ecc)`` from disk, validating the header."""
+        if not os.path.exists(self.path):
+            return {}
+        with open(self.path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        stored = {k: data.get(k) for k in self.header}
+        if stored != self.header:
+            raise InvalidParameterError(
+                f"checkpoint {self.path} was written by a different sweep: "
+                f"stored header {stored} != requested {self.header}"
+            )
+        completed: dict[tuple[int, int], tuple[int, int]] = {}
+        for f_key, trials in data.get("completed", {}).items():
+            for trial_key, (size, ecc) in trials.items():
+                completed[(int(f_key), int(trial_key))] = (int(size), int(ecc))
+        return completed
+
+    def save(self, completed: dict[tuple[int, int], tuple[int, int]]) -> None:
+        """Write the checkpoint atomically (tmp file + rename)."""
+        nested: dict[str, dict[str, list[int]]] = {}
+        for (f, t), (size, ecc) in completed.items():
+            nested.setdefault(str(f), {})[str(t)] = [size, ecc]
+        data = dict(self.header)
+        data.update(self.info)
+        data["version"] = self.VERSION
+        data["completed"] = nested
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(data, fh)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+
+class ParallelSweepEngine:
+    """Sharded, checkpointed executor for random-fault table sweeps.
+
+    Parameters
+    ----------
+    d, n:
+        De Bruijn parameters of the swept graph ``B(d, n)``.
+    root:
+        Optional measurement root (default: the paper's ``0...01``).
+    workers:
+        ``None``, ``0`` or ``1`` runs inline in this process; ``N > 1``
+        dispatches shards to a :class:`~concurrent.futures.ProcessPoolExecutor`
+        of ``N`` processes.  The results are identical either way.
+    checkpoint_path:
+        Optional JSON file for checkpoint/resume.  Completed trials are
+        flushed every ``checkpoint_every`` results and on every exit path;
+        a rerun with the same ``(d, n, root, seed)`` resumes from the file —
+        including reruns that add fault counts or grow the trial count,
+        which recompute only the missing ``(f, trial)`` pairs.
+    checkpoint_every:
+        Flush cadence, in completed trials (only meaningful with a
+        checkpoint path).
+    progress:
+        Optional callable receiving a :class:`SweepProgress` after every
+        completed trial (serial) or shard (parallel).
+    runner:
+        Optional pre-built :class:`FaultSweepRunner` to reuse for inline
+        execution (worker processes always use the shared runner cache).
+    """
+
+    def __init__(
+        self,
+        d: int,
+        n: int,
+        root: Sequence[int] | None = None,
+        workers: int | None = None,
+        checkpoint_path: str | os.PathLike | None = None,
+        checkpoint_every: int = 64,
+        progress: Callable[[SweepProgress], None] | None = None,
+        runner: FaultSweepRunner | None = None,
+    ) -> None:
+        self.d, self.n = int(d), int(n)
+        self.root = None if root is None else tuple(int(x) for x in root)
+        if workers is not None and workers < 0:
+            raise InvalidParameterError(f"workers must be >= 0, got {workers}")
+        if checkpoint_every < 1:
+            raise InvalidParameterError("checkpoint_every must be >= 1")
+        self.workers = int(workers) if workers else 0
+        self.checkpoint_path = None if checkpoint_path is None else os.fspath(checkpoint_path)
+        self.checkpoint_every = int(checkpoint_every)
+        self.progress = progress
+        self._runner = runner
+
+    # -- public entry point ---------------------------------------------------
+    def run(
+        self,
+        fault_counts: Iterable[int] = PAPER_FAULT_COUNTS,
+        trials: int = 200,
+        seed: int = 0,
+        resume: bool = True,
+    ) -> list[FaultSimulationRow]:
+        """Run (or resume) the sweep and return one row per fault count."""
+        rows = [int(f) for f in fault_counts]
+        if not rows:
+            return []
+        if any(f < 0 for f in rows):
+            raise InvalidParameterError("fault counts must be >= 0")
+        if trials < 1:
+            raise InvalidParameterError("at least one trial is required")
+
+        checkpoint = self._checkpoint(rows, trials, seed)
+        completed: dict[tuple[int, int], tuple[int, int]] = {}
+        if checkpoint is not None and resume:
+            completed = checkpoint.load_completed()
+
+        unique_fs = list(dict.fromkeys(rows))
+        seeds = dict(zip(unique_fs, trial_seed_sequences(seed, unique_fs, trials)))
+        pending = [
+            (f, t)
+            for f in unique_fs
+            for t in range(trials)
+            if (f, t) not in completed
+        ]
+        total = len(unique_fs) * trials
+
+        if pending:
+            try:
+                if self.workers > 1:
+                    self._run_parallel(seeds, pending, completed, total, checkpoint)
+                else:
+                    self._run_serial(seeds, pending, completed, total, checkpoint)
+            finally:
+                # Flush whatever finished, even on the way out through an
+                # exception/interrupt — that is what makes resume exact.
+                if checkpoint is not None:
+                    checkpoint.save(completed)
+
+        return self._aggregate(rows, trials, completed)
+
+    # -- execution modes ------------------------------------------------------
+    def _run_serial(self, seeds, pending, completed, total, checkpoint) -> None:
+        runner = self._runner
+        if runner is None:
+            runner = _cached_runner(self.d, self.n, self.root)
+        done = total - len(pending)
+        since_flush = 0
+        for f, t in pending:
+            size, ecc = runner.run_trial(f, np.random.default_rng(seeds[f][t]))
+            completed[(f, t)] = (size, ecc)
+            done += 1
+            since_flush += 1
+            if checkpoint is not None and since_flush >= self.checkpoint_every:
+                checkpoint.save(completed)
+                since_flush = 0
+            self._report(done, total, f)
+
+    def _run_parallel(self, seeds, pending, completed, total, checkpoint) -> None:
+        by_f: dict[int, list[int]] = {}
+        for f, t in pending:
+            by_f.setdefault(f, []).append(t)
+        shards = []
+        for f, ts in by_f.items():
+            shard_size = max(1, math.ceil(len(ts) / (self.workers * _SHARDS_PER_WORKER)))
+            for start in range(0, len(ts), shard_size):
+                items = [(t, seeds[f][t]) for t in ts[start : start + shard_size]]
+                shards.append((self.d, self.n, self.root, f, items))
+
+        done = total - len(pending)
+        since_flush = 0
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {pool.submit(_run_shard, shard) for shard in shards}
+            while futures:
+                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    f, results = future.result()
+                    for t, size, ecc in results:
+                        completed[(f, t)] = (size, ecc)
+                    done += len(results)
+                    since_flush += len(results)
+                    if checkpoint is not None and since_flush >= self.checkpoint_every:
+                        checkpoint.save(completed)
+                        since_flush = 0
+                    self._report(done, total, f)
+
+    # -- helpers --------------------------------------------------------------
+    def _checkpoint(self, rows, trials, seed) -> _Checkpoint | None:
+        if self.checkpoint_path is None:
+            return None
+        # The header pins everything the trial streams depend on.  The swept
+        # fault counts and the trial count are deliberately NOT validated:
+        # every stream is keyed by (seed, f, t) alone, so a checkpoint stays
+        # reusable when rows are added or the trial count grows.
+        header = {
+            "d": self.d,
+            "n": self.n,
+            "root": None if self.root is None else list(self.root),
+            "seed": int(seed),
+        }
+        info = {"trials": int(trials), "fault_counts": list(rows)}
+        return _Checkpoint(self.checkpoint_path, header, info)
+
+    def _report(self, done, total, f) -> None:
+        if self.progress is not None:
+            self.progress(SweepProgress(done_trials=done, total_trials=total, f=f))
+
+    def _aggregate(self, rows, trials, completed) -> list[FaultSimulationRow]:
+        out = []
+        for f in rows:
+            sizes = np.empty(trials, dtype=np.int64)
+            eccs = np.empty(trials, dtype=np.int64)
+            for t in range(trials):
+                sizes[t], eccs[t] = completed[(f, t)]
+            out.append(FaultSimulationRow.from_samples(self.d, self.n, f, sizes, eccs))
+        return out

@@ -275,7 +275,7 @@ class ExtensionField(GaloisField):
         return self.pow(a, self.order - 2)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=64)
 def GF(q: int, modulus: tuple[int, ...] | None = None) -> GaloisField:
     """Return the Galois field with ``q`` elements (cached factory).
 
@@ -352,7 +352,7 @@ def _is_irreducible_mod_p(poly: tuple[int, ...], p: int) -> bool:
     return True
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=64)
 def _smallest_irreducible(p: int, e: int) -> tuple[int, ...]:
     """Return the lexicographically smallest monic irreducible polynomial of degree ``e``."""
     for tail in product(range(p), repeat=e):

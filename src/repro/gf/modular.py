@@ -58,7 +58,7 @@ def is_prime(n: int) -> bool:
     return True
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=4096)
 def prime_factorization(n: int) -> tuple[tuple[int, int], ...]:
     """Return the prime factorisation of ``n`` as a tuple of ``(prime, exponent)`` pairs.
 
@@ -175,7 +175,7 @@ def is_primitive_root(a: int, p: int) -> bool:
     return multiplicative_order(a, p) == p - 1
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=512)
 def primitive_root(p: int) -> int:
     """Return the smallest primitive root of the prime ``p``."""
     if not is_prime(p):

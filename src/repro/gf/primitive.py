@@ -130,7 +130,7 @@ def find_primitive_polynomial(field: GaloisField, degree: int) -> Poly:
     )
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=128)
 def primitive_polynomial_coefficients(q: int, degree: int) -> tuple[int, ...]:
     """Return recurrence coefficients ``(a_0, ..., a_{n-1})`` of a primitive polynomial.
 

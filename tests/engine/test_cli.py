@@ -1,0 +1,125 @@
+"""Tests for the ``python -m repro`` CLI (experiment / sweep / embed)."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_word
+
+
+class TestParseWord:
+    def test_compact_digits(self):
+        assert parse_word("020") == (0, 2, 0)
+
+    def test_comma_separated(self):
+        assert parse_word("10,3,0") == (10, 3, 0)
+
+    def test_garbage_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_word("0a1")
+
+
+class TestExperimentCommand:
+    def test_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "table_2_1" in out and "figure_2_ffc_example" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["experiment", "table_3_1"]) == 0
+        out = capsys.readouterr().out
+        assert "psi(d)" in out and "table_3_1" in out
+
+    def test_fault_table_accepts_trials_and_workers(self, capsys):
+        assert main(["experiment", "table_2_2", "--trials", "2", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "B(4,5)" in out and "1019" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["experiment", "table_9_9"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_text_output(self, capsys):
+        code = main(["sweep", "--d", "2", "--n", "6",
+                     "--fault-counts", "0,1", "--trials", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "B(2,6)" in out and "Avg. Size" in out
+
+    def test_worker_count_invariance_via_json(self, capsys):
+        argv = ["sweep", "--d", "2", "--n", "6", "--fault-counts", "0,1,3",
+                "--trials", "4", "--seed", "7", "--json"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert json.loads(serial) == json.loads(parallel)
+        assert serial == parallel  # byte-identical, diffable in CI
+
+    def test_checkpoint_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "ck.json")
+        argv = ["sweep", "--d", "2", "--n", "5", "--fault-counts", "1",
+                "--trials", "3", "--json", "--checkpoint", path]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0  # resumes from the finished checkpoint
+        assert capsys.readouterr().out == first
+
+    def test_progress_flag(self, capsys):
+        assert main(["sweep", "--d", "2", "--n", "5", "--fault-counts", "1",
+                     "--trials", "2", "--progress"]) == 0
+        assert "trials" in capsys.readouterr().err
+
+
+class TestEmbedCommand:
+    def test_human_output(self, capsys):
+        assert main(["embed", "--d", "2", "--n", "5", "--faults", "00011"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-free ring length: 27" in out
+        assert "worst-case guarantee: 26; met: True" in out
+
+    def test_json_output(self, capsys):
+        assert main(["embed", "--d", "3", "--n", "3",
+                     "--faults", "020", "112", "--json", "--show-cycle"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["d"] == 3 and data["n"] == 3
+        assert data["length"] == len(data["cycle"])
+        assert data["faults"] == [[0, 2, 0], [1, 1, 2]]
+        assert data["meets_guarantee"] is True
+
+    def test_show_cycle_text(self, capsys):
+        assert main(["embed", "--d", "2", "--n", "4", "--show-cycle"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle:" in out
+        assert "0000" in out  # the full graph cycle visits the zero word
+
+    def test_no_faults_full_ring(self, capsys):
+        assert main(["embed", "--d", "2", "--n", "5", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["length"] == 32 and data["faults"] == []
+
+    def test_missing_required_args(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["embed", "--d", "2"])
+        assert exc.value.code == 2
+
+
+class TestDomainErrors:
+    def test_bad_fault_digit_is_a_one_line_diagnostic(self, capsys):
+        assert main(["embed", "--d", "2", "--n", "5", "--faults", "00021"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro embed:") and "Traceback" not in err
+
+    def test_checkpoint_mismatch_is_a_one_line_diagnostic(self, tmp_path, capsys):
+        path = str(tmp_path / "ck.json")
+        base = ["sweep", "--d", "2", "--n", "5", "--fault-counts", "1",
+                "--trials", "2", "--checkpoint", path]
+        assert main(base + ["--seed", "0"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--seed", "1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro sweep:") and "different sweep" in err

@@ -1,0 +1,120 @@
+"""Tests for the resident embedding service (normalisation, caching, counters)."""
+
+import pytest
+
+from repro.core import find_fault_free_cycle
+from repro.engine import EmbeddingRequest, EmbeddingService
+from repro.exceptions import AlphabetError, InvalidParameterError
+
+
+class TestEmbedding:
+    def test_matches_direct_ffc_call(self):
+        service = EmbeddingService()
+        faults = [(0, 2, 0), (1, 1, 2)]
+        response = service.embed(3, 3, faults)
+        direct = find_fault_free_cycle(3, 3, faults)
+        assert response.cycle == direct.cycle
+        assert response.length == direct.length == len(direct.cycle)
+        assert response.meets_guarantee == direct.meets_guarantee()
+
+    def test_cache_hit_returns_identical_cycle(self):
+        service = EmbeddingService()
+        cold = service.embed(2, 6, [(0, 1, 1, 0, 1, 0)])
+        warm = service.embed(2, 6, [(0, 1, 1, 0, 1, 0)])
+        assert not cold.cached and warm.cached
+        assert warm.cycle == cold.cycle
+        assert warm.length == cold.length
+
+    def test_rotated_faults_hit_same_entry(self):
+        # The FFC result depends only on which necklaces die, so a rotation
+        # of the fault word must be served from cache with the same cycle.
+        service = EmbeddingService()
+        cold = service.embed(2, 5, [(0, 0, 0, 1, 1)])
+        rotated = service.embed(2, 5, [(0, 0, 1, 1, 0)])
+        assert rotated.cached
+        assert rotated.cycle == cold.cycle
+        assert rotated.faulty_necklaces == cold.faulty_necklaces
+        # the response still reports the faults as requested
+        assert rotated.faults == ((0, 0, 1, 1, 0),)
+
+    def test_root_hint_is_part_of_the_key(self):
+        service = EmbeddingService()
+        a = service.embed(2, 5, [(1, 1, 1, 0, 1)], root_hint=(0, 0, 0, 0, 1))
+        b = service.embed(2, 5, [(1, 1, 1, 0, 1)])
+        assert not b.cached  # different key, not served from a's entry
+        assert a.length == b.length  # but the same surviving component
+
+    def test_guarantee_fields(self):
+        service = EmbeddingService()
+        zero = service.embed(2, 5)
+        assert zero.guarantee_bound == 32 and zero.meets_guarantee
+        single = service.embed(2, 5, [(0, 0, 0, 1, 1)])
+        assert single.guarantee_bound == 2**5 - (5 + 1)  # Proposition 2.3
+        many = service.embed(2, 5, [(0, 0, 0, 1, 1), (0, 1, 0, 1, 1)])
+        assert many.guarantee_bound is None  # outside every guaranteed regime
+        assert many.meets_guarantee  # vacuously: the cycle spans all of B*
+
+    def test_duplicate_faults_counted_once_for_guarantee(self):
+        service = EmbeddingService()
+        response = service.embed(4, 3, [(0, 1, 2), (0, 1, 2)])
+        assert response.guarantee_bound == 4**3 - 3 * 1  # f = 1 distinct fault
+
+    def test_batch_queries_share_the_cache(self):
+        service = EmbeddingService()
+        requests = [
+            EmbeddingRequest.make(2, 5, [(0, 0, 0, 1, 1)]),
+            EmbeddingRequest.make(2, 5, [(0, 0, 1, 1, 0)]),  # rotation of the first
+            EmbeddingRequest.make(2, 5),
+        ]
+        responses = service.embed_batch(requests)
+        assert [r.cached for r in responses] == [False, True, False]
+        assert responses[0].cycle == responses[1].cycle
+        assert responses[2].length == 32
+
+    def test_validation_errors(self):
+        service = EmbeddingService()
+        with pytest.raises(InvalidParameterError):
+            service.embed(2, 5, [(0, 1)])  # wrong length
+        with pytest.raises(AlphabetError):
+            service.embed(2, 5, [(0, 0, 0, 0, 7)])  # digit outside Z_2
+
+
+class TestCountersAndBounds:
+    def test_stats_counters(self):
+        service = EmbeddingService()
+        service.embed(2, 5, [(0, 0, 0, 1, 1)])
+        service.embed(2, 5, [(0, 0, 0, 1, 1)])
+        stats = service.stats()
+        assert stats["requests"] == 2
+        assert stats["answers"]["hits"] == 1 and stats["answers"]["misses"] == 1
+        assert stats["total_latency_s"] >= stats["compute_latency_s"] > 0
+        assert stats["avg_latency_s"] > 0
+        assert "words.get_codec" in stats["process_caches"]
+
+    def test_answer_cache_is_bounded(self):
+        service = EmbeddingService(max_cached_answers=2)
+        service.embed(2, 5, [(0, 0, 0, 1, 1)])
+        service.embed(2, 5, [(0, 1, 0, 1, 1)])
+        service.embed(2, 5, [(0, 0, 1, 0, 1)])  # evicts the first entry
+        assert service.stats()["answers"]["currsize"] == 2
+        assert service.stats()["answers"]["evictions"] == 1
+        refreshed = service.embed(2, 5, [(0, 0, 0, 1, 1)])
+        assert not refreshed.cached  # was evicted, recomputed
+
+    def test_clear_empties_service_caches(self):
+        service = EmbeddingService()
+        service.embed(2, 5, [(0, 0, 0, 1, 1)])
+        service.clear()
+        assert service.stats()["answers"]["currsize"] == 0
+        assert service.stats()["codecs"]["currsize"] == 0
+        again = service.embed(2, 5, [(0, 0, 0, 1, 1)])
+        assert not again.cached
+
+    def test_response_as_dict(self):
+        service = EmbeddingService()
+        response = service.embed(2, 5, [(0, 0, 0, 1, 1)])
+        data = response.as_dict(include_cycle=False)
+        assert "cycle" not in data
+        assert data["length"] == response.length
+        full = response.as_dict()
+        assert len(full["cycle"]) == response.length
