@@ -22,6 +22,18 @@ across every trial of every row:
   yields both the component size and the root eccentricity;
 * the per-trial statistics are accumulated into numpy arrays.
 
+On top of the per-trial machinery sits the bit-parallel batch path
+(:meth:`FaultSweepRunner.run_trials_batch`): up to 64 trials of one table
+row are packed into ``uint64`` lanes — one bit per trial per node — and a
+single multi-trial BFS (:mod:`repro.graphs.msbfs`) measures the whole batch
+with ``d`` gathers per level instead of one full BFS per trial.  Fault
+*sampling* stays strictly per-trial (each trial consumes only its own
+seeded stream, via the vectorized :func:`repro.network.faults.sample_node_fault_codes`),
+and trials whose root lands in a faulty necklace are peeled onto the scalar
+fallback, so batched rows are bit-for-bit identical to scalar rows — the
+batching only changes how fast the measurements happen (~10x single-process
+on ``B(2, 12)``, pinned by ``benchmarks/test_msbfs.py``).
+
 This is what lets ``simulate_fault_table`` scale from the paper's
 ``d**n ≈ 1024`` graphs to ``B(4, 10)`` with ~10^6 nodes.  The original
 per-trial tuple implementation is preserved in
@@ -30,7 +42,8 @@ per-trial tuple implementation is preserved in
 Orchestration lives one layer up: ``simulate_fault_table`` routes through
 :class:`repro.engine.sweep.ParallelSweepEngine`, which derives one random
 stream per trial from ``numpy.random.SeedSequence(seed)`` — making rows
-bit-for-bit identical for any worker count and resumable from JSON
+bit-for-bit identical for any worker count and *any* batch size
+(``batch=1`` is the scalar escape hatch), and resumable from JSON
 checkpoints.  ``run_row``/``simulate_fault_row`` with an explicit ``rng``
 keep the older convention of threading one generator sequentially through
 the trials; the frozen reference implementation shares that convention, so
@@ -50,7 +63,13 @@ import numpy as np
 from ..engine.cache import LRUCache
 from ..exceptions import InvalidParameterError
 from ..graphs.components import ResidualGraph, bfs_levels
-from ..network.faults import sample_node_faults
+from ..graphs.msbfs import (
+    WORD_WIDTH,
+    batched_root_stats,
+    lane_removed_mask,
+    pack_fault_lanes,
+)
+from ..network.faults import sample_fault_code_batch, sample_node_fault_codes
 from ..words.alphabet import Word, validate_word, word_to_int
 from ..words.codec import get_codec
 
@@ -145,8 +164,9 @@ class FaultSweepRunner:
     # -- one trial -----------------------------------------------------------
     def run_trial(self, f: int, rng: np.random.Generator) -> tuple[int, int]:
         """Run one random trial: returns ``(component_size, root_eccentricity)``."""
-        faults = sample_node_faults(self.d, self.n, f, rng)
-        return self.measure(faults)
+        codes = sample_node_fault_codes(self.d, self.n, f, rng)
+        fault_codes = np.asarray(codes, dtype=self.codec.dtype)
+        return self.measure_mask(self.codec.faulty_necklace_mask(fault_codes))
 
     def measure(self, faults: Iterable[Sequence[int]]) -> tuple[int, int]:
         """Measure component size and eccentricity for an explicit fault set."""
@@ -161,17 +181,131 @@ class FaultSweepRunner:
         fault_codes = np.asarray(
             [word_to_int(w, self.d) for w in fault_words], dtype=codec.dtype
         )
-        removed = codec.faulty_necklace_mask(fault_codes)
+        return self.measure_mask(codec.faulty_necklace_mask(fault_codes))
+
+    def measure_mask(self, removed: np.ndarray) -> tuple[int, int]:
+        """Measure for an explicit removed-node mask (the int-coded hot path)."""
         root = self._measurement_root(removed)
         if root is None:
             return 0, 0
+        return self._measure_from_root(removed, root)
+
+    def _measure_from_root(self, removed: np.ndarray, root: int) -> tuple[int, int]:
         # Whole-necklace removal keeps the digraph balanced, so the weak
         # component of the root is strongly connected: one directed BFS gives
         # both the component (the reached set) and the eccentricity.
         dist = bfs_levels(ResidualGraph(self.d, self.n, removed), root, direction="out")
         return int((dist >= 0).sum()), int(dist.max())
 
+    # -- one batch of trials ---------------------------------------------------
+    def run_trials_batch(
+        self, f: int, seed_seqs: Sequence[np.random.SeedSequence]
+    ) -> list[tuple[int, int]]:
+        """Run up to 64 trials in one bit-parallel sweep; results in trial order.
+
+        Each element of ``seed_seqs`` seeds one trial's private stream
+        (the engine passes ``SeedSequence(seed, spawn_key=(f, t))``), and
+        fault sampling stays strictly per-trial, so every returned pair is
+        bit-for-bit what :meth:`run_trial` yields for the same stream — the
+        kernel only changes how the ``(component size, eccentricity)``
+        measurements are carried out.  Trials whose root lands in a faulty
+        necklace are peeled out of the packed sweep and measured by the
+        scalar fallback (:meth:`measure_mask`), including the paper's
+        neighbouring-root rule and the all-nodes-removed ``(0, 0)`` case.
+        """
+        batch = len(seed_seqs)
+        if not 1 <= batch <= WORD_WIDTH:
+            raise InvalidParameterError(
+                f"batch size must be in 1..{WORD_WIDTH}, got {batch}"
+            )
+        rngs = [np.random.default_rng(seq) for seq in seed_seqs]
+        codes = sample_fault_code_batch(self.d, self.n, f, rngs)
+        lanes = pack_fault_lanes(self.codec, codes)
+        stats = batched_root_stats(self.codec, lanes, self.root_code, batch)
+        results = list(zip(stats.sizes.tolist(), stats.eccs.tolist()))
+        for t, stat in self._batched_fallbacks(lanes, stats.dead_trials()).items():
+            results[t] = stat
+        return results
+
+    def _batched_fallbacks(
+        self, lanes: np.ndarray, dead: Sequence[int]
+    ) -> dict[int, tuple[int, int]]:
+        """Fallback measurements for the batch's root-dead trials, lane-packed.
+
+        Each dead trial contributes its fallback candidate roots as lanes
+        over its own fault mask (a single candidate is just a 1-lane
+        segment), so one extra kernel sweep usually resolves every peeled
+        trial of the batch at once.  Per trial the result is bit-for-bit
+        :meth:`_fallback_stats` (itself bit-for-bit :meth:`measure_mask`);
+        a trial with more than 64 candidates falls back to chunked racing.
+        """
+        out: dict[int, tuple[int, int]] = {}
+        pending: list[tuple[int, np.ndarray]] = []
+        for t in dead:
+            removed = lane_removed_mask(lanes, t)
+            if not (~removed).any():
+                out[t] = (0, 0)
+                continue
+            candidates = self._fallback_candidates(removed)
+            if candidates.size > WORD_WIDTH:
+                out[t] = self._fallback_stats(removed)
+            else:
+                # single candidates ride along too: a 1-lane segment of the
+                # race sweep is exactly that root's BFS
+                pending.append((t, candidates))
+        group: list[tuple[int, np.ndarray]] = []
+        used = 0
+        for item in pending:
+            if used + len(item[1]) > WORD_WIDTH:
+                self._race_candidate_lanes(lanes, group, out)
+                group, used = [], 0
+            group.append(item)
+            used += len(item[1])
+        if group:
+            self._race_candidate_lanes(lanes, group, out)
+        return out
+
+    def _race_candidate_lanes(
+        self,
+        lanes: np.ndarray,
+        group: Sequence[tuple[int, np.ndarray]],
+        out: dict[int, tuple[int, int]],
+    ) -> None:
+        """Race several trials' candidate roots in one multi-root sweep."""
+        one = np.uint64(1)
+        roots = np.concatenate([c for _, c in group]).astype(np.int64)
+        packed = np.zeros(self.codec.size, dtype=np.uint64)
+        pos = 0
+        for t, candidates in group:
+            # replicate trial t's removed mask into this trial's lane segment
+            segment = np.uint64(((1 << len(candidates)) - 1) << pos)
+            packed |= ((lanes >> np.uint64(t)) & one) * segment
+            pos += len(candidates)
+        stats = batched_root_stats(self.codec, packed, roots, len(roots))
+        pos = 0
+        for t, candidates in group:
+            seg_sizes = stats.sizes[pos : pos + len(candidates)]
+            # np.argmax returns the FIRST maximum: the ascending-code
+            # strict-'>' scan of _measurement_root, lane-parallel.
+            i = int(np.argmax(seg_sizes))
+            out[t] = (int(seg_sizes[i]), int(stats.eccs[pos + i]))
+            pos += len(candidates)
+
     # -- root fallback --------------------------------------------------------
+    def _intact_distances(self) -> np.ndarray:
+        """Fault-free hop distances from ``R`` (either direction), cached."""
+        if self._intact_dist is None:
+            intact = ResidualGraph(self.d, self.n, np.zeros(self.codec.size, dtype=bool))
+            self._intact_dist = bfs_levels(intact, self.root_code, direction="both")
+        return self._intact_dist
+
+    def _fallback_candidates(self, removed: np.ndarray) -> np.ndarray:
+        """The paper's "neighboring node" candidates: nearest survivors, ascending."""
+        alive = ~removed
+        dist = self._intact_distances()
+        nearest = dist[alive].min()
+        return np.flatnonzero(alive & (dist == nearest))
+
     def _measurement_root(self, removed: np.ndarray) -> int | None:
         """The root ``R``, or the paper's "neighboring node" fallback.
 
@@ -188,15 +322,9 @@ class FaultSweepRunner:
         """
         if not removed[self.root_code]:
             return self.root_code
-        alive = ~removed
-        if not alive.any():
+        if not (~removed).any():
             return None
-        if self._intact_dist is None:
-            intact = ResidualGraph(self.d, self.n, np.zeros(self.codec.size, dtype=bool))
-            self._intact_dist = bfs_levels(intact, self.root_code, direction="both")
-        dist = self._intact_dist
-        nearest = dist[alive].min()
-        candidates = np.flatnonzero(alive & (dist == nearest))
+        candidates = self._fallback_candidates(removed)
         if candidates.size == 1:
             return int(candidates[0])
         best_root, best_size = None, -1
@@ -206,6 +334,33 @@ class FaultSweepRunner:
             if size > best_size:
                 best_root, best_size = value, size
         return best_root
+
+    def _fallback_stats(self, removed: np.ndarray) -> tuple[int, int]:
+        """Measure a trial whose root ``R`` lies in a faulty necklace.
+
+        Bit-for-bit the result of :meth:`measure_mask` on the same mask, but
+        with the tied fallback candidates raced through ONE bit-parallel
+        sweep (each candidate root in its own lane over the shared fault
+        mask) instead of one scalar BFS per candidate plus a final re-sweep
+        of the winner.  The scalar tie-break is preserved exactly: the
+        winner is the first maximum over candidates in ascending code order.
+        """
+        if not (~removed).any():
+            return 0, 0
+        candidates = self._fallback_candidates(removed)
+        if candidates.size == 1:
+            return self._measure_from_root(removed, int(candidates[0]))
+        best_size, best_ecc = -1, 0
+        for start in range(0, candidates.size, WORD_WIDTH):
+            chunk = candidates[start : start + WORD_WIDTH]
+            lanes = removed.astype(np.uint64) * np.uint64(2 ** len(chunk) - 1)
+            stats = batched_root_stats(self.codec, lanes, chunk, len(chunk))
+            # np.argmax returns the FIRST maximum: the ascending-code strict-'>'
+            # scan of _measurement_root, lane-parallel.
+            i = int(np.argmax(stats.sizes))
+            if int(stats.sizes[i]) > best_size:
+                best_size, best_ecc = int(stats.sizes[i]), int(stats.eccs[i])
+        return best_size, best_ecc
 
     # -- rows and tables ------------------------------------------------------
     def run_row(
@@ -227,16 +382,19 @@ class FaultSweepRunner:
         fault_counts: Iterable[int] = PAPER_FAULT_COUNTS,
         trials: int = 200,
         seed: int = 0,
+        batch: int = WORD_WIDTH,
     ) -> list[FaultSimulationRow]:
         """Simulate a full table through the sweep engine (inline, this process).
 
         Delegates to :class:`repro.engine.sweep.ParallelSweepEngine` so that
         every table — serial or parallel, library call or CLI — runs through
         one orchestration path with the same per-trial seed streams.
+        ``batch`` sets how many trials each bit-parallel kernel call packs
+        (``1`` forces the scalar per-trial path; the rows are identical).
         """
         from ..engine.sweep import ParallelSweepEngine
 
-        engine = ParallelSweepEngine(self.d, self.n, root=self.root, runner=self)
+        engine = ParallelSweepEngine(self.d, self.n, root=self.root, runner=self, batch=batch)
         return engine.run(fault_counts=fault_counts, trials=trials, seed=seed)
 
 
@@ -280,6 +438,7 @@ def simulate_fault_table(
     workers: int | None = None,
     checkpoint_path: str | None = None,
     progress: Callable | None = None,
+    batch: int = WORD_WIDTH,
 ) -> list[FaultSimulationRow]:
     """Simulate a full table (Table 2.1 with ``d=2, n=10``; Table 2.2 with ``d=4, n=5``).
 
@@ -290,6 +449,9 @@ def simulate_fault_table(
     1-worker pool or across ``workers > 1`` processes.  ``checkpoint_path``
     enables JSON checkpoint/resume for long sweeps and ``progress`` receives
     a :class:`~repro.engine.sweep.SweepProgress` per completed batch.
+    ``batch`` sets how many trials each bit-parallel kernel call measures at
+    once (default: the full 64-trial word width; ``batch=1`` is the scalar
+    escape hatch — every setting produces identical rows).
     """
     from ..engine.sweep import ParallelSweepEngine
 
@@ -301,5 +463,6 @@ def simulate_fault_table(
         workers=workers,
         checkpoint_path=checkpoint_path,
         progress=progress,
+        batch=batch,
     )
     return engine.run(fault_counts=fault_counts, trials=trials, seed=seed)

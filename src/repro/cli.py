@@ -13,6 +13,11 @@ Three subcommands expose the engine subsystem and the experiment registry:
     count), ``--checkpoint`` for JSON checkpoint/resume and ``--json`` for
     machine-readable output.
 
+``repro bench``
+    Time the bit-parallel 64-trial sweep kernel against the scalar path on
+    the tracked configurations and write ``BENCH_sweep.json`` (uploaded as
+    a CI artifact, so the perf trajectory is recorded per commit).
+
 ``repro embed --d D --n N --faults ...``
     One :class:`repro.engine.service.EmbeddingService` query: the fault-free
     ring for a faulty ``B(d, n)``, its length, and the guarantee check.
@@ -98,6 +103,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes (0 = inline; results identical either way)")
     sweep.add_argument("--root", type=parse_word, default=None,
                        help="measurement root (default: the paper's 0...01)")
+    sweep.add_argument("--batch", type=int, default=64,
+                       help="trials per bit-parallel kernel call, 1..64 "
+                       "(1 = scalar path; results identical either way)")
     sweep.add_argument("--checkpoint", default=None,
                        help="JSON checkpoint file for interrupt/resume")
     sweep.add_argument("--no-resume", action="store_true",
@@ -105,6 +113,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--progress", action="store_true",
                        help="report completed trials on stderr")
     sweep.add_argument("--json", action="store_true", help="emit rows as JSON")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the batched sweep kernel and write BENCH_sweep.json"
+    )
+    bench.add_argument("--out", default="BENCH_sweep.json",
+                       help="output JSON file (default: BENCH_sweep.json)")
+    bench.add_argument("--trials", type=int, default=192, help="trials per row")
+    bench.add_argument("--seed", type=int, default=0, help="base seed of the trial streams")
+    bench.add_argument("--batch", type=int, default=64,
+                       help="kernel batch width to benchmark against the scalar path")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing repeats per configuration (best-of-N)")
+    bench.add_argument("--quick", action="store_true",
+                       help="small trial count for CI smoke (still writes the file)")
 
     embed = sub.add_parser(
         "embed", help="query the embedding service for one fault-free ring"
@@ -172,6 +194,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         checkpoint_path=args.checkpoint,
         progress=report if args.progress else None,
+        batch=args.batch,
     )
     rows = engine.run(
         fault_counts=args.fault_counts if args.fault_counts is not None else PAPER_FAULT_COUNTS,
@@ -193,6 +216,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         print(format_fault_table(rows, title=f"Random-fault sweep of B({args.d},{args.n})"))
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .engine.bench import run_sweep_bench, write_bench_file
+
+    trials = 24 if args.quick else args.trials
+    results = run_sweep_bench(
+        trials=trials, seed=args.seed, batch=args.batch, repeats=args.repeats
+    )
+    write_bench_file(results, args.out)
+    for r in results:
+        equal = "rows identical" if r.rows_equal else "ROWS DIFFER"
+        print(
+            f"{r.name}: {r.nodes} nodes, {len(r.fault_counts)}x{r.trials} trials — "
+            f"scalar {r.scalar_s:.3f} s, batch={r.batch} {r.batched_s:.3f} s, "
+            f"speedup {r.speedup:.1f}x ({equal})"
+        )
+    print(f"wrote {args.out}")
+    return 0 if all(r.rows_equal for r in results) else 1
 
 
 def _cmd_embed(args: argparse.Namespace) -> int:
@@ -225,6 +267,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "embed":
             return _cmd_embed(args)
     except BrokenPipeError:  # e.g. `repro experiment --all | head`

@@ -35,9 +35,15 @@ __all__ = [
     "ParallelSweepEngine",
     "SweepProgress",
     "trial_seed_sequences",
+    "SweepBenchResult",
+    "run_sweep_bench",
+    "write_bench_file",
 ]
 
 _LAZY = {
+    "SweepBenchResult": "bench",
+    "run_sweep_bench": "bench",
+    "write_bench_file": "bench",
     "cache_stats": "caches",
     "clear_caches": "caches",
     "EmbeddingRequest": "service",

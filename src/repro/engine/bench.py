@@ -1,0 +1,124 @@
+"""``python -m repro bench`` — the tracked sweep-performance benchmark.
+
+Runs the random-fault sweep of Tables 2.1/2.2 twice on the same seeds —
+once through the scalar per-trial path (``batch=1``) and once through the
+bit-parallel 64-trial kernel (:mod:`repro.graphs.msbfs`) — asserts the rows
+are bit-for-bit identical, and writes a machine-readable
+``BENCH_sweep.json`` with wall-times and speedups.  CI uploads the file as
+an artifact on every run, so the performance trajectory of the hot path is
+tracked from the PR that introduced the kernel onward.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from collections.abc import Sequence
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .sweep import ParallelSweepEngine
+
+__all__ = ["SweepBenchResult", "run_sweep_bench", "write_bench_file", "DEFAULT_CONFIGS"]
+
+#: Benchmark configurations: (d, n, fault_counts) — the pinned B(2,12)
+#: multi-row sweep plus the paper's Table 2.2 graph as a second data point.
+DEFAULT_CONFIGS: tuple[tuple[int, int, tuple[int, ...]], ...] = (
+    (2, 12, (2, 8, 16, 32)),
+    (4, 5, (1, 5, 20, 50)),
+)
+
+
+@dataclass(frozen=True)
+class SweepBenchResult:
+    """One benchmark entry: scalar vs batched wall-time on identical sweeps."""
+
+    name: str
+    d: int
+    n: int
+    nodes: int
+    fault_counts: tuple[int, ...]
+    trials: int
+    seed: int
+    batch: int
+    scalar_s: float
+    batched_s: float
+    speedup: float
+    rows_equal: bool
+
+
+def _best_time(fn, repeats: int):
+    """Minimum wall time over ``repeats`` runs (noise only ever inflates)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_sweep_bench(
+    configs: Sequence[tuple[int, int, tuple[int, ...]]] = DEFAULT_CONFIGS,
+    trials: int = 192,
+    seed: int = 0,
+    batch: int = 64,
+    repeats: int = 3,
+) -> list[SweepBenchResult]:
+    """Time scalar vs batched single-process sweeps on each configuration."""
+    if trials < 1:
+        raise InvalidParameterError("at least one trial is required")
+    if repeats < 1:
+        raise InvalidParameterError("at least one repeat is required")
+    results = []
+    for d, n, fault_counts in configs:
+        scalar_engine = ParallelSweepEngine(d, n, batch=1)
+        batched_engine = ParallelSweepEngine(d, n, batch=batch)
+        kwargs = {"fault_counts": fault_counts, "trials": trials, "seed": seed}
+        # warm both paths: codec tables for the scalar engine, predecessor
+        # columns and lane buffers for the kernel
+        scalar_engine.run(fault_counts=fault_counts[:1], trials=1, seed=seed)
+        batched_engine.run(fault_counts=fault_counts[:1], trials=batch, seed=seed)
+        scalar_s, scalar_rows = _best_time(lambda: scalar_engine.run(**kwargs), repeats)
+        batched_s, batched_rows = _best_time(lambda: batched_engine.run(**kwargs), repeats)
+        results.append(
+            SweepBenchResult(
+                name=f"sweep_b{d}_{n}",
+                d=d,
+                n=n,
+                nodes=d**n,
+                fault_counts=tuple(fault_counts),
+                trials=trials,
+                seed=seed,
+                batch=batch,
+                scalar_s=scalar_s,
+                batched_s=batched_s,
+                speedup=scalar_s / batched_s,
+                rows_equal=scalar_rows == batched_rows,
+            )
+        )
+    return results
+
+
+def write_bench_file(results: Sequence[SweepBenchResult], path: str) -> dict:
+    """Serialise benchmark results (plus machine info) to ``path``; return the payload."""
+    payload = {
+        "schema": 1,
+        "generated_by": "python -m repro bench",
+        "unix_time": time.time(),
+        "machine": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "benchmarks": [asdict(r) for r in results],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload

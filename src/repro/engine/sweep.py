@@ -15,7 +15,11 @@ process: trial ``t`` of the row with fault count ``f`` always draws from
 
 — the child that ``SeedSequence(seed).spawn(f + 1)[f].spawn(t + 1)[t]``
 would produce, constructed directly — so neither the assignment of trials
-to workers nor the order in which shards finish can change any sample.
+to workers, the order in which shards finish, nor how trials are grouped
+into bit-parallel measurement batches can change any sample.  Rows are
+measured up to 64 trials per BFS sweep (:mod:`repro.graphs.msbfs`);
+``batch=1`` falls back to the scalar per-trial path with, again, identical
+results.
 Keying the spawn tree by *fault count* rather than row position has a
 second dividend: a row's stream is independent of which other rows are
 swept, so ``fault_counts=(5,)`` alone reproduces the ``f=5`` row of a full
@@ -46,6 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..graphs.msbfs import WORD_WIDTH
 from ..analysis.fault_simulation import (
     PAPER_FAULT_COUNTS,
     FaultSimulationRow,
@@ -62,6 +67,15 @@ __all__ = [
 #: Target shards per worker per row: small enough to amortise dispatch,
 #: large enough that a slow shard cannot leave the pool idle for long.
 _SHARDS_PER_WORKER = 4
+
+#: Tail chunks narrower than this run per-trial instead of through the
+#: kernel: a bit-parallel sweep costs roughly one full-graph BFS however few
+#: lanes it carries, so it only pays for itself once several trials share it
+#: (measured crossover ~4 trials on B(4, 10); results are identical either
+#: way, so this is purely a wall-clock heuristic).  An explicitly small
+#: ``batch`` setting is honoured: only remnants of a *wider* requested batch
+#: fall back to the scalar path.
+_MIN_KERNEL_BATCH = 8
 
 
 def trial_seed_sequences(
@@ -96,23 +110,51 @@ class SweepProgress:
         return self.done_trials / self.total_trials if self.total_trials else 1.0
 
 
+def _measure_chunk(
+    runner: FaultSweepRunner,
+    f: int,
+    items: Sequence[tuple[int, np.random.SeedSequence]],
+    batch: int,
+) -> list[tuple[int, int, int]]:
+    """Measure one chunk of trials, ``batch`` at a time: ``(t, size, ecc)`` list.
+
+    ``batch=1`` takes the scalar per-trial path; ``batch>1`` packs up to
+    ``batch`` trials per bit-parallel kernel call.  Which trials share a
+    kernel call is irrelevant to the results — every trial's samples come
+    from its own SeedSequence stream — so serial runs, resumed runs with
+    scattered holes and worker shards all produce identical measurements.
+    """
+    if batch <= 1:
+        return [
+            (t, *runner.run_trial(f, np.random.default_rng(seq))) for t, seq in items
+        ]
+    out: list[tuple[int, int, int]] = []
+    min_kernel = min(_MIN_KERNEL_BATCH, batch)
+    for start in range(0, len(items), batch):
+        part = items[start : start + batch]
+        if len(part) < min_kernel:
+            out.extend(
+                (t, *runner.run_trial(f, np.random.default_rng(seq))) for t, seq in part
+            )
+            continue
+        stats = runner.run_trials_batch(f, [seq for _, seq in part])
+        out.extend((t, size, ecc) for (t, _), (size, ecc) in zip(part, stats))
+    return out
+
+
 def _run_shard(
     payload: tuple,
 ) -> tuple[int, list[tuple[int, int, int]]]:
     """Worker entry point: run one shard of trials for one fault count.
 
-    ``payload`` is ``(d, n, root, f, items)`` with ``items`` a list of
-    ``(trial_index, SeedSequence)`` pairs.  The per-process runner is
+    ``payload`` is ``(d, n, root, f, items, batch)`` with ``items`` a list
+    of ``(trial_index, SeedSequence)`` pairs.  The per-process runner is
     shared across shards via the bounded runner cache, so codec tables are
     built once per worker regardless of shard count.
     """
-    d, n, root, f, items = payload
+    d, n, root, f, items, batch = payload
     runner = _cached_runner(d, n, root)
-    out = []
-    for t, seq in items:
-        size, ecc = runner.run_trial(f, np.random.default_rng(seq))
-        out.append((t, size, ecc))
-    return f, out
+    return f, _measure_chunk(runner, f, items, batch)
 
 
 class _Checkpoint:
@@ -202,6 +244,13 @@ class ParallelSweepEngine:
     runner:
         Optional pre-built :class:`FaultSweepRunner` to reuse for inline
         execution (worker processes always use the shared runner cache).
+    batch:
+        Trials measured per bit-parallel kernel call (1..64, default 64):
+        each call packs up to ``batch`` trials of one row into uint64 lanes
+        and sweeps them with a single multi-trial BFS
+        (:mod:`repro.graphs.msbfs`).  ``batch=1`` is the scalar escape
+        hatch.  Results are bit-for-bit identical for every setting — only
+        the wall-clock changes.
     """
 
     def __init__(
@@ -214,6 +263,7 @@ class ParallelSweepEngine:
         checkpoint_every: int = 64,
         progress: Callable[[SweepProgress], None] | None = None,
         runner: FaultSweepRunner | None = None,
+        batch: int = WORD_WIDTH,
     ) -> None:
         self.d, self.n = int(d), int(n)
         self.root = None if root is None else tuple(int(x) for x in root)
@@ -221,11 +271,16 @@ class ParallelSweepEngine:
             raise InvalidParameterError(f"workers must be >= 0, got {workers}")
         if checkpoint_every < 1:
             raise InvalidParameterError("checkpoint_every must be >= 1")
+        if not 1 <= batch <= WORD_WIDTH:
+            raise InvalidParameterError(
+                f"batch must be in 1..{WORD_WIDTH} (the kernel word width), got {batch}"
+            )
         self.workers = int(workers) if workers else 0
         self.checkpoint_path = None if checkpoint_path is None else os.fspath(checkpoint_path)
         self.checkpoint_every = int(checkpoint_every)
         self.progress = progress
         self._runner = runner
+        self.batch = int(batch)
 
     # -- public entry point ---------------------------------------------------
     def run(
@@ -278,17 +333,26 @@ class ParallelSweepEngine:
         runner = self._runner
         if runner is None:
             runner = _cached_runner(self.d, self.n, self.root)
+        by_f: dict[int, list[int]] = {}
+        for f, t in pending:
+            by_f.setdefault(f, []).append(t)
         done = total - len(pending)
         since_flush = 0
-        for f, t in pending:
-            size, ecc = runner.run_trial(f, np.random.default_rng(seeds[f][t]))
-            completed[(f, t)] = (size, ecc)
-            done += 1
-            since_flush += 1
-            if checkpoint is not None and since_flush >= self.checkpoint_every:
-                checkpoint.save(completed)
-                since_flush = 0
-            self._report(done, total, f)
+        for f, ts in by_f.items():
+            for start in range(0, len(ts), self.batch):
+                items = [(t, seeds[f][t]) for t in ts[start : start + self.batch]]
+                results = _measure_chunk(runner, f, items, self.batch)
+                for t, size, ecc in results:
+                    completed[(f, t)] = (size, ecc)
+                since_flush += len(results)
+                if checkpoint is not None and since_flush >= self.checkpoint_every:
+                    checkpoint.save(completed)
+                    since_flush = 0
+                # one callback per trial, as in the scalar engine, so
+                # progress consumers see the same cadence at any batch size
+                for _ in results:
+                    done += 1
+                    self._report(done, total, f)
 
     def _run_parallel(self, seeds, pending, completed, total, checkpoint) -> None:
         by_f: dict[int, list[int]] = {}
@@ -297,9 +361,13 @@ class ParallelSweepEngine:
         shards = []
         for f, ts in by_f.items():
             shard_size = max(1, math.ceil(len(ts) / (self.workers * _SHARDS_PER_WORKER)))
+            if self.batch > 1:
+                # align shards to batch boundaries so the kernel runs full
+                # 64-trial words wherever possible
+                shard_size = math.ceil(shard_size / self.batch) * self.batch
             for start in range(0, len(ts), shard_size):
                 items = [(t, seeds[f][t]) for t in ts[start : start + shard_size]]
-                shards.append((self.d, self.n, self.root, f, items))
+                shards.append((self.d, self.n, self.root, f, items, self.batch))
 
         done = total - len(pending)
         since_flush = 0

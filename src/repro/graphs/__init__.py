@@ -21,6 +21,14 @@ from .components import (
     strongly_connected_components,
     weakly_connected_components,
 )
+from .msbfs import (
+    WORD_WIDTH,
+    BatchStats,
+    batched_root_stats,
+    lane_popcounts,
+    lane_removed_mask,
+    pack_fault_lanes,
+)
 from .debruijn import (
     DeBruijnGraph,
     edge_label,
@@ -65,6 +73,12 @@ __all__ = [
     "residual_after_node_faults",
     "strongly_connected_components",
     "weakly_connected_components",
+    "WORD_WIDTH",
+    "BatchStats",
+    "batched_root_stats",
+    "lane_popcounts",
+    "lane_removed_mask",
+    "pack_fault_lanes",
     "DeBruijnGraph",
     "edge_label",
     "is_debruijn_edge",

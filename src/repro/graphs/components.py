@@ -148,23 +148,34 @@ def bfs_levels(residual: ResidualGraph, root: int, direction: str = "out") -> np
     else:
         table = codec.neighbour_table
 
-    alive = ~residual.removed_mask
+    # `fresh_mask[x]` is True exactly while x is alive and still unvisited, so
+    # each branch below needs a single AND instead of recomputing
+    # `alive & (dist == -1)` from scratch every level.
+    fresh_mask = ~residual.removed_mask
+    fresh_mask[root] = False
     dist = np.full(size, -1, dtype=np.int64)
     dist[root] = 0
     frontier = np.array([root], dtype=np.int64)
+    flags = np.empty(size, dtype=bool)  # dense-branch scratch, allocated once
+    # `size >> 3` alone degenerates to 0 for size < 8 (the dense branch would
+    # then run even for single-node frontiers); tiny frontiers always dedup
+    # faster by sorting, whatever the graph size.
+    dense_threshold = max(size >> 3, 32)
     level = 0
     while frontier.size:
         level += 1
         nxt = table[frontier].ravel()
-        if nxt.size < size >> 3:
+        if nxt.size < dense_threshold:
             # sparse frontier: sort-based dedup beats a full-size flag pass
             cand = np.unique(nxt)
-            fresh = cand[(dist[cand] == -1) & alive[cand]]
+            fresh = cand[fresh_mask[cand]]
         else:
-            flags = np.zeros(size, dtype=bool)
+            flags[:] = False
             flags[nxt] = True
-            fresh = np.flatnonzero(flags & alive & (dist == -1))
+            flags &= fresh_mask
+            fresh = np.flatnonzero(flags)
         dist[fresh] = level
+        fresh_mask[fresh] = False
         frontier = fresh
     return dist
 
@@ -263,17 +274,40 @@ class ComponentStats:
     root_eccentricity: int
 
 
-def component_stats_from_root(residual: ResidualGraph, root: int) -> ComponentStats:
+def component_stats_from_root(
+    residual: ResidualGraph, root: int, check_balanced: bool = False
+) -> ComponentStats:
     """Return size and eccentricity of the component containing ``root``.
 
     Follows the measurement procedure of Section 2.5.2: the component is the
     weak component containing ``root`` and the eccentricity is the largest
     directed BFS distance from ``root`` within it (the number of broadcast
     steps of FFC Step 1.1).
+
+    Whole-necklace removal keeps the residual digraph balanced, so each weak
+    component is strongly connected (module docstring) and ONE directed
+    out-BFS yields both numbers — this function runs exactly that single
+    sweep.  For residuals that are *not* balanced (e.g. built with
+    ``remove_whole_necklaces=False``) the out-reachable set can be a strict
+    subset of the weak component; pass ``check_balanced=True`` to rerun the
+    historical two-BFS form and raise if the two disagree.
     """
-    comp = component_of(residual, root)
-    ecc = eccentricity(residual, root)
-    return ComponentStats(root=root, component_size=int(len(comp)), root_eccentricity=ecc)
+    dist = bfs_levels(residual, root, direction="out")
+    reached = np.flatnonzero(dist >= 0)
+    if check_balanced:
+        comp = component_of(residual, root)
+        if not np.array_equal(comp, reached):
+            raise InvalidParameterError(
+                f"residual graph is not balanced at root {root}: the directed "
+                f"out-BFS reaches {len(reached)} nodes but the weak component "
+                f"has {len(comp)} — use bfs_levels/component_of directly for "
+                f"non-necklace removals"
+            )
+    return ComponentStats(
+        root=root,
+        component_size=int(len(reached)),
+        root_eccentricity=int(dist.max()),
+    )
 
 
 # -- internals ----------------------------------------------------------------

@@ -8,7 +8,12 @@ distributed fault-free-cycle protocol and the all-to-all broadcast that
 motivates disjoint Hamiltonian cycles in Chapter 3.
 """
 
-from .faults import sample_edge_faults, sample_node_faults
+from .faults import (
+    sample_edge_faults,
+    sample_fault_code_batch,
+    sample_node_fault_codes,
+    sample_node_faults,
+)
 from .message import Message
 from .node import NodeContext, NodeProgram
 from .protocols.all_to_all import AllToAllStats, all_to_all_cost_model, simulate_all_to_all
@@ -23,6 +28,8 @@ from .simulator import SimulationResult, SynchronousDeBruijnNetwork
 
 __all__ = [
     "sample_edge_faults",
+    "sample_fault_code_batch",
+    "sample_node_fault_codes",
     "sample_node_faults",
     "Message",
     "NodeContext",

@@ -105,6 +105,7 @@ class WordCodec:
         self._succ: np.ndarray | None = None
         self._pred: np.ndarray | None = None
         self._both: np.ndarray | None = None
+        self._pred_cols: tuple[np.ndarray, ...] | None = None
         self._necklace_reps: np.ndarray | None = None
 
     # -- scalar word algebra -------------------------------------------------
@@ -204,6 +205,41 @@ class WordCodec:
             both.flags.writeable = False
             self._both = both
         return self._both
+
+    @property
+    def predecessor_columns(self) -> tuple[np.ndarray, ...]:
+        """The ``d`` columns of the predecessor matrix as contiguous arrays.
+
+        The bit-parallel BFS kernel (:mod:`repro.graphs.msbfs`) expands a
+        directed frontier by gathering once per in-digit; column slices of
+        the ``(d**n, d)`` matrix are strided, so the gathers run measurably
+        faster on these cached contiguous copies.
+        """
+        if self._pred_cols is None:
+            pred = self.predecessor_table
+            cols = tuple(np.ascontiguousarray(pred[:, a]) for a in range(self.d))
+            for col in cols:
+                col.flags.writeable = False
+            self._pred_cols = cols
+        return self._pred_cols
+
+    def necklace_member_matrix(self, codes: np.ndarray) -> np.ndarray:
+        """All rotations of each code: shape ``(n,) + codes.shape``.
+
+        Row ``i`` holds ``pi^i`` applied elementwise, so the flattened result
+        is exactly the union of the necklaces of ``codes`` (with repeats for
+        periodic words).  This is the scatter-friendly dual of
+        :meth:`faulty_necklace_mask`: marking these members removed produces
+        the identical mask, but for a *batch* of small fault sets it costs
+        ``n`` tiny gathers instead of one ``isin`` over all ``d**n`` codes
+        per fault set — the form the bit-packed fault lanes are built from.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        members = np.empty((self.n,) + codes.shape, dtype=np.int64)
+        members[0] = codes
+        for i in range(1, self.n):
+            members[i] = self.rotate1[members[i - 1]]
+        return members
 
     # -- necklace machinery ---------------------------------------------------
     def necklace_reps(self) -> np.ndarray:

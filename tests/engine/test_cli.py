@@ -74,6 +74,39 @@ class TestSweepCommand:
                      "--trials", "2", "--progress"]) == 0
         assert "trials" in capsys.readouterr().err
 
+    def test_batch_invariance_via_json(self, capsys):
+        argv = ["sweep", "--d", "2", "--n", "6", "--fault-counts", "0,2,5",
+                "--trials", "5", "--seed", "3", "--json"]
+        assert main(argv + ["--batch", "1"]) == 0
+        scalar = capsys.readouterr().out
+        assert main(argv + ["--batch", "64"]) == 0
+        assert capsys.readouterr().out == scalar  # byte-identical
+
+    def test_bad_batch_is_a_one_line_diagnostic(self, capsys):
+        assert main(["sweep", "--d", "2", "--n", "5", "--fault-counts", "1",
+                     "--trials", "2", "--batch", "65"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro sweep:") and "batch" in err
+
+
+class TestBenchCommand:
+    def test_quick_bench_writes_file(self, tmp_path, capsys, monkeypatch):
+        out = str(tmp_path / "BENCH_sweep.json")
+        assert main(["bench", "--quick", "--repeats", "1", "--out", out]) == 0
+        printed = capsys.readouterr().out
+        assert "speedup" in printed and "rows identical" in printed
+        data = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+        assert data["schema"] == 1
+        assert data["machine"]["numpy"]
+        names = {b["name"] for b in data["benchmarks"]}
+        assert "sweep_b2_12" in names
+        for entry in data["benchmarks"]:
+            assert entry["rows_equal"] is True
+            assert entry["scalar_s"] > 0 and entry["batched_s"] > 0
+            assert entry["speedup"] == pytest.approx(
+                entry["scalar_s"] / entry["batched_s"]
+            )
+
 
 class TestEmbedCommand:
     def test_human_output(self, capsys):

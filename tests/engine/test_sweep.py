@@ -84,17 +84,19 @@ class _StopSweep(Exception):
     pass
 
 
+def _interrupt_after(trials_done: int):
+    state = {"count": 0}
+
+    def callback(progress: SweepProgress) -> None:
+        assert isinstance(progress, SweepProgress)
+        state["count"] += 1
+        if state["count"] == trials_done:
+            raise _StopSweep
+
+    return callback
+
+
 class TestCheckpointResume:
-    def _interrupt_after(self, trials_done: int):
-        state = {"count": 0}
-
-        def callback(progress: SweepProgress) -> None:
-            assert isinstance(progress, SweepProgress)
-            state["count"] += 1
-            if state["count"] == trials_done:
-                raise _StopSweep
-
-        return callback
 
     def test_resume_equals_uninterrupted(self, tmp_path):
         path = tmp_path / "sweep.json"
@@ -102,7 +104,7 @@ class TestCheckpointResume:
 
         interrupted = ParallelSweepEngine(
             2, 6, checkpoint_path=path, checkpoint_every=2,
-            progress=self._interrupt_after(7),
+            progress=_interrupt_after(7),
         )
         with pytest.raises(_StopSweep):
             interrupted.run(FAULT_COUNTS, trials=TRIALS, seed=SEED)
@@ -121,7 +123,7 @@ class TestCheckpointResume:
         full = ParallelSweepEngine(2, 6).run(FAULT_COUNTS, trials=TRIALS, seed=SEED)
         interrupted = ParallelSweepEngine(
             2, 6, checkpoint_path=path, checkpoint_every=1,
-            progress=self._interrupt_after(5),
+            progress=_interrupt_after(5),
         )
         with pytest.raises(_StopSweep):
             interrupted.run(FAULT_COUNTS, trials=TRIALS, seed=SEED)
@@ -188,6 +190,51 @@ class TestCheckpointResume:
         )
         assert wide[0] == narrow[0]
         assert all(p.f == 3 for p in recomputed)  # only the new row ran
+
+
+class TestBatchInvariance:
+    """The bit-parallel batch width can never change a row (ISSUE 3)."""
+
+    def test_all_batch_sizes_identical(self):
+        runs = [
+            ParallelSweepEngine(2, 6, batch=b).run(FAULT_COUNTS, trials=TRIALS, seed=SEED)
+            for b in (1, 2, 7, 64)
+        ]
+        assert runs[0] == runs[1] == runs[2] == runs[3]
+
+    def test_batched_parallel_equals_scalar_serial(self):
+        scalar = ParallelSweepEngine(2, 6, batch=1).run(FAULT_COUNTS, trials=TRIALS, seed=SEED)
+        batched = ParallelSweepEngine(2, 6, workers=2, batch=64).run(
+            FAULT_COUNTS, trials=TRIALS, seed=SEED
+        )
+        assert scalar == batched
+
+    def test_simulate_fault_table_batch_param(self):
+        a = simulate_fault_table(2, 6, fault_counts=(2,), trials=9, seed=1, batch=1)
+        b = simulate_fault_table(2, 6, fault_counts=(2,), trials=9, seed=1, batch=64)
+        assert a == b
+
+    def test_resume_across_batch_sizes(self, tmp_path):
+        # a checkpoint written by a scalar run resumes exactly on a batched
+        # engine (and vice versa): results depend only on (seed, f, t)
+        path = tmp_path / "sweep.json"
+        full = ParallelSweepEngine(2, 6, batch=64).run(FAULT_COUNTS, trials=TRIALS, seed=SEED)
+        interrupted = ParallelSweepEngine(
+            2, 6, batch=1, checkpoint_path=path, checkpoint_every=1,
+            progress=_interrupt_after(7),
+        )
+        with pytest.raises(_StopSweep):
+            interrupted.run(FAULT_COUNTS, trials=TRIALS, seed=SEED)
+        resumed = ParallelSweepEngine(2, 6, batch=64, checkpoint_path=path).run(
+            FAULT_COUNTS, trials=TRIALS, seed=SEED
+        )
+        assert resumed == full
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ParallelSweepEngine(2, 5, batch=0)
+        with pytest.raises(InvalidParameterError):
+            ParallelSweepEngine(2, 5, batch=65)
 
 
 class TestProgressAndValidation:

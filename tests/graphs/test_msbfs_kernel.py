@@ -1,0 +1,130 @@
+"""Unit tests for the bit-parallel multi-trial BFS kernel (graphs/msbfs.py).
+
+The kernel's contract: lane ``t`` of a batched sweep produces exactly the
+``(component size, root eccentricity)`` that the scalar path — one
+:func:`repro.graphs.components.bfs_levels` out-sweep — produces for trial
+``t``'s removed mask alone.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graphs.components import ResidualGraph, bfs_levels
+from repro.graphs.msbfs import (
+    WORD_WIDTH,
+    batched_root_stats,
+    lane_popcounts,
+    lane_removed_mask,
+    pack_fault_lanes,
+)
+from repro.words.codec import get_codec
+
+
+def _scalar_stats(d, n, removed, root):
+    dist = bfs_levels(ResidualGraph(d, n, removed), root, direction="out")
+    return int((dist >= 0).sum()), int(dist.max())
+
+
+def _random_fault_batch(codec, batch, f, rng):
+    return rng.integers(0, codec.size, size=(batch, f))
+
+
+class TestPackFaultLanes:
+    @pytest.mark.parametrize("d,n", [(2, 5), (3, 3), (4, 4)])
+    def test_lanes_match_faulty_necklace_mask(self, d, n):
+        codec = get_codec(d, n)
+        rng = np.random.default_rng(0)
+        codes = _random_fault_batch(codec, 17, 6, rng)
+        lanes = pack_fault_lanes(codec, codes)
+        for t in range(17):
+            expected = codec.faulty_necklace_mask(codes[t])
+            assert np.array_equal(lane_removed_mask(lanes, t), expected)
+
+    def test_zero_faults_pack_to_zero_lanes(self):
+        codec = get_codec(2, 4)
+        lanes = pack_fault_lanes(codec, np.empty((5, 0), dtype=np.int64))
+        assert not lanes.any()
+
+    def test_rejects_bad_shapes_and_codes(self):
+        codec = get_codec(2, 4)
+        with pytest.raises(InvalidParameterError):
+            pack_fault_lanes(codec, np.zeros(3, dtype=np.int64))  # 1-D
+        with pytest.raises(InvalidParameterError):
+            pack_fault_lanes(codec, np.zeros((65, 2), dtype=np.int64))  # > 64 lanes
+        with pytest.raises(InvalidParameterError):
+            pack_fault_lanes(codec, np.array([[16]]))  # out of range for B(2,4)
+
+
+class TestLanePopcounts:
+    def test_counts_match_manual_bits(self):
+        rng = np.random.default_rng(3)
+        lanes = rng.integers(0, 2**63, size=40).astype(np.uint64)
+        counts = lane_popcounts(lanes, 64)
+        for t in range(64):
+            expected = int(((lanes >> np.uint64(t)) & np.uint64(1)).sum())
+            assert counts[t] == expected
+
+
+class TestBatchedRootStats:
+    @pytest.mark.parametrize("d,n,f", [(2, 6, 4), (2, 6, 20), (3, 3, 2), (4, 4, 10)])
+    def test_matches_scalar_bfs_per_lane(self, d, n, f):
+        codec = get_codec(d, n)
+        rng = np.random.default_rng(1)
+        for batch in (1, 3, WORD_WIDTH):
+            codes = _random_fault_batch(codec, batch, f, rng)
+            lanes = pack_fault_lanes(codec, codes)
+            root = 1  # the paper's R = 0...01
+            stats = batched_root_stats(codec, lanes, root, batch)
+            for t in range(batch):
+                removed = lane_removed_mask(lanes, t)
+                if removed[root]:
+                    assert (stats.root_dead >> t) & 1
+                    continue
+                assert not (stats.root_dead >> t) & 1
+                size, ecc = _scalar_stats(d, n, removed, root)
+                assert (int(stats.sizes[t]), int(stats.eccs[t])) == (size, ecc)
+
+    def test_per_lane_roots(self):
+        # the root-fallback form: one shared mask, a different root per lane
+        d, n = 2, 6
+        codec = get_codec(d, n)
+        removed = codec.faulty_necklace_mask(np.array([3, 17, 40]))
+        alive = np.flatnonzero(~removed)[:10]
+        lanes = removed.astype(np.uint64) * np.uint64(2 ** len(alive) - 1)
+        stats = batched_root_stats(codec, lanes, alive, len(alive))
+        assert stats.root_dead == 0
+        for i, root in enumerate(alive.tolist()):
+            assert (int(stats.sizes[i]), int(stats.eccs[i])) == _scalar_stats(
+                d, n, removed, root
+            )
+
+    def test_no_faults_full_graph(self):
+        codec = get_codec(2, 5)
+        lanes = np.zeros(codec.size, dtype=np.uint64)
+        stats = batched_root_stats(codec, lanes, 1, 8)
+        assert stats.root_dead == 0
+        assert (stats.sizes == 32).all()
+        assert (stats.eccs == 5).all()  # B(2,n) has diameter n
+
+    def test_all_roots_dead_short_circuits(self):
+        codec = get_codec(2, 4)
+        lanes = np.full(codec.size, np.uint64(2**3 - 1), dtype=np.uint64)
+        stats = batched_root_stats(codec, lanes, 1, 3)
+        assert stats.root_dead == 2**3 - 1
+        assert stats.dead_trials() == [0, 1, 2]
+        assert (stats.sizes == 0).all() and (stats.eccs == 0).all()
+
+    def test_validation(self):
+        codec = get_codec(2, 4)
+        lanes = np.zeros(codec.size, dtype=np.uint64)
+        with pytest.raises(InvalidParameterError):
+            batched_root_stats(codec, lanes, 1, 0)
+        with pytest.raises(InvalidParameterError):
+            batched_root_stats(codec, lanes, 1, WORD_WIDTH + 1)
+        with pytest.raises(InvalidParameterError):
+            batched_root_stats(codec, lanes, codec.size, 2)
+        with pytest.raises(InvalidParameterError):
+            batched_root_stats(codec, np.zeros(4, dtype=np.uint64), 1, 2)
+        with pytest.raises(InvalidParameterError):
+            batched_root_stats(codec, lanes.astype(np.int64), 1, 2)
