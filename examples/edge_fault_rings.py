@@ -21,7 +21,6 @@ from repro.core import (
     edges_of_sequence,
     find_edge_fault_free_hc,
     is_hamiltonian_sequence,
-    nodes_of_sequence,
     psi,
     verify_pairwise_disjoint,
 )

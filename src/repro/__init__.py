@@ -9,6 +9,11 @@ Layered architecture (lowest first):
 * :mod:`repro.gf` — finite fields, primitive polynomials, shift registers.
 * :mod:`repro.graphs` — De Bruijn, butterfly, hypercube, Kautz and
   shuffle-exchange topologies plus connectivity analysis.
+* :mod:`repro.topology` — the ``Topology`` protocol and string-keyed
+  registry (``debruijn``, ``kautz``, ``hypercube``, ``shuffle_exchange``,
+  ``undirected_debruijn``) that puts every backend behind one sweep/serve
+  API: integer node coding, BFS gather tables, fault-unit closure,
+  measurement conventions.
 * :mod:`repro.core` — the paper's algorithms: the fault-free-cycle (FFC)
   algorithm for node failures, disjoint Hamiltonian cycles and edge-fault
   Hamiltonian embedding, Hamiltonian decompositions, necklace counting and
@@ -22,7 +27,8 @@ Layered architecture (lowest first):
   :class:`~repro.engine.sweep.ParallelSweepEngine` (deterministic for any
   worker count, JSON checkpoint/resume) and the bounded-cache audit.
 * :mod:`repro.cli` — the ``python -m repro`` / ``repro`` command line
-  (``experiment``, ``sweep``, ``embed``).
+  (``experiment``, ``sweep``, ``bench``, ``embed``), topology-selectable
+  via ``--topology``.
 """
 
 from ._version import __version__

@@ -1,18 +1,27 @@
 """The experiment registry: one runnable entry per table/figure of the paper.
 
-Each entry pairs an experiment identifier (e.g. ``"table_2_1"``) with a
-callable returning ``(description, text)`` where ``text`` is the regenerated
-table/figure rendered via :mod:`repro.analysis.reporting`.  The
-``python -m repro experiment`` CLI (which ``examples/reproduce_paper_tables.py``
-delegates to) and the benchmark suite under ``benchmarks/`` both drive this
-registry.  The fault-table entries accept ``workers`` and fan their trials
-out through :class:`repro.engine.sweep.ParallelSweepEngine` — same rows,
-any worker count.
+Each entry is a callable returning an :class:`ExperimentResult` — a
+description, structured ``(headers, rows)`` and the pre-rendered text table
+— so one computation serves both the human-readable output and the
+``--format csv`` interchange path.  The ``python -m repro experiment`` CLI
+(which ``examples/reproduce_paper_tables.py`` delegates to) and the
+benchmark suite under ``benchmarks/`` both drive this registry; the
+compatibility entry point :func:`run_experiment` keeps returning the
+``(description, text)`` pair.
+
+The fault-table entries accept ``workers`` and fan their trials out through
+:class:`repro.engine.sweep.ParallelSweepEngine` — same rows, any worker
+count.  Two registry entries are topology-generic: ``topology_sweep`` runs
+a Tables 2.1/2.2-style sweep on any backend of the :mod:`repro.topology`
+registry, and ``hypercube_vs_debruijn_sweep`` turns the Chapter 2
+hypercube-vs-De Bruijn comparison into a *live* same-kernel fault sweep of
+``Q(12)`` against the equally sized ``B(4, 6)``.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 
 from ..core.bounds import table_3_1, table_3_2
 from ..core.counting import (
@@ -25,59 +34,177 @@ from ..core.disjoint_hc import disjoint_hamiltonian_cycles, verify_pairwise_disj
 from ..core.ffc import find_fault_free_cycle
 from ..core.hamiltonian_decomposition import modified_debruijn_decomposition
 from ..graphs.undirected import UndirectedDeBruijnGraph, degree_census
+from ..topology import get_topology
 from .fault_simulation import simulate_fault_table
 from .hypercube_comparison import compare_hypercube_debruijn
-from .reporting import format_fault_table, format_mapping_table, format_table
+from .reporting import format_csv, format_fault_table, format_mapping_table, format_table
 
-__all__ = ["EXPERIMENTS", "run_experiment", "available_experiments"]
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_experiment_result",
+    "available_experiments",
+]
+
+#: Fault counts of the live topology experiments: dense over the guaranteed
+#: regimes, sparse beyond, small enough to stay interactive on 4096 nodes.
+_LIVE_SWEEP_FAULTS = (0, 1, 2, 4, 8, 16)
+
+#: The paper's fault-table column layout (shared with reporting).
+_FAULT_HEADERS = (
+    "f", "Avg. Size", "Max. Size", "Min. Size", "reference",
+    "Avg. Ecc.", "Max. Ecc.", "Min. Ecc.",
+)
 
 
-def _table_2_1(trials: int = 200, seed: int = 0, workers: int | None = None) -> tuple[str, str]:
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One experiment's output: description, structured rows, rendered text."""
+
+    description: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    text: str
+
+    def csv(self) -> str:
+        """The structured rows as CSV (shared writer: :func:`format_csv`)."""
+        return format_csv(self.headers, self.rows)
+
+
+def _fault_table_result(
+    description: str, rows, title: str = "", reference_header: str = "d^n - nf"
+) -> ExperimentResult:
+    return ExperimentResult(
+        description=description,
+        headers=_FAULT_HEADERS,
+        rows=tuple(row.as_tuple() for row in rows),
+        text=format_fault_table(rows, title=title, reference_header=reference_header),
+    )
+
+
+def _table_2_1(trials: int = 200, seed: int = 0, workers: int | None = None) -> ExperimentResult:
     rows = simulate_fault_table(2, 10, trials=trials, seed=seed, workers=workers)
-    return (
+    return _fault_table_result(
         "Table 2.1 — component size / eccentricity of R=0^9 1 in B(2,10) under random faults",
-        format_fault_table(rows),
+        rows,
     )
 
 
-def _table_2_2(trials: int = 200, seed: int = 0, workers: int | None = None) -> tuple[str, str]:
+def _table_2_2(trials: int = 200, seed: int = 0, workers: int | None = None) -> ExperimentResult:
     rows = simulate_fault_table(4, 5, trials=trials, seed=seed, workers=workers)
-    return (
+    return _fault_table_result(
         "Table 2.2 — component size / eccentricity of R=0^4 1 in B(4,5) under random faults",
-        format_fault_table(rows),
+        rows,
     )
 
 
-def _table_3_1() -> tuple[str, str]:
-    return (
-        "Table 3.1 — psi(d): guaranteed disjoint Hamiltonian cycles, 2 <= d <= 38",
-        format_mapping_table(table_3_1(38), "d", "psi(d)"),
+def _topology_sweep(
+    topology: str = "kautz",
+    d: int = 2,
+    n: int = 8,
+    trials: int = 50,
+    seed: int = 0,
+    workers: int | None = None,
+    fault_counts: Sequence[int] = _LIVE_SWEEP_FAULTS,
+) -> ExperimentResult:
+    """A Tables 2.1/2.2-style sweep on any registered topology backend."""
+    topo = get_topology(topology, d, n)
+    rows = simulate_fault_table(
+        d, n, fault_counts=fault_counts, trials=trials, seed=seed,
+        workers=workers, topology=topology,
+    )
+    return _fault_table_result(
+        f"Topology sweep — fault-free region around the root of {topo.name} "
+        f"({topo.num_nodes} nodes, {topology} backend) under random faults",
+        rows,
+        reference_header=topo.reference_label,
     )
 
 
-def _table_3_2() -> tuple[str, str]:
-    return (
-        "Table 3.2 — max(psi(d)-1, varphi(d)): tolerated edge faults, 2 <= d <= 35",
-        format_mapping_table(table_3_2(35), "d", "tolerance"),
+def _hypercube_vs_debruijn_sweep(
+    trials: int = 20, seed: int = 0, workers: int | None = None
+) -> ExperimentResult:
+    """The Chapter 2 comparison as a live, same-kernel fault sweep.
+
+    The 4096-node hypercube ``Q(12)`` and the 4096-node De Bruijn graph
+    ``B(4, 6)`` are swept with identical fault counts, trial counts and the
+    same bit-parallel measurement kernel; the static bound columns sit next
+    to the measured sizes.  (The hypercube loses one node per fault, the De
+    Bruijn graph up to ``n`` per necklace — and still tracks its bound with
+    a third fewer edges, which is the paper's headline argument.)
+    """
+    cube = get_topology("hypercube", 2, 12)
+    deb = get_topology("debruijn", 4, 6)
+    kwargs = {"fault_counts": _LIVE_SWEEP_FAULTS, "trials": trials,
+              "seed": seed, "workers": workers}
+    cube_rows = simulate_fault_table(2, 12, topology="hypercube", **kwargs)
+    deb_rows = simulate_fault_table(4, 6, topology="debruijn", **kwargs)
+    rows = []
+    for f, qr, br in zip(_LIVE_SWEEP_FAULTS, cube_rows, deb_rows):
+        q_bound = cube.guarantee_bound(f)
+        b_bound = deb.guarantee_bound(f)
+        rows.append((
+            f,
+            round(qr.avg_size, 2), qr.min_size, "-" if q_bound is None else q_bound,
+            round(br.avg_size, 2), br.min_size, "-" if b_bound is None else b_bound,
+        ))
+    headers = (
+        "f",
+        "Q(12) avg size", "Q(12) min size", "Q(12) bound",
+        "B(4,6) avg size", "B(4,6) min size", "B(4,6) bound",
+    )
+    return ExperimentResult(
+        description=(
+            "Ch. 2 intro, live — same-kernel random-fault sweep of the 4096-node "
+            f"Q(12) ({cube.num_nodes * 12 // 2} edges) vs B(4,6) "
+            "(16384 edges, the paper's figure)"
+        ),
+        headers=headers,
+        rows=tuple(rows),
+        text=format_table(headers, rows),
     )
 
 
-def _figure_1_graphs() -> tuple[str, str]:
+def _table_3_1() -> ExperimentResult:
+    mapping = table_3_1(38)
+    return ExperimentResult(
+        description="Table 3.1 — psi(d): guaranteed disjoint Hamiltonian cycles, 2 <= d <= 38",
+        headers=("d", "psi(d)"),
+        rows=tuple((k, mapping[k]) for k in sorted(mapping)),
+        text=format_mapping_table(mapping, "d", "psi(d)"),
+    )
+
+
+def _table_3_2() -> ExperimentResult:
+    mapping = table_3_2(35)
+    return ExperimentResult(
+        description="Table 3.2 — max(psi(d)-1, varphi(d)): tolerated edge faults, 2 <= d <= 35",
+        headers=("d", "tolerance"),
+        rows=tuple((k, mapping[k]) for k in sorted(mapping)),
+        text=format_mapping_table(mapping, "d", "tolerance"),
+    )
+
+
+def _figure_1_graphs() -> ExperimentResult:
     rows = []
     for d, n in [(2, 3), (2, 4)]:
         rows.append((f"B({d},{n})", d**n, d ** (n + 1), "-"))
     ub = UndirectedDeBruijnGraph(2, 3)
     rows.append(("UB(2,3)", ub.num_nodes, ub.num_edges, dict(sorted(degree_census(2, 3).items()))))
-    return (
-        "Figures 1.1/1.2 — node/edge census of B(2,3), B(2,4) and UB(2,3)",
-        format_table(["graph", "nodes", "edges", "degree census"], rows),
+    headers = ("graph", "nodes", "edges", "degree census")
+    return ExperimentResult(
+        description="Figures 1.1/1.2 — node/edge census of B(2,3), B(2,4) and UB(2,3)",
+        headers=headers,
+        rows=tuple(rows),
+        text=format_table(headers, rows),
     )
 
 
-def _figure_2_ffc_example() -> tuple[str, str]:
+def _figure_2_ffc_example() -> ExperimentResult:
     result = find_fault_free_cycle(3, 3, [(0, 2, 0), (1, 1, 2)], root_hint=(0, 0, 0))
     cycle = " ".join("".join(map(str, w)) for w in result.cycle)
-    rows = [
+    rows = (
         ("faulty nodes", "020, 112"),
         ("|B*|", result.bstar.size),
         ("necklaces in N*", len(result.adjacency.necklaces)),
@@ -85,14 +212,17 @@ def _figure_2_ffc_example() -> tuple[str, str]:
         ("modified tree edges", len(result.modified_tree.edges())),
         ("cycle length", result.length),
         ("cycle", cycle),
-    ]
-    return (
-        "Figures 2.1–2.4 / Example 2.1 — the FFC run on B(3,3) with faults {020, 112}",
-        format_table(["quantity", "value"], rows),
+    )
+    headers = ("quantity", "value")
+    return ExperimentResult(
+        description="Figures 2.1–2.4 / Example 2.1 — the FFC run on B(3,3) with faults {020, 112}",
+        headers=headers,
+        rows=rows,
+        text=format_table(headers, rows),
     )
 
 
-def _figure_3_3_decomposition() -> tuple[str, str]:
+def _figure_3_3_decomposition() -> ExperimentResult:
     rows = []
     for d, n in [(2, 3), (3, 3), (5, 2)]:
         dec = modified_debruijn_decomposition(d, n)
@@ -104,46 +234,59 @@ def _figure_3_3_decomposition() -> tuple[str, str]:
                 dec.undirected_contains_ub(),
             )
         )
-    return (
-        "Figure 3.3 / §3.2.3 — Hamiltonian decompositions of the modified graph",
-        format_table(["graph", "cycles", "is decomposition", "UB subgraph of UMB"], rows),
+    headers = ("graph", "cycles", "is decomposition", "UB subgraph of UMB")
+    return ExperimentResult(
+        description="Figure 3.3 / §3.2.3 — Hamiltonian decompositions of the modified graph",
+        headers=headers,
+        rows=tuple(rows),
+        text=format_table(headers, rows),
     )
 
 
-def _disjoint_hc_summary() -> tuple[str, str]:
+def _disjoint_hc_summary() -> ExperimentResult:
     rows = []
     for d, n in [(4, 2), (5, 2), (8, 2), (9, 2), (13, 2), (6, 2), (12, 2)]:
         cycles = disjoint_hamiltonian_cycles(d, n)
         rows.append((f"B({d},{n})", len(cycles), verify_pairwise_disjoint(cycles, d, n)))
-    return (
-        "§3.2 — constructed disjoint Hamiltonian cycle families",
-        format_table(["graph", "#cycles (>= psi)", "pairwise disjoint"], rows),
+    headers = ("graph", "#cycles (>= psi)", "pairwise disjoint")
+    return ExperimentResult(
+        description="§3.2 — constructed disjoint Hamiltonian cycle families",
+        headers=headers,
+        rows=tuple(rows),
+        text=format_table(headers, rows),
     )
 
 
-def _hypercube_comparison() -> tuple[str, str]:
+def _hypercube_comparison() -> ExperimentResult:
     cmp = compare_hypercube_debruijn()
-    return (
-        "Ch. 2 intro — 4096-node hypercube Q(12) vs De Bruijn B(4,6) with f=2",
-        format_table(["quantity", "hypercube", "De Bruijn"], cmp.as_rows()),
+    headers = ("quantity", "hypercube", "De Bruijn")
+    rows = tuple(cmp.as_rows())
+    return ExperimentResult(
+        description="Ch. 2 intro — 4096-node hypercube Q(12) vs De Bruijn B(4,6) with f=2",
+        headers=headers,
+        rows=rows,
+        text=format_table(headers, rows),
     )
 
 
-def _chapter_4_examples() -> tuple[str, str]:
-    rows = [
+def _chapter_4_examples() -> ExperimentResult:
+    rows = (
         ("necklaces of length 6 in B(2,12)", 9, count_necklaces_of_length(2, 12, 6)),
         ("necklaces in B(2,12)", 352, count_necklaces_total(2, 12)),
         ("weight-4 necklaces of length 6 in B(2,12)", 2, count_necklaces_by_weight(2, 12, 4, 6)),
         ("weight-4 necklaces in B(2,12)", 43, count_necklaces_by_weight_total(2, 12, 4)),
         ("weight-4 necklaces of length 4 in B(3,4)", 4, count_necklaces_by_weight(3, 4, 4, 4)),
-    ]
-    return (
-        "Chapter 4 worked examples — necklace counts (paper value vs computed)",
-        format_table(["quantity", "paper", "computed"], rows),
+    )
+    headers = ("quantity", "paper", "computed")
+    return ExperimentResult(
+        description="Chapter 4 worked examples — necklace counts (paper value vs computed)",
+        headers=headers,
+        rows=rows,
+        text=format_table(headers, rows),
     )
 
 
-EXPERIMENTS: dict[str, Callable[..., tuple[str, str]]] = {
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table_2_1": _table_2_1,
     "table_2_2": _table_2_2,
     "table_3_1": _table_3_1,
@@ -153,6 +296,8 @@ EXPERIMENTS: dict[str, Callable[..., tuple[str, str]]] = {
     "figure_3_3_decomposition": _figure_3_3_decomposition,
     "disjoint_hc_summary": _disjoint_hc_summary,
     "hypercube_comparison": _hypercube_comparison,
+    "hypercube_vs_debruijn_sweep": _hypercube_vs_debruijn_sweep,
+    "topology_sweep": _topology_sweep,
     "chapter_4_examples": _chapter_4_examples,
 }
 
@@ -162,10 +307,16 @@ def available_experiments() -> list[str]:
     return sorted(EXPERIMENTS)
 
 
-def run_experiment(name: str, **kwargs) -> tuple[str, str]:
-    """Run one registered experiment and return ``(description, rendered table)``."""
+def run_experiment_result(name: str, **kwargs) -> ExperimentResult:
+    """Run one registered experiment and return its full structured result."""
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(f"unknown experiment {name!r}; choose from {available_experiments()}") from None
     return runner(**kwargs)
+
+
+def run_experiment(name: str, **kwargs) -> tuple[str, str]:
+    """Run one registered experiment and return ``(description, rendered table)``."""
+    result = run_experiment_result(name, **kwargs)
+    return result.description, result.text

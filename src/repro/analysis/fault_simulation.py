@@ -10,16 +10,23 @@ a neighbouring node is used instead.  Averages, maxima and minima over many
 trials give one table row per ``f``, alongside the analytic reference
 ``d**n - n*f``.
 
-The heavy lifting is done by :class:`FaultSweepRunner`, which builds the
-integer-word codec tables (:mod:`repro.words.codec`) once and reuses them
-across every trial of every row:
+The heavy lifting is done by :class:`FaultSweepRunner`, which is
+**topology-generic**: it drives any backend of the
+:mod:`repro.topology` registry (``debruijn`` — the default and the
+compatibility anchor — ``kautz``, ``hypercube``, ``shuffle_exchange``,
+``undirected_debruijn``) through the protocol's precomputed gather tables,
+built once and reused across every trial of every row:
 
-* the faulty-necklace mask is a single vectorized ``isin`` over the
-  representative table instead of a Python walk per necklace;
-* because removing whole necklaces keeps the De Bruijn digraph *balanced*
-  (every surviving node keeps indegree equal to outdegree, Section 2.5), the
-  component containing ``R`` is strongly connected, so ONE directed BFS
-  yields both the component size and the root eccentricity;
+* the removed-node mask is the backend's vectorized fault-unit closure
+  (one ``isin`` over the necklace-representative table for the De Bruijn
+  family, a plain scatter for single-node-unit topologies) instead of a
+  Python walk per unit;
+* ONE directed BFS from the measurement root yields both the size of the
+  root's fault-free broadcast region and the root eccentricity.  For the
+  De Bruijn graph removing whole necklaces keeps the digraph *balanced*
+  (Section 2.5), so that region IS the component containing ``R`` — the
+  paper's measurement, exactly; for undirected backends the same holds
+  trivially;
 * the per-trial statistics are accumulated into numpy arrays.
 
 On top of the per-trial machinery sits the bit-parallel batch path
@@ -62,16 +69,16 @@ import numpy as np
 
 from ..engine.cache import LRUCache
 from ..exceptions import InvalidParameterError
-from ..graphs.components import ResidualGraph, bfs_levels
+from ..graphs.components import bfs_levels_table
 from ..graphs.msbfs import (
     WORD_WIDTH,
     batched_root_stats,
     lane_removed_mask,
     pack_fault_lanes,
 )
-from ..network.faults import sample_fault_code_batch, sample_node_fault_codes
-from ..words.alphabet import Word, validate_word, word_to_int
-from ..words.codec import get_codec
+from ..network.faults import sample_code_batch, sample_fault_codes
+from ..topology import DEFAULT_TOPOLOGY, Topology, get_topology
+from ..words.alphabet import Word
 
 __all__ = [
     "FaultSimulationRow",
@@ -113,13 +120,22 @@ class FaultSimulationRow:
 
     @classmethod
     def from_samples(
-        cls, d: int, n: int, f: int, sizes: np.ndarray, eccs: np.ndarray
+        cls,
+        d: int,
+        n: int,
+        f: int,
+        sizes: np.ndarray,
+        eccs: np.ndarray,
+        reference_size: int | None = None,
     ) -> "FaultSimulationRow":
         """Build a row from per-trial samples (the one place the statistics live).
 
         Both the legacy sequential :meth:`FaultSweepRunner.run_row` and the
         engine's :class:`~repro.engine.sweep.ParallelSweepEngine` aggregate
         through here, so their row statistics can never diverge.
+        ``reference_size`` is the topology's analytic column
+        (:meth:`repro.topology.base.Topology.reference_size`); omitted, it
+        defaults to the paper's De Bruijn ``d**n - n*f``.
         """
         return cls(
             f=f,
@@ -127,7 +143,7 @@ class FaultSimulationRow:
             avg_size=float(sizes.mean()),
             max_size=int(sizes.max()),
             min_size=int(sizes.min()),
-            reference_size=d**n - n * f,
+            reference_size=d**n - n * f if reference_size is None else int(reference_size),
             avg_ecc=float(eccs.mean()),
             max_ecc=int(eccs.max()),
             min_ecc=int(eccs.min()),
@@ -135,66 +151,87 @@ class FaultSimulationRow:
 
 
 def _default_root(n: int) -> Word:
-    """The paper's measurement root ``R = 0...01``."""
+    """The paper's De Bruijn measurement root ``R = 0...01``.
+
+    Kept as the frozen-reference convention (:mod:`repro.analysis.reference`);
+    topology backends expose their own analog via ``default_root_code``.
+    """
     return (0,) * (n - 1) + (1,)
 
 
 class FaultSweepRunner:
-    """Batched fault-sweep engine for one ``B(d, n)`` and one measurement root.
+    """Batched fault-sweep engine for one topology instance and one root.
 
-    Construction touches the shared codec (cached per ``(d, n)``); every
-    precomputed table — rotation, necklace representative, successor matrix —
-    is then amortised across all trials of all rows.  Instances hold no
-    mutable state, so one runner can serve many seeded sweeps.
+    The default backend is the paper's ``B(d, n)``; any key of the
+    :mod:`repro.topology` registry (or a pre-built
+    :class:`~repro.topology.base.Topology`) selects another network.
+    Construction touches the shared backend instance (cached per
+    ``(topology, d, n)``); every precomputed table — gather columns,
+    fault-unit closure — is then amortised across all trials of all rows.
+    Instances hold no mutable state, so one runner can serve many seeded
+    sweeps.
     """
 
-    def __init__(self, d: int, n: int, root: Sequence[int] | None = None) -> None:
-        self.codec = get_codec(d, n)
-        self.d, self.n = self.codec.d, self.codec.n
-        root_word = _default_root(n) if root is None else tuple(int(x) for x in root)
-        self.root = validate_word(root_word, d)
-        if len(self.root) != self.n:
-            raise InvalidParameterError(
-                f"root {self.root} has length {len(self.root)}, expected {self.n} "
-                f"for B({self.d},{self.n})"
-            )
-        self.root_code = word_to_int(self.root, d)
+    def __init__(
+        self,
+        d: int,
+        n: int,
+        root: Sequence[int] | None = None,
+        topology: str | Topology = DEFAULT_TOPOLOGY,
+    ) -> None:
+        self.topology = get_topology(topology, d, n)
+        self.topology_key = self.topology.key
+        self.d, self.n = self.topology.d, self.topology.n
+        #: the De Bruijn codec where the backend has one (B/UB/shuffle-exchange);
+        #: ``None`` for code-native backends like the hypercube
+        self.codec = getattr(self.topology, "codec", None)
+        if root is None:
+            self.root_code = self.topology.default_root_code
+        else:
+            self.root_code = self.topology.encode(tuple(int(x) for x in root))
+        self.root = self.topology.decode(self.root_code)
         self._intact_dist: np.ndarray | None = None
 
     # -- one trial -----------------------------------------------------------
     def run_trial(self, f: int, rng: np.random.Generator) -> tuple[int, int]:
-        """Run one random trial: returns ``(component_size, root_eccentricity)``."""
-        codes = sample_node_fault_codes(self.d, self.n, f, rng)
-        fault_codes = np.asarray(codes, dtype=self.codec.dtype)
-        return self.measure_mask(self.codec.faulty_necklace_mask(fault_codes))
+        """Run one random trial: returns ``(region_size, root_eccentricity)``."""
+        codes = sample_fault_codes(self.topology.num_nodes, f, rng)
+        fault_codes = np.asarray(codes, dtype=np.int64)
+        return self.measure_mask(self.topology.fault_unit_mask(fault_codes))
 
     def measure(self, faults: Iterable[Sequence[int]]) -> tuple[int, int]:
-        """Measure component size and eccentricity for an explicit fault set."""
-        codec = self.codec
-        fault_words = [validate_word(w, self.d) for w in faults]
-        for w in fault_words:
-            if len(w) != self.n:
-                raise InvalidParameterError(
-                    f"fault {w} has length {len(w)}, expected {self.n} "
-                    f"for B({self.d},{self.n})"
-                )
+        """Measure region size and eccentricity for an explicit fault set."""
         fault_codes = np.asarray(
-            [word_to_int(w, self.d) for w in fault_words], dtype=codec.dtype
+            [self.topology.encode(w) for w in faults], dtype=np.int64
         )
-        return self.measure_mask(codec.faulty_necklace_mask(fault_codes))
+        return self.measure_mask(self.topology.fault_unit_mask(fault_codes))
 
     def measure_mask(self, removed: np.ndarray) -> tuple[int, int]:
         """Measure for an explicit removed-node mask (the int-coded hot path)."""
+        size, ecc, _ = self.measure_mask_with_root(removed)
+        return size, ecc
+
+    def measure_mask_with_root(self, removed: np.ndarray) -> tuple[int, int, int | None]:
+        """Like :meth:`measure_mask`, also returning the measured root's code.
+
+        The root is the configured ``R`` when it survives, otherwise the
+        sweep protocol's neighbouring-root fallback; ``None`` (with a
+        ``(0, 0)`` measurement) when every node was removed.  Consumers that
+        report the measurement root — e.g.
+        :meth:`repro.engine.service.EmbeddingService.measure` — use this
+        form so the reported root can never drift from the measured one.
+        """
         root = self._measurement_root(removed)
         if root is None:
-            return 0, 0
-        return self._measure_from_root(removed, root)
+            return 0, 0, None
+        return (*self._measure_from_root(removed, root), int(root))
 
     def _measure_from_root(self, removed: np.ndarray, root: int) -> tuple[int, int]:
-        # Whole-necklace removal keeps the digraph balanced, so the weak
-        # component of the root is strongly connected: one directed BFS gives
-        # both the component (the reached set) and the eccentricity.
-        dist = bfs_levels(ResidualGraph(self.d, self.n, removed), root, direction="out")
+        # One directed BFS gives both the reached region and the eccentricity.
+        # For De Bruijn, whole-necklace removal keeps the digraph balanced, so
+        # that region is the root's component (the paper's measurement);
+        # undirected backends reach their whole component by definition.
+        dist = bfs_levels_table(self.topology.successor_table, removed, root)
         return int((dist >= 0).sum()), int(dist.max())
 
     # -- one batch of trials ---------------------------------------------------
@@ -219,9 +256,9 @@ class FaultSweepRunner:
                 f"batch size must be in 1..{WORD_WIDTH}, got {batch}"
             )
         rngs = [np.random.default_rng(seq) for seq in seed_seqs]
-        codes = sample_fault_code_batch(self.d, self.n, f, rngs)
-        lanes = pack_fault_lanes(self.codec, codes)
-        stats = batched_root_stats(self.codec, lanes, self.root_code, batch)
+        codes = sample_code_batch(self.topology.num_nodes, f, rngs)
+        lanes = pack_fault_lanes(self.topology, codes)
+        stats = batched_root_stats(self.topology, lanes, self.root_code, batch)
         results = list(zip(stats.sizes.tolist(), stats.eccs.tolist()))
         for t, stat in self._batched_fallbacks(lanes, stats.dead_trials()).items():
             results[t] = stat
@@ -274,14 +311,14 @@ class FaultSweepRunner:
         """Race several trials' candidate roots in one multi-root sweep."""
         one = np.uint64(1)
         roots = np.concatenate([c for _, c in group]).astype(np.int64)
-        packed = np.zeros(self.codec.size, dtype=np.uint64)
+        packed = np.zeros(self.topology.num_nodes, dtype=np.uint64)
         pos = 0
         for t, candidates in group:
             # replicate trial t's removed mask into this trial's lane segment
             segment = np.uint64(((1 << len(candidates)) - 1) << pos)
             packed |= ((lanes >> np.uint64(t)) & one) * segment
             pos += len(candidates)
-        stats = batched_root_stats(self.codec, packed, roots, len(roots))
+        stats = batched_root_stats(self.topology, packed, roots, len(roots))
         pos = 0
         for t, candidates in group:
             seg_sizes = stats.sizes[pos : pos + len(candidates)]
@@ -295,8 +332,11 @@ class FaultSweepRunner:
     def _intact_distances(self) -> np.ndarray:
         """Fault-free hop distances from ``R`` (either direction), cached."""
         if self._intact_dist is None:
-            intact = ResidualGraph(self.d, self.n, np.zeros(self.codec.size, dtype=bool))
-            self._intact_dist = bfs_levels(intact, self.root_code, direction="both")
+            self._intact_dist = bfs_levels_table(
+                self.topology.neighbour_table,
+                np.zeros(self.topology.num_nodes, dtype=bool),
+                self.root_code,
+            )
         return self._intact_dist
 
     def _fallback_candidates(self, removed: np.ndarray) -> np.ndarray:
@@ -328,9 +368,9 @@ class FaultSweepRunner:
         if candidates.size == 1:
             return int(candidates[0])
         best_root, best_size = None, -1
-        residual = ResidualGraph(self.d, self.n, removed)
+        succ = self.topology.successor_table
         for value in candidates.tolist():
-            size = int((bfs_levels(residual, value, direction="out") >= 0).sum())
+            size = int((bfs_levels_table(succ, removed, value) >= 0).sum())
             if size > best_size:
                 best_root, best_size = value, size
         return best_root
@@ -354,7 +394,7 @@ class FaultSweepRunner:
         for start in range(0, candidates.size, WORD_WIDTH):
             chunk = candidates[start : start + WORD_WIDTH]
             lanes = removed.astype(np.uint64) * np.uint64(2 ** len(chunk) - 1)
-            stats = batched_root_stats(self.codec, lanes, chunk, len(chunk))
+            stats = batched_root_stats(self.topology, lanes, chunk, len(chunk))
             # np.argmax returns the FIRST maximum: the ascending-code strict-'>'
             # scan of _measurement_root, lane-parallel.
             i = int(np.argmax(stats.sizes))
@@ -375,7 +415,10 @@ class FaultSweepRunner:
         eccs = np.empty(trials, dtype=np.int64)
         for t in range(trials):
             sizes[t], eccs[t] = self.run_trial(f, rng)
-        return FaultSimulationRow.from_samples(self.d, self.n, f, sizes, eccs)
+        return FaultSimulationRow.from_samples(
+            self.d, self.n, f, sizes, eccs,
+            reference_size=self.topology.reference_size(f),
+        )
 
     def run_table(
         self,
@@ -394,20 +437,26 @@ class FaultSweepRunner:
         """
         from ..engine.sweep import ParallelSweepEngine
 
+        # the engine adopts this runner's backend (registered or not), so no
+        # topology key is passed: measurement and aggregation cannot diverge
         engine = ParallelSweepEngine(self.d, self.n, root=self.root, runner=self, batch=batch)
         return engine.run(fault_counts=fault_counts, trials=trials, seed=seed)
 
 
-#: Bounded, observable runner cache: one entry per ``(d, n, root)`` served.
-#: Audited (stats/clear) through :mod:`repro.engine.caches`; worker processes
-#: of the parallel sweep engine reuse it so codec tables are built once per
-#: process, not once per shard.
+#: Bounded, observable runner cache: one entry per ``(topology, d, n, root)``
+#: served.  Audited (stats/clear) through :mod:`repro.engine.caches`; worker
+#: processes of the parallel sweep engine reuse it so backend tables are
+#: built once per process, not once per shard.
 _RUNNER_CACHE = LRUCache(maxsize=8, name="analysis.fault_runners")
 
 
-def _cached_runner(d: int, n: int, root: Word | None) -> FaultSweepRunner:
-    key = (int(d), int(n), root)
-    return _RUNNER_CACHE.get_or_create(key, lambda: FaultSweepRunner(d, n, root=root))
+def _cached_runner(
+    d: int, n: int, root: Word | None, topology: str = DEFAULT_TOPOLOGY
+) -> FaultSweepRunner:
+    key = (str(topology), int(d), int(n), root)
+    return _RUNNER_CACHE.get_or_create(
+        key, lambda: FaultSweepRunner(d, n, root=root, topology=topology)
+    )
 
 
 def simulate_fault_row(
@@ -417,15 +466,17 @@ def simulate_fault_row(
     trials: int = 200,
     rng: np.random.Generator | None = None,
     root: Sequence[int] | None = None,
+    topology: str = DEFAULT_TOPOLOGY,
 ) -> FaultSimulationRow:
     """Simulate one table row: ``trials`` random fault sets of size ``f``.
 
     Follows the paper's measurement protocol exactly, including the fallback
-    to a neighbouring root when ``R`` falls inside a faulty necklace.  Thin
-    wrapper over a cached :class:`FaultSweepRunner`.
+    to a neighbouring root when ``R`` falls inside a faulty unit.  Thin
+    wrapper over a cached :class:`FaultSweepRunner`; ``topology`` selects
+    any registered backend (default: the paper's De Bruijn graph).
     """
     root_key = None if root is None else tuple(int(x) for x in root)
-    return _cached_runner(d, n, root_key).run_row(f, trials=trials, rng=rng)
+    return _cached_runner(d, n, root_key, topology).run_row(f, trials=trials, rng=rng)
 
 
 def simulate_fault_table(
@@ -439,6 +490,7 @@ def simulate_fault_table(
     checkpoint_path: str | None = None,
     progress: Callable | None = None,
     batch: int = WORD_WIDTH,
+    topology: str = DEFAULT_TOPOLOGY,
 ) -> list[FaultSimulationRow]:
     """Simulate a full table (Table 2.1 with ``d=2, n=10``; Table 2.2 with ``d=4, n=5``).
 
@@ -451,7 +503,10 @@ def simulate_fault_table(
     a :class:`~repro.engine.sweep.SweepProgress` per completed batch.
     ``batch`` sets how many trials each bit-parallel kernel call measures at
     once (default: the full 64-trial word width; ``batch=1`` is the scalar
-    escape hatch — every setting produces identical rows).
+    escape hatch — every setting produces identical rows).  ``topology``
+    selects any registered backend (``kautz``, ``hypercube``,
+    ``shuffle_exchange``, ...); the default stays the paper's De Bruijn
+    graph, whose rows are bit-for-bit those of the pre-registry engine.
     """
     from ..engine.sweep import ParallelSweepEngine
 
@@ -464,5 +519,6 @@ def simulate_fault_table(
         checkpoint_path=checkpoint_path,
         progress=progress,
         batch=batch,
+        topology=topology,
     )
     return engine.run(fault_counts=fault_counts, trials=trials, seed=seed)

@@ -1,17 +1,29 @@
-"""Plain-text rendering of the reproduced tables and figures.
+"""Plain-text and CSV rendering of the reproduced tables and figures.
 
 Every experiment harness in :mod:`repro.analysis` and every benchmark in
 ``benchmarks/`` funnels its results through these helpers so that the rows
-printed next to the paper's tables line up column for column.
+printed next to the paper's tables line up column for column.  The CSV
+writers (:func:`format_csv`, :func:`format_fault_table_csv`) are the single
+machine-readable serialisation shared by the ``sweep --format csv`` and
+``experiment --format csv`` CLI paths.
 """
 
 from __future__ import annotations
 
+import csv
+import dataclasses
+import io
 from collections.abc import Iterable, Sequence
 
 from .fault_simulation import FaultSimulationRow
 
-__all__ = ["format_table", "format_fault_table", "format_mapping_table"]
+__all__ = [
+    "format_table",
+    "format_fault_table",
+    "format_mapping_table",
+    "format_csv",
+    "format_fault_table_csv",
+]
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -29,9 +41,19 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
     return "\n".join(lines)
 
 
-def format_fault_table(rows: Iterable[FaultSimulationRow], title: str = "") -> str:
-    """Render Table 2.1/2.2 rows with the paper's column layout."""
-    headers = ["f", "Avg. Size", "Max. Size", "Min. Size", "d^n - nf", "Avg. Ecc.", "Max. Ecc.", "Min. Ecc."]
+def format_fault_table(
+    rows: Iterable[FaultSimulationRow],
+    title: str = "",
+    reference_header: str = "d^n - nf",
+) -> str:
+    """Render Table 2.1/2.2 rows with the paper's column layout.
+
+    ``reference_header`` labels the analytic reference column — the paper's
+    ``d^n - nf`` by default; topology-generic callers pass the backend's
+    :attr:`~repro.topology.base.Topology.reference_label`.
+    """
+    headers = ["f", "Avg. Size", "Max. Size", "Min. Size", reference_header,
+               "Avg. Ecc.", "Max. Ecc.", "Min. Ecc."]
     body = format_table(headers, [row.as_tuple() for row in rows])
     return f"{title}\n{body}" if title else body
 
@@ -42,3 +64,28 @@ def format_mapping_table(mapping: dict, key_header: str, value_header: str) -> s
     headers = [key_header] + [str(k) for k in keys]
     row = [value_header] + [str(mapping[k]) for k in keys]
     return format_table(headers, [row])
+
+
+def format_csv(headers: Sequence, rows: Iterable[Sequence]) -> str:
+    """Serialise headers + rows as RFC-4180 CSV text (``\\n`` line ends).
+
+    The one CSV writer of the package: the ``sweep`` and ``experiment``
+    subcommands and any future machine-readable table all route through it,
+    so quoting and line-ending behaviour can never drift between outputs.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([str(h) for h in headers])
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def format_fault_table_csv(rows: Iterable[FaultSimulationRow]) -> str:
+    """Serialise sweep rows as CSV at full precision (one column per field).
+
+    Unlike :func:`format_fault_table` — which rounds the averages to the
+    paper's two decimals for side-by-side reading — this is an interchange
+    format: every :class:`FaultSimulationRow` field round-trips exactly.
+    """
+    fields = [f.name for f in dataclasses.fields(FaultSimulationRow)]
+    return format_csv(fields, [dataclasses.astuple(row) for row in rows])

@@ -6,12 +6,14 @@ Three subcommands expose the engine subsystem and the experiment registry:
     Run entries of :mod:`repro.analysis.experiments` (every table and figure
     of the paper); ``--list`` enumerates them, ``--all`` runs everything.
 
-``repro sweep --d D --n N``
+``repro sweep --topology T --d D --n N``
     Drive a Table 2.1/2.2-style random-fault sweep through
-    :class:`repro.engine.sweep.ParallelSweepEngine`, with ``--workers`` for
-    multiprocess sharding (bit-for-bit identical rows for any worker
-    count), ``--checkpoint`` for JSON checkpoint/resume and ``--json`` for
-    machine-readable output.
+    :class:`repro.engine.sweep.ParallelSweepEngine` on any backend of the
+    :mod:`repro.topology` registry (``debruijn`` — the default — ``kautz``,
+    ``hypercube``, ``shuffle_exchange``, ``undirected_debruijn``), with
+    ``--workers`` for multiprocess sharding (bit-for-bit identical rows for
+    any worker count), ``--checkpoint`` for JSON checkpoint/resume and
+    ``--format json``/``--format csv`` for machine-readable output.
 
 ``repro bench``
     Time the bit-parallel 64-trial sweep kernel against the scalar path on
@@ -35,28 +37,47 @@ import json
 import sys
 from collections.abc import Sequence
 
-from .analysis.experiments import available_experiments, run_experiment
-from .analysis.reporting import format_fault_table
+from .analysis.experiments import available_experiments, run_experiment_result
+from .analysis.reporting import format_fault_table, format_fault_table_csv
 from .exceptions import ReproError
+from .topology import available_topologies
 from ._version import __version__
 
 __all__ = ["main"]
 
-#: Experiment names whose registry entries accept sweep kwargs.
-_SWEEP_EXPERIMENTS = ("table_2_1", "table_2_2")
+#: Experiment names whose registry entries accept sweep kwargs
+#: (``trials``/``seed``/``workers``).
+_SWEEP_EXPERIMENTS = (
+    "table_2_1",
+    "table_2_2",
+    "topology_sweep",
+    "hypercube_vs_debruijn_sweep",
+)
+
+#: Experiment names that additionally accept the ``--topology`` selector.
+_TOPOLOGY_EXPERIMENTS = ("topology_sweep",)
 
 
 def parse_word(text: str) -> tuple[int, ...]:
-    """Parse one node word: compact digits (``020``) or comma-separated (``0,2,0``)."""
+    """Parse one node word: compact digits (``020``) or comma-separated (``0,2,0``).
+
+    The compact form reads one digit per character, so alphabets with
+    ``d > 10`` need the comma form (``11,0,3`` for the word ``(11, 0, 3)``).
+    The empty word is rejected — no graph here has a length-0 node.
+    """
     text = text.strip()
     try:
         if "," in text:
-            return tuple(int(part) for part in text.split(","))
-        return tuple(int(ch) for ch in text)
+            word = tuple(int(part) for part in text.split(","))
+        else:
+            word = tuple(int(ch) for ch in text)
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"cannot parse word {text!r}: use digits like 020 or comma form 0,2,0"
         ) from None
+    if not word:
+        raise argparse.ArgumentTypeError("node words cannot be empty")
+    return word
 
 
 def _parse_fault_counts(text: str) -> tuple[int, ...]:
@@ -89,12 +110,23 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=0, help="seed for the fault tables")
     exp.add_argument("--workers", type=int, default=0,
                      help="worker processes for the fault tables (0 = inline)")
+    exp.add_argument("--topology", choices=available_topologies(), default=None,
+                     help="backend for the topology_sweep experiment "
+                     "(rejected if no selected experiment accepts it)")
+    exp.add_argument("--format", choices=("table", "csv"), default="table",
+                     help="output format (csv: structured rows, shared writer)")
 
     sweep = sub.add_parser(
         "sweep", help="run a Table 2.1/2.2-style fault sweep through the engine"
     )
-    sweep.add_argument("--d", type=int, required=True, help="De Bruijn alphabet size")
-    sweep.add_argument("--n", type=int, required=True, help="De Bruijn word length")
+    sweep.add_argument("--topology", choices=available_topologies(), default="debruijn",
+                       help="network backend to sweep (default: the paper's "
+                       "De Bruijn graph)")
+    sweep.add_argument("--d", type=int, default=2,
+                       help="alphabet size / degree parameter (default 2; the "
+                       "hypercube backend requires 2)")
+    sweep.add_argument("--n", type=int, required=True,
+                       help="word length / dimension parameter")
     sweep.add_argument("--fault-counts", type=_parse_fault_counts, default=None,
                        help="comma-separated fault counts (default: the paper's 0..10,20..50)")
     sweep.add_argument("--trials", type=int, default=200, help="trials per row")
@@ -102,21 +134,28 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=0,
                        help="worker processes (0 = inline; results identical either way)")
     sweep.add_argument("--root", type=parse_word, default=None,
-                       help="measurement root (default: the paper's 0...01)")
+                       help="measurement root (default: the backend's analog "
+                       "of the paper's 0...01)")
     sweep.add_argument("--batch", type=int, default=64,
                        help="trials per bit-parallel kernel call, 1..64 "
                        "(1 = scalar path; results identical either way)")
     sweep.add_argument("--checkpoint", default=None,
-                       help="JSON checkpoint file for interrupt/resume")
+                       help="JSON checkpoint file for interrupt/resume "
+                       "(validated against topology/d/n/root/seed)")
     sweep.add_argument("--no-resume", action="store_true",
                        help="ignore an existing checkpoint and start fresh")
     sweep.add_argument("--progress", action="store_true",
                        help="report completed trials on stderr")
-    sweep.add_argument("--json", action="store_true", help="emit rows as JSON")
+    sweep.add_argument("--format", choices=("table", "json", "csv"), default=None,
+                       help="output format (default: table)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit rows as JSON (same as --format json)")
 
     bench = sub.add_parser(
         "bench", help="benchmark the batched sweep kernel and write BENCH_sweep.json"
     )
+    bench.add_argument("--topology", choices=available_topologies(), default="debruijn",
+                       help="benchmark this backend's tracked configurations")
     bench.add_argument("--out", default="BENCH_sweep.json",
                        help="output JSON file (default: BENCH_sweep.json)")
     bench.add_argument("--trials", type=int, default=192, help="trials per row")
@@ -157,6 +196,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
               f"choose from: {', '.join(names)}", file=sys.stderr)
         return 1
+    if args.topology is not None and not any(
+        name in _TOPOLOGY_EXPERIMENTS for name in selected
+    ):
+        # refuse rather than silently run the default backend
+        print(f"--topology only applies to: {', '.join(_TOPOLOGY_EXPERIMENTS)}; "
+              f"selected experiment(s) ignore it", file=sys.stderr)
+        return 1
     for name in selected:
         kwargs = {}
         if name in _SWEEP_EXPERIMENTS:
@@ -165,11 +211,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 "seed": args.seed,
                 "workers": args.workers or None,
             }
-        description, text = run_experiment(name, **kwargs)
+        if name in _TOPOLOGY_EXPERIMENTS and args.topology is not None:
+            kwargs["topology"] = args.topology
+        result = run_experiment_result(name, **kwargs)
+        if args.format == "csv":
+            # one CSV document per experiment, description as a comment line
+            print(f"# {name}: {result.description}")
+            print(result.csv(), end="")
+            continue
         print("=" * 78)
-        print(f"{name}: {description}")
+        print(f"{name}: {result.description}")
         print("-" * 78)
-        print(text)
+        print(result.text)
         print()
     return 0
 
@@ -177,6 +230,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.fault_simulation import PAPER_FAULT_COUNTS
     from .engine.sweep import ParallelSweepEngine, SweepProgress
+    from .topology import get_topology
+
+    fmt = args.format or ("json" if args.json else "table")
 
     def report(progress: SweepProgress) -> None:
         print(
@@ -195,6 +251,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         progress=report if args.progress else None,
         batch=args.batch,
+        topology=args.topology,
     )
     rows = engine.run(
         fault_counts=args.fault_counts if args.fault_counts is not None else PAPER_FAULT_COUNTS,
@@ -204,8 +261,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     if args.progress:
         print(file=sys.stderr)
-    if args.json:
+    if fmt == "json":
         payload = {
+            "topology": engine.topology,
             "d": args.d,
             "n": args.n,
             "trials": args.trials,
@@ -213,8 +271,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "rows": [dataclasses.asdict(row) for row in rows],
         }
         print(json.dumps(payload, indent=2))
+    elif fmt == "csv":
+        print(format_fault_table_csv(rows), end="")
     else:
-        print(format_fault_table(rows, title=f"Random-fault sweep of B({args.d},{args.n})"))
+        topo = get_topology(args.topology, args.d, args.n)
+        print(format_fault_table(
+            rows,
+            title=f"Random-fault sweep of {topo.name}",
+            reference_header=topo.reference_label,
+        ))
     return 0
 
 
@@ -223,13 +288,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     trials = 24 if args.quick else args.trials
     results = run_sweep_bench(
-        trials=trials, seed=args.seed, batch=args.batch, repeats=args.repeats
+        trials=trials, seed=args.seed, batch=args.batch, repeats=args.repeats,
+        topology=args.topology,
     )
     write_bench_file(results, args.out)
     for r in results:
         equal = "rows identical" if r.rows_equal else "ROWS DIFFER"
         print(
-            f"{r.name}: {r.nodes} nodes, {len(r.fault_counts)}x{r.trials} trials — "
+            f"{r.name} [{r.topology}]: {r.nodes} nodes, "
+            f"{len(r.fault_counts)}x{r.trials} trials — "
             f"scalar {r.scalar_s:.3f} s, batch={r.batch} {r.batched_s:.3f} s, "
             f"speedup {r.speedup:.1f}x ({equal})"
         )

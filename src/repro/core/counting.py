@@ -23,7 +23,7 @@ from math import comb, factorial, prod
 
 from ..exceptions import InvalidParameterError
 from ..gf.modular import divisors, euler_phi, mobius
-from ..words.alphabet import iter_words, letter_count, weight
+from ..words.alphabet import letter_count, weight
 from ..words.necklaces import iter_necklace_representatives
 from ..words.rotation import period
 

@@ -30,7 +30,7 @@ from ..exceptions import InvalidParameterError, NotPrimePowerError
 from ..gf.field import GF, GaloisField
 from ..gf.lfsr import LinearRecurrence, default_maximal_cycle_recurrence, maximal_cycle, shifted_cycle
 from ..gf.modular import as_prime_power, is_prime_power, prime_factorization
-from .bounds import psi, psi_prime_power, strategy_for_prime
+from .bounds import psi_prime_power, strategy_for_prime
 from .sequences import is_hamiltonian_sequence, nodes_of_sequence, rees_composition, sequences_edge_disjoint
 
 __all__ = [

@@ -22,7 +22,7 @@ resulting cycle back through the map ``Phi``.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable
 from math import gcd
 
 from ..exceptions import EmbeddingError, FaultBudgetExceededError, InvalidParameterError

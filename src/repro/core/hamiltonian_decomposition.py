@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from ..exceptions import InvalidParameterError, NotPrimePowerError
+from ..exceptions import InvalidParameterError
 from ..gf.field import GF
 from ..gf.lfsr import LinearRecurrence, default_maximal_cycle_recurrence, maximal_cycle, shifted_cycle
 from ..gf.modular import as_prime_power

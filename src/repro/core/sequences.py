@@ -22,7 +22,7 @@ from math import gcd
 from ..exceptions import InvalidParameterError
 from ..words.alphabet import Word, validate_alphabet
 from ..words.necklaces import iter_necklace_representatives
-from ..words.rotation import aperiodic_root, period
+from ..words.rotation import aperiodic_root
 
 __all__ = [
     "nodes_of_sequence",

@@ -5,11 +5,13 @@ system (the ROADMAP's production north star):
 
 * :class:`~repro.engine.service.EmbeddingService` — a resident query API
   ``embed(d, n, faults) -> EmbeddingResponse`` with canonical fault
-  normalisation, bounded LRU caches and hit/latency counters.
+  normalisation, bounded LRU caches and hit/latency counters, plus the
+  topology-generic ``measure(...) -> MeasureResponse`` region queries.
 * :class:`~repro.engine.sweep.ParallelSweepEngine` — multiprocess sharded
-  execution of the Table 2.1/2.2 fault sweeps with per-trial
-  ``SeedSequence``-derived streams (bit-for-bit identical results for any
-  worker count), JSON checkpoint/resume and progress callbacks.
+  execution of the Table 2.1/2.2-style fault sweeps (any backend of the
+  :mod:`repro.topology` registry) with per-trial ``SeedSequence``-derived
+  streams (bit-for-bit identical results for any worker count),
+  topology-keyed JSON checkpoint/resume and progress callbacks.
 * the ``python -m repro`` CLI (:mod:`repro.cli`) driving both plus the
   experiment registry.
 
@@ -31,6 +33,7 @@ __all__ = [
     "clear_caches",
     "EmbeddingRequest",
     "EmbeddingResponse",
+    "MeasureResponse",
     "EmbeddingService",
     "ParallelSweepEngine",
     "SweepProgress",
@@ -48,6 +51,7 @@ _LAZY = {
     "clear_caches": "caches",
     "EmbeddingRequest": "service",
     "EmbeddingResponse": "service",
+    "MeasureResponse": "service",
     "EmbeddingService": "service",
     "ParallelSweepEngine": "sweep",
     "SweepProgress": "sweep",

@@ -1,11 +1,14 @@
 """``python -m repro bench`` — the tracked sweep-performance benchmark.
 
-Runs the random-fault sweep of Tables 2.1/2.2 twice on the same seeds —
+Runs a Tables 2.1/2.2-style random-fault sweep twice on the same seeds —
 once through the scalar per-trial path (``batch=1``) and once through the
 bit-parallel 64-trial kernel (:mod:`repro.graphs.msbfs`) — asserts the rows
 are bit-for-bit identical, and writes a machine-readable
-``BENCH_sweep.json`` with wall-times and speedups.  CI uploads the file as
-an artifact on every run, so the performance trajectory of the hot path is
+``BENCH_sweep.json`` with wall-times and speedups, keyed by topology name.
+Each registered topology backend has its own tracked configurations
+(``--topology`` selects them; the default is the De Bruijn pair the
+benchmark has pinned since the kernel landed).  CI uploads the file as an
+artifact on every run, so the performance trajectory of the hot path is
 tracked from the PR that introduced the kernel onward.
 """
 
@@ -21,16 +24,21 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..topology import get_topology
 from .sweep import ParallelSweepEngine
 
 __all__ = ["SweepBenchResult", "run_sweep_bench", "write_bench_file", "DEFAULT_CONFIGS"]
 
-#: Benchmark configurations: (d, n, fault_counts) — the pinned B(2,12)
-#: multi-row sweep plus the paper's Table 2.2 graph as a second data point.
-DEFAULT_CONFIGS: tuple[tuple[int, int, tuple[int, ...]], ...] = (
-    (2, 12, (2, 8, 16, 32)),
-    (4, 5, (1, 5, 20, 50)),
-)
+#: Tracked benchmark configurations per topology: ``(d, n, fault_counts)``.
+#: De Bruijn keeps the pinned B(2,12) multi-row sweep plus the paper's
+#: Table 2.2 graph; the other backends get one comparably sized graph each.
+DEFAULT_CONFIGS: dict[str, tuple[tuple[int, int, tuple[int, ...]], ...]] = {
+    "debruijn": ((2, 12, (2, 8, 16, 32)), (4, 5, (1, 5, 20, 50))),
+    "kautz": ((2, 11, (2, 8, 16, 32)),),
+    "hypercube": ((2, 12, (1, 2, 4, 8)),),
+    "shuffle_exchange": ((2, 12, (2, 8, 16, 32)),),
+    "undirected_debruijn": ((2, 12, (2, 8, 16, 32)),),
+}
 
 
 @dataclass(frozen=True)
@@ -38,6 +46,7 @@ class SweepBenchResult:
     """One benchmark entry: scalar vs batched wall-time on identical sweeps."""
 
     name: str
+    topology: str
     d: int
     n: int
     nodes: int
@@ -63,23 +72,32 @@ def _best_time(fn, repeats: int):
 
 
 def run_sweep_bench(
-    configs: Sequence[tuple[int, int, tuple[int, ...]]] = DEFAULT_CONFIGS,
+    configs: Sequence[tuple[int, int, tuple[int, ...]]] | None = None,
     trials: int = 192,
     seed: int = 0,
     batch: int = 64,
     repeats: int = 3,
+    topology: str = "debruijn",
 ) -> list[SweepBenchResult]:
-    """Time scalar vs batched single-process sweeps on each configuration."""
+    """Time scalar vs batched single-process sweeps on each configuration.
+
+    ``configs`` defaults to the selected topology's tracked set
+    (:data:`DEFAULT_CONFIGS`); entries are keyed by topology name in the
+    result file.
+    """
     if trials < 1:
         raise InvalidParameterError("at least one trial is required")
     if repeats < 1:
         raise InvalidParameterError("at least one repeat is required")
+    if configs is None:
+        configs = DEFAULT_CONFIGS.get(topology, ((2, 10, (2, 8, 16, 32)),))
     results = []
     for d, n, fault_counts in configs:
-        scalar_engine = ParallelSweepEngine(d, n, batch=1)
-        batched_engine = ParallelSweepEngine(d, n, batch=batch)
+        topo = get_topology(topology, d, n)
+        scalar_engine = ParallelSweepEngine(d, n, batch=1, topology=topology)
+        batched_engine = ParallelSweepEngine(d, n, batch=batch, topology=topology)
         kwargs = {"fault_counts": fault_counts, "trials": trials, "seed": seed}
-        # warm both paths: codec tables for the scalar engine, predecessor
+        # warm both paths: backend tables for the scalar engine, predecessor
         # columns and lane buffers for the kernel
         scalar_engine.run(fault_counts=fault_counts[:1], trials=1, seed=seed)
         batched_engine.run(fault_counts=fault_counts[:1], trials=batch, seed=seed)
@@ -87,10 +105,11 @@ def run_sweep_bench(
         batched_s, batched_rows = _best_time(lambda: batched_engine.run(**kwargs), repeats)
         results.append(
             SweepBenchResult(
-                name=f"sweep_b{d}_{n}",
+                name=f"sweep_{topo.key}_{d}_{n}",
+                topology=topo.key,
                 d=d,
                 n=n,
-                nodes=d**n,
+                nodes=topo.num_nodes,
                 fault_counts=tuple(fault_counts),
                 trials=trials,
                 seed=seed,
@@ -107,7 +126,7 @@ def run_sweep_bench(
 def write_bench_file(results: Sequence[SweepBenchResult], path: str) -> dict:
     """Serialise benchmark results (plus machine info) to ``path``; return the payload."""
     payload = {
-        "schema": 1,
+        "schema": 2,  # 2: entries keyed by topology (name + topology fields)
         "generated_by": "python -m repro bench",
         "unix_time": time.time(),
         "machine": {

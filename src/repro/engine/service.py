@@ -21,6 +21,14 @@ behind exactly that API:
 The guarantee fields are computed per request from the *requested* fault
 count (Propositions 2.2/2.3 count faulty processors, not necklaces), so two
 requests sharing one cached cycle can still report different bounds.
+
+Next to the ring queries sits the **topology-generic measurement API**:
+:meth:`EmbeddingService.measure` answers "how large is the fault-free
+region around the root, and how many broadcast steps does it take?" for
+*any* backend of the :mod:`repro.topology` registry — De Bruijn, Kautz,
+hypercube, shuffle-exchange — normalising the fault set to canonical
+fault-unit representatives (necklaces where the backend has them) before
+the cache lookup, exactly as the ring cache does.
 """
 
 from __future__ import annotations
@@ -30,13 +38,21 @@ import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.ffc import find_fault_free_cycle, guaranteed_cycle_length
 from ..exceptions import FaultBudgetExceededError, InvalidParameterError
+from ..topology import DEFAULT_TOPOLOGY, get_topology
 from ..words.alphabet import Word, validate_word
 from ..words.codec import WordCodec, get_codec
 from .cache import LRUCache
 
-__all__ = ["EmbeddingRequest", "EmbeddingResponse", "EmbeddingService"]
+__all__ = [
+    "EmbeddingRequest",
+    "EmbeddingResponse",
+    "MeasureResponse",
+    "EmbeddingService",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +128,94 @@ class EmbeddingResponse:
             data["cycle"] = [list(w) for w in self.cycle]
         return data
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "EmbeddingResponse":
+        """Rebuild a response from :meth:`as_dict` output (e.g. CLI ``--json``).
+
+        Lossless inverse of :meth:`as_dict`: every field round-trips, with
+        and without the cycle payload — a dict written with
+        ``include_cycle=False`` yields a response whose ``cycle`` is empty
+        while ``length`` still reports the true ring length.
+        """
+        bound = data["guarantee_bound"]
+        return cls(
+            d=int(data["d"]),
+            n=int(data["n"]),
+            faults=tuple(tuple(int(x) for x in w) for w in data["faults"]),
+            faulty_necklaces=tuple(
+                tuple(int(x) for x in w) for w in data["faulty_necklaces"]
+            ),
+            cycle=tuple(tuple(int(x) for x in w) for w in data.get("cycle", ())),
+            length=int(data["length"]),
+            guarantee_bound=None if bound is None else int(bound),
+            meets_guarantee=bool(data["meets_guarantee"]),
+            cached=bool(data["cached"]),
+            elapsed_s=float(data["elapsed_s"]),
+        )
+
+
+@dataclass(frozen=True)
+class MeasureResponse:
+    """One topology-generic measurement: the fault-free region around a root.
+
+    ``region_size`` and ``root_eccentricity`` are exactly the two columns of
+    the Tables 2.1/2.2 sweeps (component size and broadcast steps for the De
+    Bruijn graph), measured once for an explicit fault set instead of over
+    random trials.  ``fault_units`` holds the canonical representatives of
+    the removed units — the normalised form used as the cache key.  ``root``
+    is the node the measurement actually ran from: the requested (or
+    default) root if it survived, otherwise the sweep protocol's
+    neighbouring-root fallback; ``None`` when every node was removed.
+    """
+
+    topology: str
+    d: int
+    n: int
+    faults: tuple[Word, ...]
+    fault_units: tuple[Word, ...]
+    root: Word | None
+    region_size: int
+    root_eccentricity: int
+    reference_size: int
+    guarantee_bound: int | None
+    cached: bool
+    elapsed_s: float
+
+    def as_dict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "d": self.d,
+            "n": self.n,
+            "faults": [list(w) for w in self.faults],
+            "fault_units": [list(w) for w in self.fault_units],
+            "root": None if self.root is None else list(self.root),
+            "region_size": self.region_size,
+            "root_eccentricity": self.root_eccentricity,
+            "reference_size": self.reference_size,
+            "guarantee_bound": self.guarantee_bound,
+            "cached": self.cached,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MeasureResponse":
+        """Lossless inverse of :meth:`as_dict`."""
+        bound = data["guarantee_bound"]
+        return cls(
+            topology=str(data["topology"]),
+            d=int(data["d"]),
+            n=int(data["n"]),
+            faults=tuple(tuple(int(x) for x in w) for w in data["faults"]),
+            fault_units=tuple(tuple(int(x) for x in w) for w in data["fault_units"]),
+            root=None if data["root"] is None else tuple(int(x) for x in data["root"]),
+            region_size=int(data["region_size"]),
+            root_eccentricity=int(data["root_eccentricity"]),
+            reference_size=int(data["reference_size"]),
+            guarantee_bound=None if bound is None else int(bound),
+            cached=bool(data["cached"]),
+            elapsed_s=float(data["elapsed_s"]),
+        )
+
 
 class EmbeddingService:
     """Resident query API over the FFC algorithm (see the module docstring).
@@ -128,6 +232,9 @@ class EmbeddingService:
 
     def __init__(self, max_cached_answers: int = 256, max_cached_codecs: int = 4) -> None:
         self._answers = LRUCache(max_cached_answers, name="engine.embedding_answers")
+        self._measurements = LRUCache(
+            max_cached_answers, name="engine.measurement_answers"
+        )
         self._codecs = LRUCache(max_cached_codecs, name="engine.codec_tables")
         self._lock = threading.Lock()
         self._requests = 0
@@ -186,6 +293,66 @@ class EmbeddingService:
             elapsed_s=elapsed,
         )
 
+    def measure(
+        self,
+        d: int,
+        n: int,
+        faults: Iterable[Sequence[int]] = (),
+        root: Sequence[int] | None = None,
+        topology: str = DEFAULT_TOPOLOGY,
+    ) -> MeasureResponse:
+        """Measure the fault-free region around the root on any topology.
+
+        The fault set is normalised to canonical fault-unit representatives
+        (necklace representatives for the De Bruijn family, the nodes
+        themselves for single-node-unit backends) before the cache lookup,
+        so requests whose faults kill the same units hit the same entry.
+        The measurement itself follows the sweep protocol exactly, including
+        the neighbouring-root fallback when the requested root lies in a
+        faulty unit — the response's ``root`` reports the node actually
+        measured from.
+        """
+        # local import: the analysis layer imports engine.cache, so the
+        # runner comes in lazily to keep module import acyclic
+        from ..analysis.fault_simulation import _cached_runner
+
+        start = time.perf_counter()
+        topo = get_topology(topology, d, n)
+        fault_codes = [topo.encode(w) for w in faults]
+        rep_codes = topo.fault_unit_reps(fault_codes)
+        root_key = None if root is None else tuple(int(x) for x in root)
+        runner = _cached_runner(topo.d, topo.n, root_key, topo.key)
+        key = (topo.key, topo.d, topo.n, tuple(rep_codes), runner.root_code)
+
+        measured = self._measurements.get(key)
+        cached = measured is not None
+        if not cached:
+            removed = topo.fault_unit_mask(np.asarray(fault_codes, dtype=np.int64))
+            measured = runner.measure_mask_with_root(removed)
+            self._measurements.put(key, measured)
+
+        size, ecc, measured_root = measured
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._requests += 1
+            self._total_latency += elapsed
+            if not cached:
+                self._compute_latency += elapsed
+        return MeasureResponse(
+            topology=topo.key,
+            d=topo.d,
+            n=topo.n,
+            faults=tuple(topo.decode(c) for c in fault_codes),
+            fault_units=tuple(topo.decode(c) for c in rep_codes),
+            root=None if measured_root is None else topo.decode(measured_root),
+            region_size=int(size),
+            root_eccentricity=int(ecc),
+            reference_size=topo.reference_size(len(set(fault_codes))),
+            guarantee_bound=topo.guarantee_bound(len(set(fault_codes))),
+            cached=cached,
+            elapsed_s=elapsed,
+        )
+
     # -- observability ---------------------------------------------------------
     def stats(self) -> dict:
         """Service counters plus the bounded-cache audit of this process."""
@@ -201,6 +368,7 @@ class EmbeddingService:
             "compute_latency_s": compute_latency,
             "avg_latency_s": total_latency / requests if requests else 0.0,
             "answers": self._answers.stats().as_dict(),
+            "measurements": self._measurements.stats().as_dict(),
             "codecs": self._codecs.stats().as_dict(),
             "process_caches": cache_stats(),
         }
@@ -208,6 +376,7 @@ class EmbeddingService:
     def clear(self, include_process_caches: bool = False) -> None:
         """Evict the service caches (optionally every audited process cache too)."""
         self._answers.clear()
+        self._measurements.clear()
         self._codecs.clear()
         if include_process_caches:
             from .caches import clear_caches

@@ -1,9 +1,13 @@
-"""Parallel, resumable orchestration of the Table 2.1/2.2 fault sweeps.
+"""Parallel, resumable orchestration of the Table 2.1/2.2-style fault sweeps.
 
 :class:`ParallelSweepEngine` is the single orchestration path for the
 random-fault simulations of Section 2.5.2: the public
 :func:`repro.analysis.fault_simulation.simulate_fault_table`, the
 ``python -m repro sweep`` CLI and the table benchmarks all route through it.
+The engine is topology-generic — ``topology="kautz"`` (or any other key of
+the :mod:`repro.topology` registry) sweeps that backend with the same seed
+streams, sharding, batching and checkpointing; the default ``debruijn``
+backend reproduces the paper's tables bit-for-bit.
 
 The engine's contract is **bit-for-bit determinism independent of worker
 count**: a serial run, a 1-worker pool and an N-worker pool all produce
@@ -49,8 +53,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import InvalidParameterError
+from ..exceptions import (
+    CheckpointMismatchError,
+    InvalidParameterError,
+    UnknownTopologyError,
+)
 from ..graphs.msbfs import WORD_WIDTH
+from ..topology import DEFAULT_TOPOLOGY, get_topology
 from ..analysis.fault_simulation import (
     PAPER_FAULT_COUNTS,
     FaultSimulationRow,
@@ -147,13 +156,13 @@ def _run_shard(
 ) -> tuple[int, list[tuple[int, int, int]]]:
     """Worker entry point: run one shard of trials for one fault count.
 
-    ``payload`` is ``(d, n, root, f, items, batch)`` with ``items`` a list
-    of ``(trial_index, SeedSequence)`` pairs.  The per-process runner is
-    shared across shards via the bounded runner cache, so codec tables are
-    built once per worker regardless of shard count.
+    ``payload`` is ``(topology, d, n, root, f, items, batch)`` with
+    ``items`` a list of ``(trial_index, SeedSequence)`` pairs.  The
+    per-process runner is shared across shards via the bounded runner cache,
+    so backend tables are built once per worker regardless of shard count.
     """
-    d, n, root, f, items, batch = payload
-    runner = _cached_runner(d, n, root)
+    topology, d, n, root, f, items, batch = payload
+    runner = _cached_runner(d, n, root, topology)
     return f, _measure_chunk(runner, f, items, batch)
 
 
@@ -164,9 +173,15 @@ class _Checkpoint:
     seed tree — so a checkpoint remains valid when the swept fault counts
     *or* the trial count change: every trial stream depends only on
     ``(seed, f, t)``, so shared ``(f, t)`` pairs are reused and only the
-    missing ones are computed.  The header ``(d, n, root, seed)`` *is*
-    validated; a mismatch there means the trial streams or the measured
-    graph differ and resuming would silently mix sweeps.
+    missing ones are computed.  The header ``(topology, d, n, root, seed)``
+    — everything the trial streams and the measured graph depend on — *is*
+    validated on load; a mismatch raises
+    :class:`~repro.exceptions.CheckpointMismatchError` instead of silently
+    aggregating rows of a different table.  (The swept fault counts and the
+    trial count are recorded for provenance only — see above.)  Files
+    written before the topology registry carry no ``topology`` field and are
+    read as ``debruijn``, the only backend that existed then, so old
+    checkpoints keep resuming.
     """
 
     VERSION = 1
@@ -183,12 +198,12 @@ class _Checkpoint:
             return {}
         with open(self.path, encoding="utf-8") as fh:
             data = json.load(fh)
-        stored = {k: data.get(k) for k in self.header}
+        # pre-registry checkpoints (PR 3 format) predate the topology field
+        # and were all De Bruijn sweeps
+        stored = {"topology": data.get("topology", DEFAULT_TOPOLOGY)}
+        stored.update({k: data.get(k) for k in self.header if k != "topology"})
         if stored != self.header:
-            raise InvalidParameterError(
-                f"checkpoint {self.path} was written by a different sweep: "
-                f"stored header {stored} != requested {self.header}"
-            )
+            raise CheckpointMismatchError(self.path, stored, self.header)
         completed: dict[tuple[int, int], tuple[int, int]] = {}
         for f_key, trials in data.get("completed", {}).items():
             for trial_key, (size, ecc) in trials.items():
@@ -222,9 +237,12 @@ class ParallelSweepEngine:
     Parameters
     ----------
     d, n:
-        De Bruijn parameters of the swept graph ``B(d, n)``.
+        Parameters of the swept graph, interpreted by the topology backend
+        (``B(d, n)`` for the default ``debruijn``; the hypercube reads the
+        dimension from ``n`` and requires ``d = 2``).
     root:
-        Optional measurement root (default: the paper's ``0...01``).
+        Optional measurement root word (default: the backend's analog of
+        the paper's ``0...01``).
     workers:
         ``None``, ``0`` or ``1`` runs inline in this process; ``N > 1``
         dispatches shards to a :class:`~concurrent.futures.ProcessPoolExecutor`
@@ -251,6 +269,20 @@ class ParallelSweepEngine:
         (:mod:`repro.graphs.msbfs`).  ``batch=1`` is the scalar escape
         hatch.  Results are bit-for-bit identical for every setting — only
         the wall-clock changes.
+    topology:
+        Registry key of the swept network (default ``"debruijn"`` — the
+        compatibility anchor whose rows are bit-for-bit the pre-registry
+        engine's).  Any key of :mod:`repro.topology` works: the per-trial
+        seed streams, sharding, batching and checkpointing are identical
+        machinery for every backend; checkpoints are keyed by the topology
+        name.  When a pre-built ``runner`` is supplied its backend wins —
+        measurement, the reference column and the checkpoint header all come
+        from the same instance, and the runner must agree with the engine's
+        ``(d, n, root)`` and any explicit ``topology`` key (a mismatch would
+        make serial and multiprocess rows diverge, since workers rebuild
+        their runner from the engine's arguments).  A runner built on an
+        *unregistered* custom :class:`~repro.topology.base.Topology` works
+        inline; only the multiprocess path requires a registered key.
     """
 
     def __init__(
@@ -264,9 +296,40 @@ class ParallelSweepEngine:
         progress: Callable[[SweepProgress], None] | None = None,
         runner: FaultSweepRunner | None = None,
         batch: int = WORD_WIDTH,
+        topology: str | None = None,
     ) -> None:
         self.d, self.n = int(d), int(n)
         self.root = None if root is None else tuple(int(x) for x in root)
+        if runner is not None:
+            # the runner measures, so its backend is authoritative for the
+            # reference column and the checkpoint header — but it must agree
+            # with the engine's own arguments, which are what worker
+            # processes rebuild their runner from
+            if topology is not None and str(topology) != runner.topology_key:
+                raise InvalidParameterError(
+                    f"topology {topology!r} conflicts with the supplied "
+                    f"runner's backend {runner.topology_key!r}"
+                )
+            if (runner.d, runner.n) != (self.d, self.n):
+                raise InvalidParameterError(
+                    f"runner measures ({runner.d}, {runner.n}) but the engine "
+                    f"was constructed for ({self.d}, {self.n})"
+                )
+            if self.root is not None and self.root != runner.root:
+                raise InvalidParameterError(
+                    f"root {self.root} conflicts with the supplied runner's "
+                    f"root {runner.root}"
+                )
+            self._topology = runner.topology
+        else:
+            # resolve eagerly: validates the key and the (d, n)
+            # interpretation, and provides the reference column for
+            # aggregation (tables stay lazy, so this is cheap even in the
+            # multiprocess parent)
+            self._topology = get_topology(
+                DEFAULT_TOPOLOGY if topology is None else topology, self.d, self.n
+            )
+        self.topology = self._topology.key
         if workers is not None and workers < 0:
             raise InvalidParameterError(f"workers must be >= 0, got {workers}")
         if checkpoint_every < 1:
@@ -332,7 +395,7 @@ class ParallelSweepEngine:
     def _run_serial(self, seeds, pending, completed, total, checkpoint) -> None:
         runner = self._runner
         if runner is None:
-            runner = _cached_runner(self.d, self.n, self.root)
+            runner = _cached_runner(self.d, self.n, self.root, self.topology)
         by_f: dict[int, list[int]] = {}
         for f, t in pending:
             by_f.setdefault(f, []).append(t)
@@ -355,6 +418,19 @@ class ParallelSweepEngine:
                     self._report(done, total, f)
 
     def _run_parallel(self, seeds, pending, completed, total, checkpoint) -> None:
+        # workers rebuild the backend from its registry key, so the swept
+        # topology must resolve to the very backend measuring here — fail
+        # with a clear message instead of diverging inside the pool
+        try:
+            registered = get_topology(self.topology, self.d, self.n)
+        except UnknownTopologyError:
+            registered = None
+        if registered is None or type(registered) is not type(self._topology):
+            raise InvalidParameterError(
+                f"topology {type(self._topology).__name__} is not the "
+                f"registered backend for key {self.topology!r}; register it "
+                f"(repro.topology.register_topology) or run with workers=None"
+            )
         by_f: dict[int, list[int]] = {}
         for f, t in pending:
             by_f.setdefault(f, []).append(t)
@@ -367,7 +443,9 @@ class ParallelSweepEngine:
                 shard_size = math.ceil(shard_size / self.batch) * self.batch
             for start in range(0, len(ts), shard_size):
                 items = [(t, seeds[f][t]) for t in ts[start : start + shard_size]]
-                shards.append((self.d, self.n, self.root, f, items, self.batch))
+                shards.append(
+                    (self.topology, self.d, self.n, self.root, f, items, self.batch)
+                )
 
         done = total - len(pending)
         since_flush = 0
@@ -395,6 +473,7 @@ class ParallelSweepEngine:
         # every stream is keyed by (seed, f, t) alone, so a checkpoint stays
         # reusable when rows are added or the trial count grows.
         header = {
+            "topology": self.topology,
             "d": self.d,
             "n": self.n,
             "root": None if self.root is None else list(self.root),
@@ -414,5 +493,10 @@ class ParallelSweepEngine:
             eccs = np.empty(trials, dtype=np.int64)
             for t in range(trials):
                 sizes[t], eccs[t] = completed[(f, t)]
-            out.append(FaultSimulationRow.from_samples(self.d, self.n, f, sizes, eccs))
+            out.append(
+                FaultSimulationRow.from_samples(
+                    self.d, self.n, f, sizes, eccs,
+                    reference_size=self._topology.reference_size(f),
+                )
+            )
         return out

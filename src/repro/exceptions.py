@@ -18,6 +18,8 @@ __all__ = [
     "DisconnectedGraphError",
     "ProtocolError",
     "SimulationError",
+    "UnknownTopologyError",
+    "CheckpointMismatchError",
 ]
 
 
@@ -27,6 +29,33 @@ class ReproError(Exception):
 
 class InvalidParameterError(ReproError, ValueError):
     """A parameter is outside the domain accepted by an algorithm."""
+
+
+class UnknownTopologyError(InvalidParameterError):
+    """A topology key is not present in the :mod:`repro.topology` registry."""
+
+
+class CheckpointMismatchError(InvalidParameterError):
+    """A sweep checkpoint was written by a different sweep than the one resuming.
+
+    Raised when the validated checkpoint header — ``(topology, d, n, root,
+    seed)``, everything the per-trial random streams and the measured graph
+    depend on — disagrees with the resuming engine's configuration.  Resuming
+    anyway would silently aggregate rows from two different tables.
+    """
+
+    def __init__(self, path: str, stored: dict, requested: dict) -> None:
+        self.path = path
+        self.stored = dict(stored)
+        self.requested = dict(requested)
+        mismatched = sorted(
+            k for k in requested if stored.get(k) != requested[k]
+        )
+        super().__init__(
+            f"checkpoint {path} was written by a different sweep "
+            f"(mismatched field(s): {', '.join(mismatched) or 'header'}): "
+            f"stored {stored} != requested {requested}"
+        )
 
 
 class AlphabetError(InvalidParameterError):

@@ -12,6 +12,7 @@ from .components import (
     ComponentStats,
     ResidualGraph,
     bfs_levels,
+    bfs_levels_table,
     component_of,
     component_sizes,
     component_stats_from_root,
@@ -65,6 +66,7 @@ __all__ = [
     "ComponentStats",
     "ResidualGraph",
     "bfs_levels",
+    "bfs_levels_table",
     "component_of",
     "component_sizes",
     "component_stats_from_root",

@@ -176,7 +176,6 @@ class ButterflyGraph:
         """
         from .debruijn import DeBruijnGraph
         from ..words.alphabet import iter_words
-        from ..words.rotation import rotate_left
 
         b = DeBruijnGraph(self.d, self.n)
         # map each butterfly node to its De Bruijn class representative

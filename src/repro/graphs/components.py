@@ -35,6 +35,7 @@ __all__ = [
     "ResidualGraph",
     "residual_after_node_faults",
     "bfs_levels",
+    "bfs_levels_table",
     "eccentricity",
     "component_of",
     "weakly_connected_components",
@@ -147,11 +148,24 @@ def bfs_levels(residual: ResidualGraph, root: int, direction: str = "out") -> np
         table = codec.predecessor_table
     else:
         table = codec.neighbour_table
+    return bfs_levels_table(table, residual.removed_mask, root)
 
+
+def bfs_levels_table(table: np.ndarray, removed_mask: np.ndarray, root: int) -> np.ndarray:
+    """Frontier-vectorized BFS over an explicit ``(N, k)`` neighbour table.
+
+    This is the table-driven core of :func:`bfs_levels`, shared with the
+    topology backends of :mod:`repro.topology`: ``table[x]`` lists the
+    neighbours of ``x`` in whichever edge orientation the caller selected
+    (self-entries are valid padding for irregular degrees — a node gathered
+    from itself is already visited, so the entry is inert).  Returns the BFS
+    distance from ``root`` to every node, ``-1`` for unreachable/removed.
+    """
+    size = len(table)
     # `fresh_mask[x]` is True exactly while x is alive and still unvisited, so
     # each branch below needs a single AND instead of recomputing
     # `alive & (dist == -1)` from scratch every level.
-    fresh_mask = ~residual.removed_mask
+    fresh_mask = ~removed_mask
     fresh_mask[root] = False
     dist = np.full(size, -1, dtype=np.int64)
     dist[root] = 0

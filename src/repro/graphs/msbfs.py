@@ -1,18 +1,25 @@
 """Bit-parallel multi-trial BFS: measure up to 64 fault trials per sweep.
 
 The random-fault simulations behind Tables 2.1/2.2 reduce to one directed
-BFS per trial, all over the *same* De Bruijn successor structure — only the
-removed-necklace mask differs between trials.  This module collapses that
+BFS per trial, all over the *same* successor structure — only the
+removed-node mask differs between trials.  This module collapses that
 redundancy by the machine word width: each node carries one ``uint64`` whose
 bit ``t`` says "node is on trial ``t``'s frontier", so a single vectorized
 BFS step advances up to :data:`WORD_WIDTH` trials at once.
 
-The step itself is a pure gather.  A node ``y`` of ``B(d, n)`` has exactly
-``d`` in-neighbours ``P[y, a]``, so the out-direction frontier update is
+The kernel is topology-generic: it consumes any *source* exposing ``size``
+(node count) and ``predecessor_columns`` (contiguous in-neighbour gather
+columns) — the De Bruijn :class:`~repro.words.codec.WordCodec` and every
+:class:`~repro.topology.base.Topology` backend alike.  Columns may pad
+irregular in-degrees with the node's own code; a self-gather only re-reads a
+visited lane and is masked off by ``avail``.
 
-``next[y] = (frontier[P[y, 0]] | ... | frontier[P[y, d-1]]) & alive[y] & ~visited[y]``
+The step itself is a pure gather.  A node ``y`` with in-neighbour columns
+``P[y, a]`` gets the out-direction frontier update
 
-— ``d`` full-array gathers and a few bitwise ops per level, with no scatter
+``next[y] = (frontier[P[y, 0]] | ... | frontier[P[y, k-1]]) & alive[y] & ~visited[y]``
+
+— ``k`` full-array gathers and a few bitwise ops per level, with no scatter
 and no per-trial work.  Per-trial results are recovered cheaply:
 
 * *eccentricity*: an OR-reduction of the newly-reached lanes yields one
@@ -21,10 +28,11 @@ and no per-trial work.  Per-trial results are recovered cheaply:
 * *component size*: one transposed popcount of the final ``visited`` lanes
   (``np.unpackbits``) counts each trial's reached nodes.
 
-Because whole-necklace removal keeps the residual digraph balanced (see
-:mod:`repro.graphs.components`), the out-reachable set from the root *is*
-its component, so this one sweep produces exactly the paper's
-``(component size, root eccentricity)`` measurement for every packed trial.
+For the De Bruijn graph whole-necklace removal keeps the residual digraph
+balanced (see :mod:`repro.graphs.components`), so the out-reachable set from
+the root *is* its component and this one sweep produces exactly the paper's
+``(component size, root eccentricity)`` measurement for every packed trial;
+for undirected topologies the same holds trivially.
 
 Trials whose root is itself removed are not handled here: the kernel reports
 them in ``root_dead`` and the caller peels them onto the scalar
@@ -39,7 +47,6 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from ..words.codec import WordCodec
 
 __all__ = [
     "WORD_WIDTH",
@@ -76,16 +83,19 @@ class BatchStats:
         return [t for t in range(len(self.sizes)) if (self.root_dead >> t) & 1]
 
 
-def pack_fault_lanes(codec: WordCodec, fault_codes: np.ndarray | Sequence) -> np.ndarray:
-    """Pack a batch of trials' fault sets into removed-lanes: ``uint64[d**n]``.
+def pack_fault_lanes(source, fault_codes: np.ndarray | Sequence) -> np.ndarray:
+    """Pack a batch of trials' fault sets into removed-lanes: ``uint64[size]``.
 
-    ``fault_codes`` is a ``(B, f)`` integer array — trial ``t``'s ``f``
-    faulty node codes in row ``t`` (``B <= 64``; ``f`` is fixed within a
-    table row, so the batch is rectangular; ``f = 0`` packs to all-zero
-    lanes).  Bit ``t`` of ``lanes[x]`` is set iff node ``x`` lies on a
-    necklace containing one of trial ``t``'s faults — bit-for-bit the mask
-    :meth:`~repro.words.codec.WordCodec.faulty_necklace_mask` computes for
-    that trial alone.
+    ``source`` is a :class:`~repro.words.codec.WordCodec` (necklace fault
+    units) or any :class:`~repro.topology.base.Topology` backend (its own
+    ``fault_unit_members`` closure).  ``fault_codes`` is a ``(B, f)`` integer
+    array — trial ``t``'s ``f`` faulty node codes in row ``t`` (``B <= 64``;
+    ``f`` is fixed within a table row, so the batch is rectangular; ``f = 0``
+    packs to all-zero lanes).  Bit ``t`` of ``lanes[x]`` is set iff node
+    ``x`` lies in a fault unit containing one of trial ``t``'s faults —
+    bit-for-bit the mask ``source``'s unit closure computes for that trial
+    alone (:meth:`~repro.words.codec.WordCodec.faulty_necklace_mask` in the
+    De Bruijn case).
     """
     codes = np.asarray(fault_codes, dtype=np.int64)
     if codes.ndim != 2:
@@ -95,12 +105,15 @@ def pack_fault_lanes(codec: WordCodec, fault_codes: np.ndarray | Sequence) -> np
     batch = codes.shape[0]
     if not 1 <= batch <= WORD_WIDTH:
         raise InvalidParameterError(f"batch size must be in 1..{WORD_WIDTH}, got {batch}")
-    lanes = np.zeros(codec.size, dtype=np.uint64)
+    lanes = np.zeros(source.size, dtype=np.uint64)
     if codes.shape[1] == 0:
         return lanes
-    if codes.min() < 0 or codes.max() >= codec.size:
+    if codes.min() < 0 or codes.max() >= source.size:
         raise InvalidParameterError("fault code outside node range")
-    members = codec.necklace_member_matrix(codes)  # (n, B, f)
+    members_of = getattr(source, "fault_unit_members", None)
+    if members_of is None:  # a plain WordCodec: units are necklaces
+        members_of = source.necklace_member_matrix
+    members = members_of(codes)  # (k, B, f)
     for t in range(batch):
         # Duplicate indices are harmless under |= with a single constant bit.
         lanes[members[:, t, :].ravel()] |= _BITS[t]
@@ -125,23 +138,26 @@ def lane_popcounts(lanes: np.ndarray, batch: int) -> np.ndarray:
 
 
 def batched_root_stats(
-    codec: WordCodec,
+    source,
     removed_lanes: np.ndarray,
     root: int | np.ndarray,
     batch: int,
 ) -> BatchStats:
     """Run one bit-parallel out-BFS across all packed trials.
 
-    ``root`` is either one shared root code (the fault-sweep case: every
-    trial measures from the paper's ``R``) or a ``(batch,)`` array giving
-    lane ``t`` its own root (the root-fallback case: tied candidate roots
-    racing over one shared fault mask).  Returns per-trial
-    ``(component size, root eccentricity)`` for every lane whose root
-    survives, exactly as the scalar path measures them (reached-node count
-    and deepest BFS level).  Lanes whose root is removed are skipped and
-    flagged in :attr:`BatchStats.root_dead`.
+    ``source`` supplies the graph structure: any object with ``size`` and
+    ``predecessor_columns`` — a :class:`~repro.words.codec.WordCodec` or a
+    :class:`~repro.topology.base.Topology` backend.  ``root`` is either one
+    shared root code (the fault-sweep case: every trial measures from the
+    paper's ``R``) or a ``(batch,)`` array giving lane ``t`` its own root
+    (the root-fallback case: tied candidate roots racing over one shared
+    fault mask).  Returns per-trial ``(reached-region size, root
+    eccentricity)`` for every lane whose root survives, exactly as the
+    scalar path measures them (reached-node count and deepest BFS level).
+    Lanes whose root is removed are skipped and flagged in
+    :attr:`BatchStats.root_dead`.
     """
-    size = codec.size
+    size = source.size
     if removed_lanes.shape != (size,) or removed_lanes.dtype != np.uint64:
         raise InvalidParameterError(
             f"removed_lanes must be uint64 of shape ({size},), "
@@ -171,7 +187,7 @@ def batched_root_stats(
     # the end as `alive ^ avail` (visited lanes are always alive).
     alive = ~removed_lanes
     avail = alive ^ frontier  # root lanes start visited
-    pred_cols = codec.predecessor_columns
+    pred_cols = source.predecessor_columns
     nxt = np.empty(size, dtype=np.uint64)
     scratch = np.empty(size, dtype=np.uint64)
     gains: list[np.uint64] = []  # per-level OR of the newly-reached lanes

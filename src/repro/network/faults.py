@@ -30,35 +30,38 @@ from ..words.alphabet import Word, int_to_word, word_to_int
 __all__ = [
     "sample_node_faults",
     "sample_node_fault_codes",
+    "sample_fault_codes",
     "sample_fault_code_batch",
+    "sample_code_batch",
     "sample_edge_faults",
 ]
 
 
-def sample_node_fault_codes(
-    d: int,
-    n: int,
+def sample_fault_codes(
+    total: int,
     f: int,
     rng: np.random.Generator | None = None,
     exclude_codes: Sequence[int] = (),
 ) -> list[int]:
-    """Draw ``f`` distinct faulty node codes of ``B(d, n)``, in acceptance order.
+    """Draw ``f`` distinct faulty codes from ``range(total)``, in acceptance order.
 
-    This is the int-coded hot path of :func:`sample_node_faults`: uniform
-    rejection sampling over ``range(d**n)``, drawing one chunk of ``f - got``
-    values per generator call.  In the final round every remaining draw is
-    accepted (a round of ``r`` draws yields ``r`` accepts only if none is
-    rejected), so the stream consumption matches the one-value-at-a-time
-    loop *exactly* — accepted codes and the generator's final state are
-    identical, which is what keeps sequentially-threaded generators (the
-    frozen-reference rows) and per-trial streams reproducible alike.
+    The topology-generic core of :func:`sample_node_fault_codes` (``total``
+    is the backend's node count — ``d**n`` in the De Bruijn case, so the
+    consumed stream is unchanged): uniform rejection sampling, drawing one
+    chunk of ``f - got`` values per generator call.  In the final round
+    every remaining draw is accepted (a round of ``r`` draws yields ``r``
+    accepts only if none is rejected), so the stream consumption matches the
+    one-value-at-a-time loop *exactly* — accepted codes and the generator's
+    final state are identical, which is what keeps sequentially-threaded
+    generators (the frozen-reference rows) and per-trial streams
+    reproducible alike.
     """
     if rng is None:
         rng = np.random.default_rng()
-    total = d**n
+    total = int(total)
     rejected = set(int(c) for c in exclude_codes)
     if f < 0 or f > total - len(rejected):
-        raise InvalidParameterError(f"cannot place {f} faults in B({d},{n})")
+        raise InvalidParameterError(f"cannot place {f} faults among {total} nodes")
     if f == 0:
         return []
     draws = rng.integers(0, total, size=f)
@@ -78,20 +81,45 @@ def sample_node_fault_codes(
         draws = rng.integers(0, total, size=f - len(codes))
 
 
-def sample_fault_code_batch(
-    d: int, n: int, f: int, rngs: Sequence[np.random.Generator]
+def sample_node_fault_codes(
+    d: int,
+    n: int,
+    f: int,
+    rng: np.random.Generator | None = None,
+    exclude_codes: Sequence[int] = (),
+) -> list[int]:
+    """Draw ``f`` distinct faulty node codes of ``B(d, n)``, in acceptance order.
+
+    The int-coded hot path of :func:`sample_node_faults`; thin De Bruijn
+    boundary over :func:`sample_fault_codes` with ``total = d**n``.
+    """
+    try:
+        return sample_fault_codes(d**n, f, rng, exclude_codes=exclude_codes)
+    except InvalidParameterError:
+        raise InvalidParameterError(f"cannot place {f} faults in B({d},{n})") from None
+
+
+def sample_code_batch(
+    total: int, f: int, rngs: Sequence[np.random.Generator]
 ) -> np.ndarray:
     """Draw one trial's fault codes per generator: a ``(len(rngs), f)`` array.
 
     Sampling stays strictly per-trial — trial ``t`` consumes only ``rngs[t]``
-    and draws exactly what :func:`sample_node_fault_codes` would — so the
-    batched measurement kernel remains bit-for-bit identical to the scalar
-    path however trials are grouped into batches.
+    and draws exactly what :func:`sample_fault_codes` would — so the batched
+    measurement kernel remains bit-for-bit identical to the scalar path
+    however trials are grouped into batches.
     """
     out = np.empty((len(rngs), f), dtype=np.int64)
     for t, rng in enumerate(rngs):
-        out[t] = sample_node_fault_codes(d, n, f, rng)
+        out[t] = sample_fault_codes(total, f, rng)
     return out
+
+
+def sample_fault_code_batch(
+    d: int, n: int, f: int, rngs: Sequence[np.random.Generator]
+) -> np.ndarray:
+    """De Bruijn boundary over :func:`sample_code_batch` (``total = d**n``)."""
+    return sample_code_batch(d**n, f, rngs)
 
 
 def sample_node_faults(

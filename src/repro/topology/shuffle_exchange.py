@@ -1,0 +1,65 @@
+"""The shuffle-exchange backend — the De Bruijn graph's undirected sibling.
+
+The ``d``-ary shuffle-exchange graph shares the De Bruijn node set (all
+``d**n`` words, coded by the same integer codec) and its necklace structure:
+the *shuffle* edges are the rotation edges ``x -- pi(x)`` and the *exchange*
+edges flip the last digit.  Behind the topology protocol its gather table has
+``d + 1`` columns — rotate-left, rotate-right and the ``d - 1`` exchanges —
+with self-entries where a constant word shuffles to itself (inert padding
+under BFS).
+
+Fault units are single nodes: unlike the De Bruijn FFC setting, the
+shuffle-exchange fault model of the cited literature ([Lei83], [LMR88])
+removes processors individually, so a fault kills exactly its own node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..words.codec import get_codec
+from .base import CodecNodesMixin, Topology
+
+__all__ = ["ShuffleExchangeTopology"]
+
+
+class ShuffleExchangeTopology(CodecNodesMixin, Topology):
+    """The ``d``-ary shuffle-exchange graph behind the topology protocol.
+
+    Node coding comes from :class:`~repro.topology.base.CodecNodesMixin`
+    (the shared De Bruijn word codec — same node set, same integers).
+    """
+
+    key = "shuffle_exchange"
+    symbol = "SE"
+    directed = False
+    max_fault_unit_size = 1
+
+    def __init__(self, d: int, n: int) -> None:
+        super().__init__()
+        self.codec = get_codec(d, n)
+        self.d, self.n = self.codec.d, self.codec.n
+        self.num_nodes = self.codec.size
+
+    # -- gather table: shuffle, unshuffle, exchanges ---------------------------
+    def _build_successor_table(self) -> np.ndarray:
+        codec = self.codec
+        codes = np.arange(self.num_nodes, dtype=np.int64)
+        last = codes % self.d
+        shuffle = codec.rotate1.astype(np.int64)  # x -> pi(x)
+        unshuffle = codes // self.d + last * codec.high  # x -> pi^{-1}(x)
+        columns = [shuffle, unshuffle]
+        js = np.arange(self.d - 1, dtype=np.int64)[None, :]
+        letters = js + (js >= last[:, None])
+        exchanges = codes[:, None] - last[:, None] + letters
+        columns.extend(exchanges[:, j] for j in range(self.d - 1))
+        return np.stack(columns, axis=1)
+
+    def _build_predecessor_table(self) -> np.ndarray:
+        return self.successor_table  # undirected: in-neighbours = out-neighbours
+
+    # -- measurement conventions ----------------------------------------------
+    @property
+    def default_root_code(self) -> int:
+        """The word ``0...01`` (code 1), as in the De Bruijn tables."""
+        return 1

@@ -33,7 +33,7 @@ from repro.core import (
 )
 from repro.exceptions import FaultBudgetExceededError, InvalidParameterError
 from repro.graphs import ButterflyGraph, DeBruijnGraph
-from repro.words import iter_words, letter_count, weight
+from repro.words import iter_words, weight
 
 
 class TestNormalizeEdgeFaults:

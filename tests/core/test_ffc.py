@@ -15,7 +15,6 @@ from repro.core import (
     node_fault_cycle_bound,
     worst_case_fault_placement,
 )
-from repro.core.necklace_graph import ModifiedTree, NecklaceAdjacencyGraph, SpanningTree
 from repro.exceptions import (
     DisconnectedGraphError,
     EmbeddingError,

@@ -20,6 +20,25 @@ class TestParseWord:
         with pytest.raises(argparse.ArgumentTypeError):
             parse_word("0a1")
 
+    def test_large_alphabet_digits_need_commas(self):
+        # "11,0,3" is the node (11, 0, 3); compact "1103" would be 4 digits
+        assert parse_word("11,0,3") == (11, 0, 3)
+        assert parse_word("1103") == (1, 1, 0, 3)
+
+    def test_comma_form_tolerates_spaces(self):
+        assert parse_word(" 1, 2, 0 ") == (1, 2, 0)
+
+    def test_empty_and_malformed_comma_forms_rejected(self):
+        import argparse
+
+        for bad in ("", "1,,2", "1,2,", ",1,2", "1;2"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                parse_word(bad)
+
+    def test_single_digit_both_forms(self):
+        assert parse_word("7") == (7,)
+        assert parse_word("12") == (1, 2)  # compact: one digit per char
+
 
 class TestExperimentCommand:
     def test_list(self, capsys):
@@ -89,6 +108,103 @@ class TestSweepCommand:
         assert err.startswith("repro sweep:") and "batch" in err
 
 
+class TestSweepTopologies:
+    @pytest.mark.parametrize("topology,title", [
+        ("kautz", "K(2,6)"),
+        ("hypercube", "Q(6)"),
+        ("shuffle_exchange", "SE(2,6)"),
+        ("undirected_debruijn", "UB(2,6)"),
+    ])
+    def test_text_output_per_topology(self, topology, title, capsys):
+        assert main(["sweep", "--topology", topology, "--d", "2", "--n", "6",
+                     "--fault-counts", "0,1", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert title in out and "Avg. Size" in out
+
+    def test_json_carries_topology_key(self, capsys):
+        assert main(["sweep", "--topology", "kautz", "--d", "2", "--n", "6",
+                     "--fault-counts", "0,2", "--trials", "3", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["topology"] == "kautz"
+        assert len(data["rows"]) == 2
+
+    def test_default_topology_is_debruijn(self, capsys):
+        assert main(["sweep", "--d", "2", "--n", "5", "--fault-counts", "0",
+                     "--trials", "2", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["topology"] == "debruijn"
+
+    def test_worker_invariance_on_kautz_via_json(self, capsys):
+        argv = ["sweep", "--topology", "kautz", "--d", "2", "--n", "7",
+                "--fault-counts", "0,1,3", "--trials", "4", "--seed", "7", "--json"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial  # byte-identical
+
+    def test_unknown_topology_rejected_by_argparse(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--topology", "torus", "--n", "5"])
+        assert exc.value.code == 2
+
+    def test_hypercube_rejects_nonbinary_d(self, capsys):
+        assert main(["sweep", "--topology", "hypercube", "--d", "3", "--n", "5",
+                     "--fault-counts", "0", "--trials", "1"]) == 1
+        assert "d=2" in capsys.readouterr().err
+
+
+class TestCsvFormats:
+    def test_sweep_csv_round_trips_rows(self, capsys):
+        import csv as csv_mod
+        import io
+
+        argv = ["sweep", "--d", "2", "--n", "6", "--fault-counts", "0,1,4",
+                "--trials", "5", "--seed", "2"]
+        assert main(argv + ["--format", "csv"]) == 0
+        text = capsys.readouterr().out
+        reader = list(csv_mod.reader(io.StringIO(text)))
+        assert reader[0][:2] == ["f", "trials"]
+        assert len(reader) == 4  # header + 3 rows
+        # full precision: the avg columns agree with the JSON payload exactly
+        assert main(argv + ["--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)["rows"]
+        for line, row in zip(reader[1:], rows):
+            assert float(line[2]) == row["avg_size"]
+            assert int(line[5]) == row["reference_size"]
+
+    def test_sweep_csv_on_other_topology(self, capsys):
+        assert main(["sweep", "--topology", "shuffle_exchange", "--d", "2", "--n", "6",
+                     "--fault-counts", "0,2", "--trials", "3", "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("f,trials,avg_size")
+        assert len(lines) == 3
+
+    def test_format_json_equals_json_flag(self, capsys):
+        argv = ["sweep", "--d", "2", "--n", "5", "--fault-counts", "1", "--trials", "2"]
+        assert main(argv + ["--format", "json"]) == 0
+        a = capsys.readouterr().out
+        assert main(argv + ["--json"]) == 0
+        assert capsys.readouterr().out == a
+
+    def test_experiment_csv(self, capsys):
+        assert main(["experiment", "table_3_1", "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("# table_3_1:")
+        assert lines[1] == "d,psi(d)"
+        assert lines[2].startswith("2,")
+
+    def test_experiment_topology_sweep_selectable(self, capsys):
+        assert main(["experiment", "topology_sweep", "--topology", "hypercube",
+                     "--trials", "2", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert "hypercube" in out.splitlines()[0]
+        assert "f,Avg. Size" in out.splitlines()[1]
+
+    def test_topology_flag_rejected_when_no_experiment_accepts_it(self, capsys):
+        # silently running the De Bruijn table would mislead the user
+        assert main(["experiment", "table_3_1", "--topology", "hypercube"]) == 1
+        assert "--topology only applies" in capsys.readouterr().err
+
+
 class TestBenchCommand:
     def test_quick_bench_writes_file(self, tmp_path, capsys, monkeypatch):
         out = str(tmp_path / "BENCH_sweep.json")
@@ -96,10 +212,10 @@ class TestBenchCommand:
         printed = capsys.readouterr().out
         assert "speedup" in printed and "rows identical" in printed
         data = json.loads((tmp_path / "BENCH_sweep.json").read_text())
-        assert data["schema"] == 1
+        assert data["schema"] == 2
         assert data["machine"]["numpy"]
         names = {b["name"] for b in data["benchmarks"]}
-        assert "sweep_b2_12" in names
+        assert "sweep_debruijn_2_12" in names
         for entry in data["benchmarks"]:
             assert entry["rows_equal"] is True
             assert entry["scalar_s"] > 0 and entry["batched_s"] > 0

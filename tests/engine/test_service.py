@@ -1,9 +1,12 @@
 """Tests for the resident embedding service (normalisation, caching, counters)."""
 
+import json
+
 import pytest
 
 from repro.core import find_fault_free_cycle
 from repro.engine import EmbeddingRequest, EmbeddingService
+from repro.engine.service import EmbeddingResponse, MeasureResponse
 from repro.exceptions import AlphabetError, InvalidParameterError
 
 
@@ -118,3 +121,97 @@ class TestCountersAndBounds:
         assert data["length"] == response.length
         full = response.as_dict()
         assert len(full["cycle"]) == response.length
+
+
+class TestResponseRoundTrip:
+    """EmbeddingResponse.as_dict <-> from_dict is a real interchange format."""
+
+    def _response(self) -> EmbeddingResponse:
+        return EmbeddingService().embed(2, 5, [(0, 0, 0, 1, 1)])
+
+    def test_round_trip_with_cycle_is_lossless(self):
+        response = self._response()
+        rebuilt = EmbeddingResponse.from_dict(response.as_dict())
+        assert rebuilt == response
+
+    def test_round_trip_without_cycle(self):
+        response = self._response()
+        data = response.as_dict(include_cycle=False)
+        rebuilt = EmbeddingResponse.from_dict(data)
+        assert rebuilt.cycle == ()  # payload omitted, not invented
+        assert rebuilt.length == response.length  # true length survives
+        # the dict itself round-trips exactly
+        assert rebuilt.as_dict(include_cycle=False) == data
+
+    def test_round_trip_through_json_text(self):
+        # the CLI --json path: serialised text -> dict -> response
+        response = self._response()
+        rebuilt = EmbeddingResponse.from_dict(json.loads(json.dumps(response.as_dict())))
+        assert rebuilt == response
+
+    def test_none_guarantee_bound_survives(self):
+        response = EmbeddingService().embed(
+            2, 5, [(0, 0, 0, 1, 1), (0, 1, 0, 1, 1)]
+        )
+        assert response.guarantee_bound is None
+        assert EmbeddingResponse.from_dict(response.as_dict()) == response
+
+
+class TestMeasureQueries:
+    """The topology-generic measurement API of the service."""
+
+    def test_measure_matches_runner(self):
+        from repro.analysis.fault_simulation import FaultSweepRunner
+
+        service = EmbeddingService()
+        response = service.measure(2, 6, faults=[(0, 1, 2, 0, 1, 2)], topology="kautz")
+        runner = FaultSweepRunner(2, 6, topology="kautz")
+        assert (response.region_size, response.root_eccentricity) == runner.measure(
+            [(0, 1, 2, 0, 1, 2)]
+        )
+        assert response.topology == "kautz"
+
+    def test_measure_caches_by_fault_units(self):
+        service = EmbeddingService()
+        cold = service.measure(2, 5, faults=[(0, 0, 0, 1, 1)])  # debruijn default
+        rotated = service.measure(2, 5, faults=[(0, 0, 1, 1, 0)])  # same necklace
+        assert not cold.cached and rotated.cached
+        assert rotated.region_size == cold.region_size
+        assert service.stats()["measurements"]["hits"] == 1
+
+    def test_measure_keys_include_topology(self):
+        service = EmbeddingService()
+        a = service.measure(2, 6, faults=[(0, 0, 1, 0, 1, 1)], topology="debruijn")
+        b = service.measure(2, 6, faults=[(0, 0, 1, 0, 1, 1)], topology="shuffle_exchange")
+        assert not b.cached  # same word, different backend, different entry
+        assert a.region_size != b.region_size  # necklace vs single-node removal
+
+    def test_measure_reports_bounds(self):
+        service = EmbeddingService()
+        response = service.measure(2, 10, faults=[(0,) * 9 + (1,)], topology="hypercube")
+        assert response.reference_size == 2**10 - 1
+        assert response.guarantee_bound == 2**10 - 2
+        # the requested root died: the response reports the fallback root
+        # actually measured from — a *surviving* node, not the faulty one
+        assert response.region_size > 0
+        assert response.root is not None
+        assert response.root != (0,) * 9 + (1,)
+
+    def test_measure_surviving_root_reported_verbatim(self):
+        service = EmbeddingService()
+        response = service.measure(2, 5, faults=[(1, 1, 1, 1, 0)])
+        assert response.root == (0, 0, 0, 0, 1)  # default root, alive
+
+    def test_measure_all_removed_root_is_none(self):
+        service = EmbeddingService()
+        # one fault per necklace representative kills every node of B(2,2)
+        response = service.measure(2, 2, faults=[(0, 0), (0, 1), (1, 1)])
+        assert response.region_size == 0 and response.root_eccentricity == 0
+        assert response.root is None
+        assert MeasureResponse.from_dict(response.as_dict()) == response
+
+    def test_measure_response_round_trip(self):
+        service = EmbeddingService()
+        response = service.measure(2, 6, faults=[(0, 1, 0, 1, 0, 1)], topology="kautz")
+        rebuilt = MeasureResponse.from_dict(json.loads(json.dumps(response.as_dict())))
+        assert rebuilt == response

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.exceptions import InvalidParameterError, NoPrimitivePolynomialError
+from repro.exceptions import InvalidParameterError
 from repro.gf import (
     GF,
     Poly,

@@ -1,13 +1,10 @@
 """Tests for the message-passing simulator and the Section 2.4 protocols."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core import disjoint_hamiltonian_cycles, find_fault_free_cycle, nodes_of_sequence
 from repro.exceptions import InvalidParameterError, SimulationError
 from repro.network import (
-    BroadcastProgram,
     Message,
     NodeContext,
     NodeProgram,

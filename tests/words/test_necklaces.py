@@ -15,7 +15,6 @@ from repro.words import (
     necklace_lengths_histogram,
     necklace_of,
     necklace_partition,
-    period,
 )
 
 small_dn = st.tuples(st.integers(2, 4), st.integers(1, 6))
