@@ -22,13 +22,19 @@ Layered architecture (lowest first):
   distributed protocols of Section 2.4.
 * :mod:`repro.analysis` — experiment harnesses reproducing every table and
   figure of the paper's evaluation.
-* :mod:`repro.engine` — the serving/orchestration subsystem: the resident
+* :mod:`repro.engine` — the execution/orchestration subsystem: the shared
+  :class:`~repro.engine.executor.KernelExecutor` (tables, kernel scratch
+  and batch-vs-scalar dispatch in one place), the resident
   :class:`~repro.engine.service.EmbeddingService`, the multiprocess
   :class:`~repro.engine.sweep.ParallelSweepEngine` (deterministic for any
   worker count, JSON checkpoint/resume) and the bounded-cache audit.
+* :mod:`repro.server` — the async micro-batching serving front-end
+  (``python -m repro serve``): concurrent embed/measure requests coalesced
+  into up to 64-lane kernel launches, bounded-queue backpressure and
+  ``/stats`` metrics.
 * :mod:`repro.cli` — the ``python -m repro`` / ``repro`` command line
-  (``experiment``, ``sweep``, ``bench``, ``embed``), topology-selectable
-  via ``--topology``.
+  (``experiment``, ``sweep``, ``bench``, ``embed``, ``serve``),
+  topology-selectable via ``--topology``.
 """
 
 from ._version import __version__

@@ -10,8 +10,11 @@ compatibility entry point :func:`run_experiment` keeps returning the
 ``(description, text)`` pair.
 
 The fault-table entries accept ``workers`` and fan their trials out through
-:class:`repro.engine.sweep.ParallelSweepEngine` — same rows, any worker
-count.  Two registry entries are topology-generic: ``topology_sweep`` runs
+:class:`repro.engine.sweep.ParallelSweepEngine`, whose measurements all
+dispatch through the shared :class:`repro.engine.executor.KernelExecutor`
+— same rows, any worker count, and bit-for-bit the rows the serving path
+would measure for the same fault sets.  Two registry entries are
+topology-generic: ``topology_sweep`` runs
 a Tables 2.1/2.2-style sweep on any backend of the :mod:`repro.topology`
 registry, and ``hypercube_vs_debruijn_sweep`` turns the Chapter 2
 hypercube-vs-De Bruijn comparison into a *live* same-kernel fault sweep of

@@ -10,8 +10,10 @@ a neighbouring node is used instead.  Averages, maxima and minima over many
 trials give one table row per ``f``, alongside the analytic reference
 ``d**n - n*f``.
 
-The heavy lifting is done by :class:`FaultSweepRunner`, which is
-**topology-generic**: it drives any backend of the
+The heavy lifting is done by the shared
+:class:`~repro.engine.executor.KernelExecutor`, fronted here by
+:class:`FaultSweepRunner` (the row/table conventions of the reproduction).
+Both are **topology-generic**: they drive any backend of the
 :mod:`repro.topology` registry (``debruijn`` — the default and the
 compatibility anchor — ``kautz``, ``hypercube``, ``shuffle_exchange``,
 ``undirected_debruijn``) through the protocol's precomputed gather tables,
@@ -68,16 +70,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..engine.cache import LRUCache
+from ..engine.executor import KernelExecutor, cached_executor
 from ..exceptions import InvalidParameterError
-from ..graphs.components import bfs_levels_table
-from ..graphs.msbfs import (
-    WORD_WIDTH,
-    batched_root_stats,
-    lane_removed_mask,
-    pack_fault_lanes,
-)
-from ..network.faults import sample_code_batch, sample_fault_codes
-from ..topology import DEFAULT_TOPOLOGY, Topology, get_topology
+from ..graphs.msbfs import WORD_WIDTH
+from ..topology import DEFAULT_TOPOLOGY, Topology
 from ..words.alphabet import Word
 
 __all__ = [
@@ -160,247 +156,69 @@ def _default_root(n: int) -> Word:
 
 
 class FaultSweepRunner:
-    """Batched fault-sweep engine for one topology instance and one root.
+    """Batched fault-sweep API for one topology instance and one root.
 
-    The default backend is the paper's ``B(d, n)``; any key of the
-    :mod:`repro.topology` registry (or a pre-built
-    :class:`~repro.topology.base.Topology`) selects another network.
-    Construction touches the shared backend instance (cached per
-    ``(topology, d, n)``); every precomputed table — gather columns,
-    fault-unit closure — is then amortised across all trials of all rows.
-    Instances hold no mutable state, so one runner can serve many seeded
-    sweeps.
+    A thin client of the shared :class:`~repro.engine.executor.KernelExecutor`
+    (which owns the tables, the kernel scratch and the batch-vs-scalar
+    dispatch): the runner contributes only the row/table conventions of the
+    Tables 2.1/2.2 reproduction.  The default backend is the paper's
+    ``B(d, n)``; any key of the :mod:`repro.topology` registry (or a
+    pre-built :class:`~repro.topology.base.Topology`) selects another
+    network.  Passing ``executor=`` shares an existing executor (the cached
+    process-wide one, usually) instead of constructing a private one.
     """
 
     def __init__(
         self,
-        d: int,
-        n: int,
+        d: int | None = None,
+        n: int | None = None,
         root: Sequence[int] | None = None,
         topology: str | Topology = DEFAULT_TOPOLOGY,
+        executor: KernelExecutor | None = None,
     ) -> None:
-        self.topology = get_topology(topology, d, n)
-        self.topology_key = self.topology.key
-        self.d, self.n = self.topology.d, self.topology.n
+        if executor is None:
+            if d is None or n is None:
+                raise InvalidParameterError(
+                    "FaultSweepRunner requires d and n (or a pre-built executor=)"
+                )
+            executor = KernelExecutor(d, n, root=root, topology=topology)
+        self.executor = executor
+        self.topology = executor.topology
+        self.topology_key = executor.topology_key
+        self.d, self.n = executor.d, executor.n
         #: the De Bruijn codec where the backend has one (B/UB/shuffle-exchange);
         #: ``None`` for code-native backends like the hypercube
-        self.codec = getattr(self.topology, "codec", None)
-        if root is None:
-            self.root_code = self.topology.default_root_code
-        else:
-            self.root_code = self.topology.encode(tuple(int(x) for x in root))
-        self.root = self.topology.decode(self.root_code)
-        self._intact_dist: np.ndarray | None = None
+        self.codec = executor.codec
+        self.root_code = executor.root_code
+        self.root = executor.root
 
-    # -- one trial -----------------------------------------------------------
+    # -- measurement (delegated to the shared executor) ------------------------
     def run_trial(self, f: int, rng: np.random.Generator) -> tuple[int, int]:
         """Run one random trial: returns ``(region_size, root_eccentricity)``."""
-        codes = sample_fault_codes(self.topology.num_nodes, f, rng)
-        fault_codes = np.asarray(codes, dtype=np.int64)
-        return self.measure_mask(self.topology.fault_unit_mask(fault_codes))
+        return self.executor.run_trial(f, rng)
 
     def measure(self, faults: Iterable[Sequence[int]]) -> tuple[int, int]:
         """Measure region size and eccentricity for an explicit fault set."""
-        fault_codes = np.asarray(
-            [self.topology.encode(w) for w in faults], dtype=np.int64
-        )
-        return self.measure_mask(self.topology.fault_unit_mask(fault_codes))
+        return self.executor.measure(faults)
 
     def measure_mask(self, removed: np.ndarray) -> tuple[int, int]:
         """Measure for an explicit removed-node mask (the int-coded hot path)."""
-        size, ecc, _ = self.measure_mask_with_root(removed)
-        return size, ecc
+        return self.executor.measure_mask(removed)
 
     def measure_mask_with_root(self, removed: np.ndarray) -> tuple[int, int, int | None]:
-        """Like :meth:`measure_mask`, also returning the measured root's code.
+        """Like :meth:`measure_mask`, also returning the measured root's code."""
+        return self.executor.measure_mask_with_root(removed)
 
-        The root is the configured ``R`` when it survives, otherwise the
-        sweep protocol's neighbouring-root fallback; ``None`` (with a
-        ``(0, 0)`` measurement) when every node was removed.  Consumers that
-        report the measurement root — e.g.
-        :meth:`repro.engine.service.EmbeddingService.measure` — use this
-        form so the reported root can never drift from the measured one.
-        """
-        root = self._measurement_root(removed)
-        if root is None:
-            return 0, 0, None
-        return (*self._measure_from_root(removed, root), int(root))
-
-    def _measure_from_root(self, removed: np.ndarray, root: int) -> tuple[int, int]:
-        # One directed BFS gives both the reached region and the eccentricity.
-        # For De Bruijn, whole-necklace removal keeps the digraph balanced, so
-        # that region is the root's component (the paper's measurement);
-        # undirected backends reach their whole component by definition.
-        dist = bfs_levels_table(self.topology.successor_table, removed, root)
-        return int((dist >= 0).sum()), int(dist.max())
-
-    # -- one batch of trials ---------------------------------------------------
     def run_trials_batch(
         self, f: int, seed_seqs: Sequence[np.random.SeedSequence]
     ) -> list[tuple[int, int]]:
         """Run up to 64 trials in one bit-parallel sweep; results in trial order.
 
-        Each element of ``seed_seqs`` seeds one trial's private stream
-        (the engine passes ``SeedSequence(seed, spawn_key=(f, t))``), and
-        fault sampling stays strictly per-trial, so every returned pair is
-        bit-for-bit what :meth:`run_trial` yields for the same stream — the
-        kernel only changes how the ``(component size, eccentricity)``
-        measurements are carried out.  Trials whose root lands in a faulty
-        necklace are peeled out of the packed sweep and measured by the
-        scalar fallback (:meth:`measure_mask`), including the paper's
-        neighbouring-root rule and the all-nodes-removed ``(0, 0)`` case.
+        See :meth:`repro.engine.executor.KernelExecutor.run_trials_batch`:
+        every returned pair is bit-for-bit what :meth:`run_trial` yields for
+        the same stream.
         """
-        batch = len(seed_seqs)
-        if not 1 <= batch <= WORD_WIDTH:
-            raise InvalidParameterError(
-                f"batch size must be in 1..{WORD_WIDTH}, got {batch}"
-            )
-        rngs = [np.random.default_rng(seq) for seq in seed_seqs]
-        codes = sample_code_batch(self.topology.num_nodes, f, rngs)
-        lanes = pack_fault_lanes(self.topology, codes)
-        stats = batched_root_stats(self.topology, lanes, self.root_code, batch)
-        results = list(zip(stats.sizes.tolist(), stats.eccs.tolist()))
-        for t, stat in self._batched_fallbacks(lanes, stats.dead_trials()).items():
-            results[t] = stat
-        return results
-
-    def _batched_fallbacks(
-        self, lanes: np.ndarray, dead: Sequence[int]
-    ) -> dict[int, tuple[int, int]]:
-        """Fallback measurements for the batch's root-dead trials, lane-packed.
-
-        Each dead trial contributes its fallback candidate roots as lanes
-        over its own fault mask (a single candidate is just a 1-lane
-        segment), so one extra kernel sweep usually resolves every peeled
-        trial of the batch at once.  Per trial the result is bit-for-bit
-        :meth:`_fallback_stats` (itself bit-for-bit :meth:`measure_mask`);
-        a trial with more than 64 candidates falls back to chunked racing.
-        """
-        out: dict[int, tuple[int, int]] = {}
-        pending: list[tuple[int, np.ndarray]] = []
-        for t in dead:
-            removed = lane_removed_mask(lanes, t)
-            if not (~removed).any():
-                out[t] = (0, 0)
-                continue
-            candidates = self._fallback_candidates(removed)
-            if candidates.size > WORD_WIDTH:
-                out[t] = self._fallback_stats(removed)
-            else:
-                # single candidates ride along too: a 1-lane segment of the
-                # race sweep is exactly that root's BFS
-                pending.append((t, candidates))
-        group: list[tuple[int, np.ndarray]] = []
-        used = 0
-        for item in pending:
-            if used + len(item[1]) > WORD_WIDTH:
-                self._race_candidate_lanes(lanes, group, out)
-                group, used = [], 0
-            group.append(item)
-            used += len(item[1])
-        if group:
-            self._race_candidate_lanes(lanes, group, out)
-        return out
-
-    def _race_candidate_lanes(
-        self,
-        lanes: np.ndarray,
-        group: Sequence[tuple[int, np.ndarray]],
-        out: dict[int, tuple[int, int]],
-    ) -> None:
-        """Race several trials' candidate roots in one multi-root sweep."""
-        one = np.uint64(1)
-        roots = np.concatenate([c for _, c in group]).astype(np.int64)
-        packed = np.zeros(self.topology.num_nodes, dtype=np.uint64)
-        pos = 0
-        for t, candidates in group:
-            # replicate trial t's removed mask into this trial's lane segment
-            segment = np.uint64(((1 << len(candidates)) - 1) << pos)
-            packed |= ((lanes >> np.uint64(t)) & one) * segment
-            pos += len(candidates)
-        stats = batched_root_stats(self.topology, packed, roots, len(roots))
-        pos = 0
-        for t, candidates in group:
-            seg_sizes = stats.sizes[pos : pos + len(candidates)]
-            # np.argmax returns the FIRST maximum: the ascending-code
-            # strict-'>' scan of _measurement_root, lane-parallel.
-            i = int(np.argmax(seg_sizes))
-            out[t] = (int(seg_sizes[i]), int(stats.eccs[pos + i]))
-            pos += len(candidates)
-
-    # -- root fallback --------------------------------------------------------
-    def _intact_distances(self) -> np.ndarray:
-        """Fault-free hop distances from ``R`` (either direction), cached."""
-        if self._intact_dist is None:
-            self._intact_dist = bfs_levels_table(
-                self.topology.neighbour_table,
-                np.zeros(self.topology.num_nodes, dtype=bool),
-                self.root_code,
-            )
-        return self._intact_dist
-
-    def _fallback_candidates(self, removed: np.ndarray) -> np.ndarray:
-        """The paper's "neighboring node" candidates: nearest survivors, ascending."""
-        alive = ~removed
-        dist = self._intact_distances()
-        nearest = dist[alive].min()
-        return np.flatnonzero(alive & (dist == nearest))
-
-    def _measurement_root(self, removed: np.ndarray) -> int | None:
-        """The root ``R``, or the paper's "neighboring node" fallback.
-
-        The fallback takes the surviving nodes closest to ``R`` in the
-        fault-free graph (hop distance, either direction) and among those
-        prefers one lying in the largest component (ties: smallest code).
-
-        The smallest-code tie-break is a deliberate, deterministic rule; the
-        historical implementation (:mod:`repro.analysis.reference`) broke
-        such ties by incidental discovery order, which can pick a different
-        (equally valid) root when several equally-near survivors tie on
-        component size — a configuration requiring the root's necklace *and*
-        all of its neighbours to die, far outside the tabulated regimes.
-        """
-        if not removed[self.root_code]:
-            return self.root_code
-        if not (~removed).any():
-            return None
-        candidates = self._fallback_candidates(removed)
-        if candidates.size == 1:
-            return int(candidates[0])
-        best_root, best_size = None, -1
-        succ = self.topology.successor_table
-        for value in candidates.tolist():
-            size = int((bfs_levels_table(succ, removed, value) >= 0).sum())
-            if size > best_size:
-                best_root, best_size = value, size
-        return best_root
-
-    def _fallback_stats(self, removed: np.ndarray) -> tuple[int, int]:
-        """Measure a trial whose root ``R`` lies in a faulty necklace.
-
-        Bit-for-bit the result of :meth:`measure_mask` on the same mask, but
-        with the tied fallback candidates raced through ONE bit-parallel
-        sweep (each candidate root in its own lane over the shared fault
-        mask) instead of one scalar BFS per candidate plus a final re-sweep
-        of the winner.  The scalar tie-break is preserved exactly: the
-        winner is the first maximum over candidates in ascending code order.
-        """
-        if not (~removed).any():
-            return 0, 0
-        candidates = self._fallback_candidates(removed)
-        if candidates.size == 1:
-            return self._measure_from_root(removed, int(candidates[0]))
-        best_size, best_ecc = -1, 0
-        for start in range(0, candidates.size, WORD_WIDTH):
-            chunk = candidates[start : start + WORD_WIDTH]
-            lanes = removed.astype(np.uint64) * np.uint64(2 ** len(chunk) - 1)
-            stats = batched_root_stats(self.topology, lanes, chunk, len(chunk))
-            # np.argmax returns the FIRST maximum: the ascending-code strict-'>'
-            # scan of _measurement_root, lane-parallel.
-            i = int(np.argmax(stats.sizes))
-            if int(stats.sizes[i]) > best_size:
-                best_size, best_ecc = int(stats.sizes[i]), int(stats.eccs[i])
-        return best_size, best_ecc
+        return self.executor.run_trials_batch(f, seed_seqs)
 
     # -- rows and tables ------------------------------------------------------
     def run_row(
@@ -444,9 +262,10 @@ class FaultSweepRunner:
 
 
 #: Bounded, observable runner cache: one entry per ``(topology, d, n, root)``
-#: served.  Audited (stats/clear) through :mod:`repro.engine.caches`; worker
-#: processes of the parallel sweep engine reuse it so backend tables are
-#: built once per process, not once per shard.
+#: served.  Audited (stats/clear) through :mod:`repro.engine.caches`.  The
+#: runners themselves are featherweight — each wraps the process-wide shared
+#: :func:`~repro.engine.executor.cached_executor`, so backend tables and
+#: kernel scratch exist once per process however many layers ask.
 _RUNNER_CACHE = LRUCache(maxsize=8, name="analysis.fault_runners")
 
 
@@ -455,7 +274,8 @@ def _cached_runner(
 ) -> FaultSweepRunner:
     key = (str(topology), int(d), int(n), root)
     return _RUNNER_CACHE.get_or_create(
-        key, lambda: FaultSweepRunner(d, n, root=root, topology=topology)
+        key,
+        lambda: FaultSweepRunner(executor=cached_executor(d, n, root, topology)),
     )
 
 

@@ -24,6 +24,11 @@ Three subcommands expose the engine subsystem and the experiment registry:
     One :class:`repro.engine.service.EmbeddingService` query: the fault-free
     ring for a faulty ``B(d, n)``, its length, and the guarantee check.
 
+``repro serve``
+    The async micro-batching gateway (:mod:`repro.server`): concurrent
+    ``/embed`` and ``/measure`` requests over HTTP, coalesced into up to
+    64-lane kernel launches, with backpressure and ``/stats`` metrics.
+
 Faulty nodes are written either as compact digit strings (``020`` for the
 word ``(0, 2, 0)``, alphabets up to 10) or comma-separated digits
 (``10,3,0`` for ``(10, 3, 0)`` in larger alphabets).
@@ -166,6 +171,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="timing repeats per configuration (best-of-N)")
     bench.add_argument("--quick", action="store_true",
                        help="small trial count for CI smoke (still writes the file)")
+    bench.add_argument("--no-serve", action="store_true",
+                       help="skip the micro-batching serve benchmark")
+    bench.add_argument("--serve-requests", type=int, default=256,
+                       help="requests per serving mode in the serve benchmark")
+
+    serve = sub.add_parser(
+        "serve", help="run the async micro-batching gateway (HTTP, JSON)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port (0 = ephemeral, printed on startup)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="fault masks coalesced per kernel launch, 1..64 "
+                       "(1 = single-query serving)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="longest a request waits for lane-mates before "
+                       "its batch launches (default 2 ms)")
+    serve.add_argument("--queue-limit", type=int, default=1024,
+                       help="pending requests per shard before 503 "
+                       "backpressure kicks in")
+    serve.add_argument("--max-cached-answers", type=int, default=256,
+                       help="bound on the gateway and service answer LRUs")
 
     embed = sub.add_parser(
         "embed", help="query the embedding service for one fault-free ring"
@@ -284,14 +311,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .engine.bench import run_sweep_bench, write_bench_file
+    from .engine.bench import run_serve_bench, run_sweep_bench, write_bench_file
 
     trials = 24 if args.quick else args.trials
     results = run_sweep_bench(
         trials=trials, seed=args.seed, batch=args.batch, repeats=args.repeats,
         topology=args.topology,
     )
-    write_bench_file(results, args.out)
+    serve_results = []
+    if not args.no_serve:
+        serve_results = run_serve_bench(
+            requests=64 if args.quick else args.serve_requests, seed=args.seed,
+        )
+    write_bench_file(results, args.out, serve_results=serve_results)
     for r in results:
         equal = "rows identical" if r.rows_equal else "ROWS DIFFER"
         print(
@@ -300,8 +332,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"scalar {r.scalar_s:.3f} s, batch={r.batch} {r.batched_s:.3f} s, "
             f"speedup {r.speedup:.1f}x ({equal})"
         )
+    for r in serve_results:
+        equal = "answers identical" if r.answers_equal else "ANSWERS DIFFER"
+        print(
+            f"{r.name} [{r.topology}]: {r.requests} requests — "
+            f"single-query {r.single_rps:.0f} req/s "
+            f"(p50 {r.single_p50_s * 1e3:.2f} ms, p99 {r.single_p99_s * 1e3:.2f} ms), "
+            f"micro-batched {r.batched_rps:.0f} req/s "
+            f"(p50 {r.batched_p50_s * 1e3:.2f} ms, p99 {r.batched_p99_s * 1e3:.2f} ms), "
+            f"occupancy {r.batch_occupancy:.1f}, "
+            f"throughput x{r.throughput_gain:.1f} ({equal})"
+        )
     print(f"wrote {args.out}")
-    return 0 if all(r.rows_equal for r in results) else 1
+    ok = all(r.rows_equal for r in results) and all(
+        r.answers_equal for r in serve_results
+    )
+    return 0 if ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server.gateway import GatewayConfig, run
+
+    return run(GatewayConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+        max_cached_answers=args.max_cached_answers,
+    ))
 
 
 def _cmd_embed(args: argparse.Namespace) -> int:
@@ -338,6 +397,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "embed":
             return _cmd_embed(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except BrokenPipeError:  # e.g. `repro experiment --all | head`
         import os
 

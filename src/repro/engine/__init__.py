@@ -3,6 +3,10 @@
 Three cooperating pieces turn the paper's algorithms into a long-lived
 system (the ROADMAP's production north star):
 
+* :class:`~repro.engine.executor.KernelExecutor` — the one owner of
+  topology tables, kernel scratch buffers and the batch-vs-scalar dispatch
+  heuristic; every other layer (runner, sweep engine, service, the
+  :mod:`repro.server` gateway) is a thin client of it.
 * :class:`~repro.engine.service.EmbeddingService` — a resident query API
   ``embed(d, n, faults) -> EmbeddingResponse`` with canonical fault
   normalisation, bounded LRU caches and hit/latency counters, plus the
@@ -31,6 +35,10 @@ __all__ = [
     "LRUCache",
     "cache_stats",
     "clear_caches",
+    "register_cache",
+    "unregister_cache",
+    "KernelExecutor",
+    "cached_executor",
     "EmbeddingRequest",
     "EmbeddingResponse",
     "MeasureResponse",
@@ -39,16 +47,24 @@ __all__ = [
     "SweepProgress",
     "trial_seed_sequences",
     "SweepBenchResult",
+    "ServeBenchResult",
     "run_sweep_bench",
+    "run_serve_bench",
     "write_bench_file",
 ]
 
 _LAZY = {
     "SweepBenchResult": "bench",
+    "ServeBenchResult": "bench",
     "run_sweep_bench": "bench",
+    "run_serve_bench": "bench",
     "write_bench_file": "bench",
     "cache_stats": "caches",
     "clear_caches": "caches",
+    "register_cache": "caches",
+    "unregister_cache": "caches",
+    "KernelExecutor": "executor",
+    "cached_executor": "executor",
     "EmbeddingRequest": "service",
     "EmbeddingResponse": "service",
     "MeasureResponse": "service",

@@ -1,20 +1,32 @@
-"""``python -m repro bench`` — the tracked sweep-performance benchmark.
+"""``python -m repro bench`` — the tracked performance benchmarks.
 
-Runs a Tables 2.1/2.2-style random-fault sweep twice on the same seeds —
-once through the scalar per-trial path (``batch=1``) and once through the
-bit-parallel 64-trial kernel (:mod:`repro.graphs.msbfs`) — asserts the rows
-are bit-for-bit identical, and writes a machine-readable
-``BENCH_sweep.json`` with wall-times and speedups, keyed by topology name.
-Each registered topology backend has its own tracked configurations
-(``--topology`` selects them; the default is the De Bruijn pair the
-benchmark has pinned since the kernel landed).  CI uploads the file as an
-artifact on every run, so the performance trajectory of the hot path is
-tracked from the PR that introduced the kernel onward.
+Two tracked suites share one history file:
+
+* **sweep** — a Tables 2.1/2.2-style random-fault sweep run twice on the
+  same seeds, once through the scalar per-trial path (``batch=1``) and once
+  through the bit-parallel 64-trial kernel (:mod:`repro.graphs.msbfs`),
+  asserting the rows are bit-for-bit identical and recording wall-times and
+  speedups, keyed by topology name (``--topology`` selects a backend's
+  tracked configurations);
+* **serve** — the :mod:`repro.server` gateway benchmarked end to end over
+  real sockets: the same concurrent ``/measure`` workload served once in
+  single-query mode (``max_batch=1`` — one kernel launch per request) and
+  once micro-batched (``max_batch=64``), recording requests/sec and
+  p50/p99 latency for both and asserting the answers are field-identical.
+
+``BENCH_sweep.json`` is an append-only run history (schema 3): every
+``python -m repro bench`` invocation appends one run — timestamp, machine,
+sweep entries, serve entries — to the ``runs`` list, migrating older
+schema-1/2 single-snapshot files into the first history entry, so the
+performance trajectory survives across PRs instead of being overwritten.
+The latest run's entries stay mirrored at the top level for schema-2
+readers.  CI uploads the file as an artifact on every run.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -27,7 +39,15 @@ from ..exceptions import InvalidParameterError
 from ..topology import get_topology
 from .sweep import ParallelSweepEngine
 
-__all__ = ["SweepBenchResult", "run_sweep_bench", "write_bench_file", "DEFAULT_CONFIGS"]
+__all__ = [
+    "SweepBenchResult",
+    "ServeBenchResult",
+    "run_sweep_bench",
+    "run_serve_bench",
+    "write_bench_file",
+    "DEFAULT_CONFIGS",
+    "SERVE_CONFIG",
+]
 
 #: Tracked benchmark configurations per topology: ``(d, n, fault_counts)``.
 #: De Bruijn keeps the pinned B(2,12) multi-row sweep plus the paper's
@@ -58,6 +78,46 @@ class SweepBenchResult:
     batched_s: float
     speedup: float
     rows_equal: bool
+
+
+#: The serve benchmark's tracked graph: big enough that a kernel launch
+#: dominates per-request HTTP overhead, so the single-query vs micro-batched
+#: contrast measures the batching, not the socket plumbing.
+SERVE_CONFIG: tuple[str, int, int] = ("debruijn", 2, 14)
+
+
+@dataclass(frozen=True)
+class ServeBenchResult:
+    """One serving entry: single-query vs micro-batched gateway throughput.
+
+    Both modes serve the *same* concurrent ``/measure`` workload over real
+    HTTP connections; ``answers_equal`` asserts the micro-batched answers
+    are field-identical to the single-query ones (the serving analog of the
+    sweep suite's ``rows_equal``), and ``throughput_gain`` is the tracked
+    micro-batching win (``batched_rps / single_rps``).
+    """
+
+    name: str
+    topology: str
+    d: int
+    n: int
+    nodes: int
+    requests: int
+    concurrency: int
+    seed: int
+    max_batch: int
+    max_wait_ms: float
+    single_s: float
+    single_rps: float
+    single_p50_s: float
+    single_p99_s: float
+    batched_s: float
+    batched_rps: float
+    batched_p50_s: float
+    batched_p99_s: float
+    batch_occupancy: float
+    throughput_gain: float
+    answers_equal: bool
 
 
 def _best_time(fn, repeats: int):
@@ -123,11 +183,145 @@ def run_sweep_bench(
     return results
 
 
-def write_bench_file(results: Sequence[SweepBenchResult], path: str) -> dict:
-    """Serialise benchmark results (plus machine info) to ``path``; return the payload."""
-    payload = {
-        "schema": 2,  # 2: entries keyed by topology (name + topology fields)
-        "generated_by": "python -m repro bench",
+def run_serve_bench(
+    requests: int = 256,
+    concurrency: int = 48,
+    seed: int = 0,
+    max_wait_ms: float = 2.0,
+    config: tuple[str, int, int] = SERVE_CONFIG,
+) -> list[ServeBenchResult]:
+    """Benchmark the gateway end to end: single-query vs micro-batched serving.
+
+    Starts one in-process :class:`~repro.server.gateway.BatchingGateway` per
+    mode on an ephemeral port and drives the identical seeded workload —
+    ``requests`` distinct fault sets issued through ``concurrency``
+    persistent HTTP connections — through ``max_batch=1`` (every request its
+    own kernel launch: the pre-server serving shape) and ``max_batch=64``
+    (micro-batched).  Fresh gateways mean fresh answer caches, so neither
+    mode is flattered by the other's warm entries.
+    """
+    import asyncio
+
+    from ..server.batcher import latency_percentiles
+    from ..server.client import fire_measure
+    from ..server.gateway import BatchingGateway, GatewayConfig
+
+    if requests < 1:
+        raise InvalidParameterError("at least one request is required")
+    topology, d, n = config
+    topo = get_topology(topology, d, n)
+    rng = np.random.default_rng(seed)
+    payloads = []
+    for _ in range(requests):
+        f = int(rng.integers(1, 9))
+        faults = [
+            [int(x) for x in rng.integers(0, d, size=n)] for _ in range(f)
+        ]
+        payloads.append(
+            {"topology": topology, "d": d, "n": n, "faults": faults, "root": None}
+        )
+
+    async def one_mode(max_batch: int) -> tuple[list[dict], float, list[float], float]:
+        gateway = BatchingGateway(GatewayConfig(
+            port=0, max_batch=max_batch, max_wait_ms=max_wait_ms,
+        ))
+        await gateway.start()
+        host, port = gateway.address
+        try:
+            t0 = time.perf_counter()
+            answers, latencies = await fire_measure(host, port, payloads, concurrency)
+            elapsed = time.perf_counter() - t0
+            stats = gateway.stats()["server"]
+            occupancy = stats["batch_occupancy"]
+        finally:
+            await gateway.close()
+        return answers, elapsed, latencies, occupancy
+
+    async def both_modes():
+        single = await one_mode(1)
+        batched = await one_mode(64)
+        return single, batched
+
+    (single_answers, single_s, single_lat, _), (
+        batched_answers, batched_s, batched_lat, occupancy,
+    ) = asyncio.run(both_modes())
+
+    transient = ("cached", "elapsed_s")
+    answers_equal = [
+        {k: v for k, v in a.items() if k not in transient} for a in single_answers
+    ] == [
+        {k: v for k, v in a.items() if k not in transient} for a in batched_answers
+    ]
+    single_rps = requests / single_s
+    batched_rps = requests / batched_s
+    # same percentile rule as the gateway's /stats, so the recorded numbers
+    # stay comparable with the live metrics they sit next to
+    single_pct = latency_percentiles(single_lat)
+    batched_pct = latency_percentiles(batched_lat)
+    return [
+        ServeBenchResult(
+            name=f"serve_{topo.key}_{d}_{n}",
+            topology=topo.key,
+            d=d,
+            n=n,
+            nodes=topo.num_nodes,
+            requests=requests,
+            concurrency=concurrency,
+            seed=seed,
+            max_batch=64,
+            max_wait_ms=max_wait_ms,
+            single_s=single_s,
+            single_rps=single_rps,
+            single_p50_s=single_pct["p50_s"],
+            single_p99_s=single_pct["p99_s"],
+            batched_s=batched_s,
+            batched_rps=batched_rps,
+            batched_p50_s=batched_pct["p50_s"],
+            batched_p99_s=batched_pct["p99_s"],
+            batch_occupancy=occupancy,
+            throughput_gain=batched_rps / single_rps,
+            answers_equal=answers_equal,
+        )
+    ]
+
+
+def _load_runs(path: str) -> list[dict]:
+    """The existing run history at ``path`` (schema 1/2 files become run #1)."""
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return []  # unreadable history: start a fresh one rather than crash
+    if not isinstance(data, dict):
+        return []
+    if data.get("schema") in (1, 2):
+        # migrate the single snapshot into the first history entry
+        return [{
+            "schema": data.get("schema"),
+            "unix_time": data.get("unix_time"),
+            "machine": data.get("machine"),
+            "benchmarks": data.get("benchmarks", []),
+            "serve": [],
+        }]
+    runs = data.get("runs", [])
+    return runs if isinstance(runs, list) else []
+
+
+def write_bench_file(
+    results: Sequence[SweepBenchResult],
+    path: str,
+    serve_results: Sequence[ServeBenchResult] = (),
+) -> dict:
+    """Append this run to the history at ``path``; return the full payload.
+
+    The file is schema 3: ``runs`` holds every recorded invocation (oldest
+    first, schema-1/2 snapshots migrated on first contact), while the top
+    level mirrors the newest run's entries for schema-2 readers and quick
+    ``cat``-ing.
+    """
+    run = {
         "unix_time": time.time(),
         "machine": {
             "platform": platform.platform(),
@@ -136,6 +330,17 @@ def write_bench_file(results: Sequence[SweepBenchResult], path: str) -> dict:
             "numpy": np.__version__,
         },
         "benchmarks": [asdict(r) for r in results],
+        "serve": [asdict(r) for r in serve_results],
+    }
+    runs = _load_runs(path) + [run]
+    payload = {
+        "schema": 3,  # 3: append-only run history (see _load_runs)
+        "generated_by": "python -m repro bench",
+        "unix_time": run["unix_time"],
+        "machine": run["machine"],
+        "benchmarks": run["benchmarks"],
+        "serve": run["serve"],
+        "runs": runs,
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)

@@ -10,15 +10,51 @@ service layer surfaces it through :meth:`EmbeddingService.stats`.
 
 Imports happen lazily inside the registry function so that importing
 :mod:`repro.engine` does not drag in the whole package.
+
+Two kinds of entry coexist: the *static* registry below (caches living in
+modules this one would otherwise have to import eagerly) and *registered*
+entries added at import time by the cache owners themselves via
+:func:`register_cache` (e.g. the kernel-executor cache).  Registration
+mutates shared module state, and the concurrent server registers/queries
+from several threads, so both the registration dict and its enumeration are
+guarded by one module lock.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
 from .cache import LRUCache
 
-__all__ = ["cache_stats", "clear_caches"]
+__all__ = ["cache_stats", "clear_caches", "register_cache", "unregister_cache"]
+
+#: Dynamically registered caches (name -> cache); guarded by ``_LOCK``.
+_REGISTERED: dict[str, Any] = {}
+_LOCK = threading.Lock()
+
+
+def register_cache(name: str, cache: Any) -> None:
+    """Add a cache to the process-wide audit under ``name``.
+
+    ``cache`` is an :class:`~repro.engine.cache.LRUCache` or a
+    :func:`functools.lru_cache`-wrapped callable.  Re-registering a name
+    replaces the entry (module reloads).  Thread-safe: the server and test
+    harnesses may register while another thread snapshots the audit.
+    """
+    with _LOCK:
+        _REGISTERED[str(name)] = cache
+
+
+def unregister_cache(name: str) -> None:
+    """Remove a registered cache from the audit (no-op for unknown names).
+
+    The counterpart of :func:`register_cache`, so transient owners — test
+    fixtures, short-lived servers — don't pollute the process-wide registry
+    for the rest of the process.  Static registry entries cannot be removed.
+    """
+    with _LOCK:
+        _REGISTERED.pop(str(name), None)
 
 
 def _registry() -> dict[str, Any]:
@@ -32,7 +68,7 @@ def _registry() -> dict[str, Any]:
     from ..gf import field, modular, primitive
     from ..words import codec
 
-    return {
+    registry = {
         "words.get_codec": codec.get_codec,
         "analysis.fault_runners": fault_simulation._RUNNER_CACHE,
         "gf.GF": field.GF,
@@ -45,6 +81,9 @@ def _registry() -> dict[str, Any]:
         "bounds.psi": bounds.psi,
         "bounds.edge_fault_phi": bounds.edge_fault_phi,
     }
+    with _LOCK:
+        registry.update(_REGISTERED)
+    return registry
 
 
 def _snapshot(name: str, cache: Any) -> dict[str, Any]:

@@ -307,28 +307,27 @@ class EmbeddingService:
         (necklace representatives for the De Bruijn family, the nodes
         themselves for single-node-unit backends) before the cache lookup,
         so requests whose faults kill the same units hit the same entry.
-        The measurement itself follows the sweep protocol exactly, including
-        the neighbouring-root fallback when the requested root lies in a
-        faulty unit — the response's ``root`` reports the node actually
-        measured from.
+        The measurement itself is one dispatch through the process-wide
+        shared :class:`~repro.engine.executor.KernelExecutor` and follows
+        the sweep protocol exactly, including the neighbouring-root fallback
+        when the requested root lies in a faulty unit — the response's
+        ``root`` reports the node actually measured from.
         """
-        # local import: the analysis layer imports engine.cache, so the
-        # runner comes in lazily to keep module import acyclic
-        from ..analysis.fault_simulation import _cached_runner
+        from .executor import cached_executor
 
         start = time.perf_counter()
         topo = get_topology(topology, d, n)
         fault_codes = [topo.encode(w) for w in faults]
         rep_codes = topo.fault_unit_reps(fault_codes)
         root_key = None if root is None else tuple(int(x) for x in root)
-        runner = _cached_runner(topo.d, topo.n, root_key, topo.key)
-        key = (topo.key, topo.d, topo.n, tuple(rep_codes), runner.root_code)
+        executor = cached_executor(topo.d, topo.n, root_key, topo.key)
+        key = (topo.key, topo.d, topo.n, tuple(rep_codes), executor.root_code)
 
         measured = self._measurements.get(key)
         cached = measured is not None
         if not cached:
             removed = topo.fault_unit_mask(np.asarray(fault_codes, dtype=np.int64))
-            measured = runner.measure_mask_with_root(removed)
+            measured = executor.measure_mask_with_root(removed)
             self._measurements.put(key, measured)
 
         size, ecc, measured_root = measured

@@ -64,8 +64,8 @@ from ..analysis.fault_simulation import (
     PAPER_FAULT_COUNTS,
     FaultSimulationRow,
     FaultSweepRunner,
-    _cached_runner,
 )
+from .executor import cached_executor
 
 __all__ = [
     "ParallelSweepEngine",
@@ -76,15 +76,6 @@ __all__ = [
 #: Target shards per worker per row: small enough to amortise dispatch,
 #: large enough that a slow shard cannot leave the pool idle for long.
 _SHARDS_PER_WORKER = 4
-
-#: Tail chunks narrower than this run per-trial instead of through the
-#: kernel: a bit-parallel sweep costs roughly one full-graph BFS however few
-#: lanes it carries, so it only pays for itself once several trials share it
-#: (measured crossover ~4 trials on B(4, 10); results are identical either
-#: way, so this is purely a wall-clock heuristic).  An explicitly small
-#: ``batch`` setting is honoured: only remnants of a *wider* requested batch
-#: fall back to the scalar path.
-_MIN_KERNEL_BATCH = 8
 
 
 def trial_seed_sequences(
@@ -119,38 +110,6 @@ class SweepProgress:
         return self.done_trials / self.total_trials if self.total_trials else 1.0
 
 
-def _measure_chunk(
-    runner: FaultSweepRunner,
-    f: int,
-    items: Sequence[tuple[int, np.random.SeedSequence]],
-    batch: int,
-) -> list[tuple[int, int, int]]:
-    """Measure one chunk of trials, ``batch`` at a time: ``(t, size, ecc)`` list.
-
-    ``batch=1`` takes the scalar per-trial path; ``batch>1`` packs up to
-    ``batch`` trials per bit-parallel kernel call.  Which trials share a
-    kernel call is irrelevant to the results — every trial's samples come
-    from its own SeedSequence stream — so serial runs, resumed runs with
-    scattered holes and worker shards all produce identical measurements.
-    """
-    if batch <= 1:
-        return [
-            (t, *runner.run_trial(f, np.random.default_rng(seq))) for t, seq in items
-        ]
-    out: list[tuple[int, int, int]] = []
-    min_kernel = min(_MIN_KERNEL_BATCH, batch)
-    for start in range(0, len(items), batch):
-        part = items[start : start + batch]
-        if len(part) < min_kernel:
-            out.extend(
-                (t, *runner.run_trial(f, np.random.default_rng(seq))) for t, seq in part
-            )
-            continue
-        stats = runner.run_trials_batch(f, [seq for _, seq in part])
-        out.extend((t, size, ecc) for (t, _), (size, ecc) in zip(part, stats))
-    return out
-
-
 def _run_shard(
     payload: tuple,
 ) -> tuple[int, list[tuple[int, int, int]]]:
@@ -158,12 +117,14 @@ def _run_shard(
 
     ``payload`` is ``(topology, d, n, root, f, items, batch)`` with
     ``items`` a list of ``(trial_index, SeedSequence)`` pairs.  The
-    per-process runner is shared across shards via the bounded runner cache,
-    so backend tables are built once per worker regardless of shard count.
+    per-process executor is shared across shards via the bounded executor
+    cache, so backend tables are built once per worker regardless of shard
+    count; the batch-vs-scalar dispatch lives in
+    :meth:`~repro.engine.executor.KernelExecutor.measure_chunk`.
     """
     topology, d, n, root, f, items, batch = payload
-    runner = _cached_runner(d, n, root, topology)
-    return f, _measure_chunk(runner, f, items, batch)
+    executor = cached_executor(d, n, root, topology)
+    return f, executor.measure_chunk(f, items, batch)
 
 
 class _Checkpoint:
@@ -393,9 +354,10 @@ class ParallelSweepEngine:
 
     # -- execution modes ------------------------------------------------------
     def _run_serial(self, seeds, pending, completed, total, checkpoint) -> None:
-        runner = self._runner
-        if runner is None:
-            runner = _cached_runner(self.d, self.n, self.root, self.topology)
+        if self._runner is not None:
+            executor = self._runner.executor
+        else:
+            executor = cached_executor(self.d, self.n, self.root, self.topology)
         by_f: dict[int, list[int]] = {}
         for f, t in pending:
             by_f.setdefault(f, []).append(t)
@@ -404,7 +366,7 @@ class ParallelSweepEngine:
         for f, ts in by_f.items():
             for start in range(0, len(ts), self.batch):
                 items = [(t, seeds[f][t]) for t in ts[start : start + self.batch]]
-                results = _measure_chunk(runner, f, items, self.batch)
+                results = executor.measure_chunk(f, items, self.batch)
                 for t, size, ecc in results:
                     completed[(f, t)] = (size, ecc)
                 since_flush += len(results)

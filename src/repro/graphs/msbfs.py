@@ -51,7 +51,9 @@ from ..exceptions import InvalidParameterError
 __all__ = [
     "WORD_WIDTH",
     "BatchStats",
+    "BatchWorkspace",
     "pack_fault_lanes",
+    "pack_mask_lanes",
     "lane_removed_mask",
     "lane_popcounts",
     "batched_root_stats",
@@ -81,6 +83,27 @@ class BatchStats:
     def dead_trials(self) -> list[int]:
         """Indices of the trials whose root was removed (to be peeled)."""
         return [t for t in range(len(self.sizes)) if (self.root_dead >> t) & 1]
+
+
+class BatchWorkspace:
+    """Reusable per-graph scratch buffers for :func:`batched_root_stats`.
+
+    A resident executor launches the kernel thousands of times over the same
+    graph; the three ``uint64[size]`` sweep arrays (frontier, next, gather
+    scratch) dominate the kernel's allocation cost and never change shape, so
+    a long-lived caller allocates them once here and passes the workspace to
+    every launch.  The workspace is NOT safe for concurrent launches — the
+    owner (e.g. :class:`repro.engine.executor.KernelExecutor`) serialises
+    access.
+    """
+
+    __slots__ = ("size", "frontier", "nxt", "scratch")
+
+    def __init__(self, size: int) -> None:
+        self.size = int(size)
+        self.frontier = np.empty(self.size, dtype=np.uint64)
+        self.nxt = np.empty(self.size, dtype=np.uint64)
+        self.scratch = np.empty(self.size, dtype=np.uint64)
 
 
 def pack_fault_lanes(source, fault_codes: np.ndarray | Sequence) -> np.ndarray:
@@ -120,6 +143,28 @@ def pack_fault_lanes(source, fault_codes: np.ndarray | Sequence) -> np.ndarray:
     return lanes
 
 
+def pack_mask_lanes(masks: Sequence[np.ndarray], size: int) -> np.ndarray:
+    """Pack per-request boolean removed-masks into lanes: ``uint64[size]``.
+
+    The ragged-batch dual of :func:`pack_fault_lanes`: request ``t`` supplies
+    its own ``bool[size]`` removed mask (requests in one micro-batch may
+    remove different numbers of fault units — the serving case), and bit
+    ``t`` of ``lanes[x]`` is set iff request ``t`` removed node ``x``.
+    """
+    if not 1 <= len(masks) <= WORD_WIDTH:
+        raise InvalidParameterError(
+            f"batch size must be in 1..{WORD_WIDTH}, got {len(masks)}"
+        )
+    lanes = np.zeros(size, dtype=np.uint64)
+    for t, mask in enumerate(masks):
+        if mask.shape != (size,):
+            raise InvalidParameterError(
+                f"mask {t} has shape {mask.shape}, expected ({size},)"
+            )
+        lanes |= mask.astype(np.uint64) << np.uint64(t)
+    return lanes
+
+
 def lane_removed_mask(lanes: np.ndarray, trial: int) -> np.ndarray:
     """Extract trial ``trial``'s boolean removed-mask from packed lanes."""
     return (lanes >> np.uint64(trial)) & _ONE != 0
@@ -142,6 +187,7 @@ def batched_root_stats(
     removed_lanes: np.ndarray,
     root: int | np.ndarray,
     batch: int,
+    workspace: BatchWorkspace | None = None,
 ) -> BatchStats:
     """Run one bit-parallel out-BFS across all packed trials.
 
@@ -156,6 +202,10 @@ def batched_root_stats(
     scalar path measures them (reached-node count and deepest BFS level).
     Lanes whose root is removed are skipped and flagged in
     :attr:`BatchStats.root_dead`.
+
+    ``workspace`` optionally supplies preallocated sweep buffers
+    (:class:`BatchWorkspace`) so resident callers amortise the per-launch
+    allocations; results are identical with or without it.
     """
     size = source.size
     if removed_lanes.shape != (size,) or removed_lanes.dtype != np.uint64:
@@ -178,7 +228,17 @@ def batched_root_stats(
     if root_dead == int(all_bits):
         return BatchStats(sizes, eccs, root_dead)
 
-    frontier = np.zeros(size, dtype=np.uint64)
+    if workspace is not None and workspace.size != size:
+        raise InvalidParameterError(
+            f"workspace sized for {workspace.size} nodes, graph has {size}"
+        )
+    if workspace is None:
+        frontier = np.zeros(size, dtype=np.uint64)
+        nxt = np.empty(size, dtype=np.uint64)
+        scratch = np.empty(size, dtype=np.uint64)
+    else:
+        frontier, nxt, scratch = workspace.frontier, workspace.nxt, workspace.scratch
+        frontier.fill(0)
     np.bitwise_or.at(frontier, roots[~dead_mask], trial_bits[~dead_mask])
     # `avail[x]` holds the lanes in which x is alive and not yet visited —
     # one AND per step instead of `& alive & ~visited`, and since every
@@ -188,8 +248,6 @@ def batched_root_stats(
     alive = ~removed_lanes
     avail = alive ^ frontier  # root lanes start visited
     pred_cols = source.predecessor_columns
-    nxt = np.empty(size, dtype=np.uint64)
-    scratch = np.empty(size, dtype=np.uint64)
     gains: list[np.uint64] = []  # per-level OR of the newly-reached lanes
     while True:
         np.take(frontier, pred_cols[0], out=nxt)

@@ -1,0 +1,221 @@
+"""Micro-batching of concurrent measure requests onto the kernel executor.
+
+One :class:`MicroBatcher` fronts one executor shard.  Concurrent callers
+``await submit(mask)``; a single flusher task drains the bounded queue and
+packs up to ``max_batch`` (<= 64) pending masks into ONE bit-parallel kernel
+launch (:meth:`repro.engine.executor.KernelExecutor.measure_masks_batch`),
+flushing early when the batch fills and at latest ``max_wait_s`` after the
+first request of a batch arrived.  The kernel call runs in a one-thread
+executor pool so the event loop keeps accepting requests while a batch
+computes — the next batch accumulates during the current launch, which is
+what keeps occupancy high under load (the HoneyBadgerMPC program-runner
+shape: many concurrent tasks, one shared execution context).
+
+Backpressure is the bounded queue: when ``max_queue`` requests are already
+waiting, :meth:`MicroBatcher.submit` raises :class:`QueueFullError`
+immediately instead of buffering without limit — the gateway maps that to
+HTTP 503 so load sheds at the edge.
+
+Every answer is bit-for-bit what the scalar path
+(:meth:`~repro.engine.executor.KernelExecutor.measure_mask_with_root`)
+returns for the same mask: batching only changes how many requests share a
+sweep, never what any request observes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..graphs.msbfs import WORD_WIDTH
+from ..exceptions import InvalidParameterError
+
+__all__ = ["MicroBatcher", "QueueFullError", "latency_percentiles"]
+
+
+class QueueFullError(RuntimeError):
+    """Raised by ``submit`` when the shard's bounded request queue is full."""
+
+
+def latency_percentiles(samples) -> dict:
+    """``{p50, p99}`` (seconds) of an iterable of latency samples."""
+    data = sorted(samples)
+    if not data:
+        return {"p50_s": 0.0, "p99_s": 0.0}
+    return {
+        "p50_s": data[len(data) // 2],
+        "p99_s": data[min(len(data) - 1, (len(data) * 99) // 100)],
+    }
+
+
+class MicroBatcher:
+    """Coalesce concurrent mask measurements into <= 64-lane kernel launches.
+
+    Parameters
+    ----------
+    executor:
+        The :class:`~repro.engine.executor.KernelExecutor` shard this
+        batcher dispatches to.
+    max_batch:
+        Lanes per kernel launch (1..64).  ``1`` serves every request with
+        its own launch — the single-query baseline the serve benchmark
+        compares against.
+    max_wait_s:
+        Longest a request may wait for lane-mates after reaching the head
+        of a batch (default 2 ms): the latency price of occupancy.
+    max_queue:
+        Bound on queued requests; beyond it ``submit`` raises
+        :class:`QueueFullError` (backpressure).
+
+    Must be used from a running asyncio event loop; the internal queue and
+    flusher task bind to the loop of the first ``submit``.
+    """
+
+    def __init__(
+        self,
+        executor,
+        max_batch: int = WORD_WIDTH,
+        max_wait_s: float = 0.002,
+        max_queue: int = 1024,
+    ) -> None:
+        if not 1 <= max_batch <= WORD_WIDTH:
+            raise InvalidParameterError(
+                f"max_batch must be in 1..{WORD_WIDTH}, got {max_batch}"
+            )
+        if max_wait_s < 0:
+            raise InvalidParameterError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if max_queue < 1:
+            raise InvalidParameterError(f"max_queue must be >= 1, got {max_queue}")
+        self.executor = executor
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.max_queue = int(max_queue)
+        self._queue: asyncio.Queue | None = None
+        self._flusher: asyncio.Task | None = None
+        # one worker thread per shard: launches on one executor are
+        # serialised anyway (shared kernel workspace), so extra threads
+        # would only add contention
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"batcher-{executor.topology_key}"
+        )
+        # -- metrics (single event loop: no lock needed) -----------------------
+        self._launches = 0
+        self._lanes = 0
+        self._completed = 0
+        self._rejected = 0
+        self._latencies: deque[float] = deque(maxlen=4096)
+
+    # -- submission ------------------------------------------------------------
+    async def submit(self, mask: np.ndarray) -> tuple[int, int, int | None]:
+        """Measure one request's removed-node mask; resolves when its batch lands.
+
+        Returns ``(region_size, root_eccentricity, measured_root_code)`` —
+        bit-for-bit the scalar answer for ``mask`` alone.  Raises
+        :class:`QueueFullError` when the shard queue is at capacity.
+        """
+        self._ensure_started()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        try:
+            self._queue.put_nowait((mask, future, time.perf_counter()))
+        except asyncio.QueueFull:
+            self._rejected += 1
+            raise QueueFullError(
+                f"shard queue full ({self.max_queue} requests pending)"
+            ) from None
+        return await future
+
+    def _ensure_started(self) -> None:
+        if self._flusher is None or self._flusher.done():
+            self._queue = asyncio.Queue(maxsize=self.max_queue)
+            self._flusher = asyncio.get_running_loop().create_task(self._flush_loop())
+
+    # -- the flusher -----------------------------------------------------------
+    async def _flush_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            deadline = loop.time() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                # drain whatever is already queued before sleeping at all
+                try:
+                    batch.append(self._queue.get_nowait())
+                    continue
+                except asyncio.QueueEmpty:
+                    pass
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            await self._dispatch(batch)
+
+    async def _dispatch(self, batch) -> None:
+        loop = asyncio.get_running_loop()
+        masks = [mask for mask, _, _ in batch]
+        try:
+            results = await loop.run_in_executor(
+                self._pool, self.executor.measure_masks_batch, masks
+            )
+        except Exception as exc:  # surface the failure on every waiter
+            for _, future, _ in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self._launches += 1
+        self._lanes += len(batch)
+        now = time.perf_counter()
+        for (_, future, enqueued), result in zip(batch, results):
+            self._completed += 1
+            self._latencies.append(now - enqueued)
+            if not future.done():  # the waiter may have been cancelled
+                future.set_result(result)
+
+    # -- lifecycle / observability ---------------------------------------------
+    async def close(self) -> None:
+        """Cancel the flusher, fail any still-queued waiters, release the thread.
+
+        Requests caught in the queue at shutdown get a :class:`QueueFullError`
+        ("batcher closed") instead of an eternally pending future — a caller
+        awaiting ``submit`` must always resolve.
+        """
+        if self._flusher is not None:
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except asyncio.CancelledError:
+                pass
+            self._flusher = None
+        if self._queue is not None:
+            while True:
+                try:
+                    _, future, _ = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not future.done():
+                    future.set_exception(QueueFullError("batcher closed"))
+        self._pool.shutdown(wait=False)
+
+    def stats(self) -> dict:
+        """Batch-occupancy, queue and latency counters of this shard."""
+        stats = {
+            "max_batch": self.max_batch,
+            "max_wait_s": self.max_wait_s,
+            "max_queue": self.max_queue,
+            "queued": self._queue.qsize() if self._queue is not None else 0,
+            "launches": self._launches,
+            "lanes": self._lanes,
+            "batch_occupancy": self._lanes / self._launches if self._launches else 0.0,
+            "completed": self._completed,
+            "rejected": self._rejected,
+        }
+        stats.update(latency_percentiles(self._latencies))
+        return stats

@@ -1,0 +1,161 @@
+"""Stdlib-only clients for the serving gateway.
+
+:class:`ServeClient` is the scripting-friendly blocking client (urllib, one
+request per call).  :class:`AsyncServeClient` holds ONE persistent HTTP/1.1
+connection and issues sequential requests over it — the load-generation
+building block: the serve benchmark and the CI smoke driver open many of
+them and fire concurrently, which is exactly the traffic shape the
+micro-batcher coalesces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import urllib.request
+
+__all__ = ["ServeClient", "AsyncServeClient", "fire_measure"]
+
+
+class ServeClient:
+    """Blocking JSON client: ``ServeClient("http://127.0.0.1:8787")``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def measure(self, d: int, n: int, faults=(), root=None, topology="debruijn") -> dict:
+        return self._request("POST", "/measure", {
+            "topology": topology, "d": d, "n": n,
+            "faults": [list(w) for w in faults],
+            "root": None if root is None else list(root),
+        })
+
+    def embed(self, d: int, n: int, faults=(), root_hint=None, include_cycle=True) -> dict:
+        return self._request("POST", "/embed", {
+            "d": d, "n": n, "faults": [list(w) for w in faults],
+            "root_hint": None if root_hint is None else list(root_hint),
+            "include_cycle": include_cycle,
+        })
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+
+class AsyncServeClient:
+    """One persistent keep-alive connection; sequential JSON requests.
+
+    Use ``await AsyncServeClient.open(host, port)`` and ``await close()``.
+    Not task-safe: one in-flight request per client (open many clients for
+    concurrency — each models one caller of the service).
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+                 host: str, port: int) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._host, self._port = host, port
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "AsyncServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, host, port)
+
+    async def request(self, method: str, path: str, payload: dict | None = None) -> tuple[int, dict]:
+        """Issue one request; returns ``(status, decoded_json)``."""
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        data = await self._reader.readexactly(length)
+        return status, json.loads(data.decode("utf-8"))
+
+    async def measure(self, d: int, n: int, faults=(), root=None,
+                      topology="debruijn") -> tuple[int, dict]:
+        return await self.request("POST", "/measure", {
+            "topology": topology, "d": d, "n": n,
+            "faults": [list(w) for w in faults],
+            "root": None if root is None else list(root),
+        })
+
+    async def stats(self) -> tuple[int, dict]:
+        return await self.request("GET", "/stats")
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def fire_measure(
+    host: str, port: int, payloads: list[dict], concurrency: int
+) -> tuple[list[dict], list[float]]:
+    """Issue every payload as ``POST /measure`` over ``concurrency`` connections.
+
+    The shared load generator of the serve benchmark and the CI smoke
+    driver: each worker holds one persistent connection and pulls payloads
+    from a shared queue — ``concurrency`` requests in flight at any moment,
+    the traffic shape the micro-batcher coalesces.  Returns the answers (in
+    payload order) and the per-request client-side latencies; any non-200
+    raises ``AssertionError``.
+    """
+    queue: asyncio.Queue = asyncio.Queue()
+    for item in enumerate(payloads):
+        queue.put_nowait(item)
+    answers: list[dict | None] = [None] * len(payloads)
+    latencies: list[float] = []
+
+    async def worker() -> None:
+        client = await AsyncServeClient.open(host, port)
+        try:
+            while True:
+                try:
+                    i, payload = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                start = time.perf_counter()
+                status, answer = await client.request("POST", "/measure", payload)
+                latencies.append(time.perf_counter() - start)
+                if status != 200:
+                    raise AssertionError(
+                        f"request {i} failed: HTTP {status} {answer}"
+                    )
+                answers[i] = answer
+        finally:
+            await client.close()
+
+    await asyncio.gather(*[worker() for _ in range(max(1, concurrency))])
+    return answers, latencies

@@ -1,0 +1,354 @@
+"""The asyncio HTTP gateway: ``python -m repro serve``.
+
+A deliberately small stdlib-only HTTP/1.1 server (keep-alive, JSON bodies)
+— no web framework is baked into the container, and the surface is four
+routes:
+
+``POST /measure``
+    ``{"topology": "kautz", "d": 2, "n": 8, "faults": [[0,1,...], ...],
+    "root": null}`` — the topology-generic fault-free-region query.
+    Requests are normalised to canonical fault-unit representatives (the
+    same cache key the :class:`~repro.engine.service.EmbeddingService`
+    uses), answered from the gateway's bounded LRU when possible, and
+    otherwise coalesced by the shard's
+    :class:`~repro.server.batcher.MicroBatcher` into <= 64-lane kernel
+    launches.  The response is a
+    :class:`~repro.engine.service.MeasureResponse` dict — byte-identical
+    fields to the scalar service path.
+
+``POST /embed``
+    ``{"d": 2, "n": 10, "faults": [...], "root_hint": null}`` — one FFC
+    ring query, served by the shared (thread-safe)
+    :class:`~repro.engine.service.EmbeddingService` on a worker thread (the
+    FFC construction is scalar; its answer cache still makes hot fault sets
+    cheap).  ``"include_cycle": false`` drops the (possibly huge) cycle
+    payload.
+
+``GET /stats``
+    Request/latency/batch-occupancy metrics per shard, gateway totals, the
+    gateway answer cache, and the full engine cache audit
+    (:meth:`EmbeddingService.stats`).
+
+``GET /healthz``
+    Liveness probe.
+
+One executor shard — one :class:`MicroBatcher` over one process-wide
+:func:`~repro.engine.executor.cached_executor` — exists per
+``(topology, d, n, root)`` served.  Bounded shard queues shed load as HTTP
+503; malformed requests are 400s; nothing the client sends can grow server
+memory without bound (body size is capped, caches are LRU).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.cache import LRUCache
+from ..engine.service import EmbeddingRequest, EmbeddingService, MeasureResponse
+from ..exceptions import ReproError
+from ..graphs.msbfs import WORD_WIDTH
+from ..topology import DEFAULT_TOPOLOGY, get_topology
+from .batcher import MicroBatcher, QueueFullError, latency_percentiles
+
+__all__ = ["GatewayConfig", "BatchingGateway", "run"]
+
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Knobs of the serving front-end (see ``python -m repro serve --help``).
+
+    ``max_batch``/``max_wait_ms`` trade latency for kernel occupancy:
+    requests wait at most ``max_wait_ms`` for lane-mates before their batch
+    launches, and never wait once 64 lanes are full.  ``queue_limit`` bounds
+    each shard's pending requests — beyond it the gateway sheds load with
+    HTTP 503 instead of buffering unboundedly (backpressure).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    max_batch: int = WORD_WIDTH
+    max_wait_ms: float = 2.0
+    queue_limit: int = 1024
+    max_cached_answers: int = 256
+    max_body_bytes: int = 1024 * 1024
+
+
+class BatchingGateway:
+    """The serving process: shards, batchers, HTTP front-end, metrics."""
+
+    def __init__(
+        self,
+        config: GatewayConfig | None = None,
+        service: EmbeddingService | None = None,
+    ) -> None:
+        self.config = config or GatewayConfig()
+        self.service = service or EmbeddingService(
+            max_cached_answers=self.config.max_cached_answers
+        )
+        self._batchers: dict[tuple, MicroBatcher] = {}
+        self._measure_cache = LRUCache(
+            self.config.max_cached_answers, name="server.measure_answers"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._started = time.time()
+        self._requests: dict[str, int] = {}
+        self._errors = 0
+        self._latencies: deque[float] = deque(maxlen=4096)
+
+    # -- shards ----------------------------------------------------------------
+    def _shard(self, topology: str, d: int, n: int, root) -> MicroBatcher:
+        """The (lazily created) micro-batcher of one executor shard."""
+        from ..engine.executor import cached_executor
+
+        key = (topology, d, n, root)
+        batcher = self._batchers.get(key)
+        if batcher is None:
+            batcher = MicroBatcher(
+                cached_executor(d, n, root, topology),
+                max_batch=self.config.max_batch,
+                max_wait_s=self.config.max_wait_ms / 1000.0,
+                max_queue=self.config.queue_limit,
+            )
+            self._batchers[key] = batcher
+        return batcher
+
+    # -- endpoint implementations ----------------------------------------------
+    async def _measure(self, payload: dict) -> dict:
+        start = time.perf_counter()
+        topology = str(payload.get("topology", DEFAULT_TOPOLOGY))
+        topo = get_topology(topology, int(payload["d"]), int(payload["n"]))
+        faults = payload.get("faults") or []
+        fault_codes = [topo.encode(tuple(int(x) for x in w)) for w in faults]
+        rep_codes = topo.fault_unit_reps(fault_codes)
+        root = payload.get("root")
+        root_key = None if root is None else tuple(int(x) for x in root)
+        batcher = self._shard(topo.key, topo.d, topo.n, root_key)
+        key = (topo.key, topo.d, topo.n, tuple(rep_codes), batcher.executor.root_code)
+
+        measured = self._measure_cache.get(key)
+        cached = measured is not None
+        if not cached:
+            removed = topo.fault_unit_mask(np.asarray(fault_codes, dtype=np.int64))
+            measured = await batcher.submit(removed)
+            self._measure_cache.put(key, measured)
+
+        size, ecc, measured_root = measured
+        return MeasureResponse(
+            topology=topo.key,
+            d=topo.d,
+            n=topo.n,
+            faults=tuple(topo.decode(c) for c in fault_codes),
+            fault_units=tuple(topo.decode(c) for c in rep_codes),
+            root=None if measured_root is None else topo.decode(measured_root),
+            region_size=int(size),
+            root_eccentricity=int(ecc),
+            reference_size=topo.reference_size(len(set(fault_codes))),
+            guarantee_bound=topo.guarantee_bound(len(set(fault_codes))),
+            cached=cached,
+            elapsed_s=time.perf_counter() - start,
+        ).as_dict()
+
+    async def _embed(self, payload: dict) -> dict:
+        request = EmbeddingRequest.make(
+            int(payload["d"]),
+            int(payload["n"]),
+            faults=payload.get("faults") or [],
+            root_hint=payload.get("root_hint"),
+        )
+        # the FFC construction is scalar CPU work: keep the loop responsive
+        # by running it on a worker thread (the service is thread-safe)
+        response = await asyncio.get_running_loop().run_in_executor(
+            None, self.service.submit, request
+        )
+        return response.as_dict(include_cycle=bool(payload.get("include_cycle", True)))
+
+    def stats(self) -> dict:
+        """Gateway metrics + shard batchers + caches + the engine audit."""
+        shards = {
+            f"{key[0]}({key[1]},{key[2]})" + (f"@{key[3]}" if key[3] else ""): b.stats()
+            for key, b in self._batchers.items()
+        }
+        launches = sum(s["launches"] for s in shards.values())
+        lanes = sum(s["lanes"] for s in shards.values())
+        server = {
+            "uptime_s": time.time() - self._started,
+            "requests": dict(self._requests),
+            "errors": self._errors,
+            "launches": launches,
+            "lanes": lanes,
+            "batch_occupancy": lanes / launches if launches else 0.0,
+            "rejected": sum(s["rejected"] for s in shards.values()),
+        }
+        server.update(latency_percentiles(self._latencies))
+        return {
+            "server": server,
+            "shards": shards,
+            "measure_cache": self._measure_cache.stats().as_dict(),
+            "service": self.service.stats(),
+        }
+
+    # -- HTTP plumbing ---------------------------------------------------------
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        endpoint = f"{method} {path}"
+        self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, {"status": "ok"}
+            if method == "GET" and path == "/stats":
+                return 200, self.stats()
+            if method == "POST" and path in ("/measure", "/embed"):
+                try:
+                    payload = json.loads(body or b"{}")
+                except json.JSONDecodeError as exc:
+                    return 400, {"error": f"invalid JSON body: {exc}"}
+                if not isinstance(payload, dict):
+                    return 400, {"error": "JSON body must be an object"}
+                if path == "/measure":
+                    return 200, await self._measure(payload)
+                return 200, await self._embed(payload)
+            return 404, {"error": f"no route {method} {path}"}
+        except QueueFullError as exc:
+            return 503, {"error": str(exc), "retry": True}
+        except (ReproError, KeyError, ValueError, TypeError) as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    return  # client went away between requests
+                except asyncio.LimitOverrunError:
+                    await self._respond(writer, 431, {"error": "headers too large"}, True)
+                    return
+                started = time.perf_counter()
+                request_line, _, header_blob = head.partition(b"\r\n")
+                try:
+                    method, target, version = request_line.decode("latin-1").split(" ", 2)
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "bad request line"}, True)
+                    return
+                headers = {}
+                for line in header_blob.decode("latin-1").split("\r\n"):
+                    name, sep, value = line.partition(":")
+                    if sep:
+                        headers[name.strip().lower()] = value.strip()
+                if "transfer-encoding" in headers:
+                    # only Content-Length framing is implemented; ignoring a
+                    # chunked body would desync the keep-alive stream, so
+                    # refuse loudly and drop the connection
+                    await self._respond(
+                        writer, 501, {"error": "Transfer-Encoding not supported"}, True
+                    )
+                    return
+                try:
+                    length = int(headers.get("content-length", 0))
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "bad Content-Length"}, True)
+                    return
+                if length > self.config.max_body_bytes:
+                    await self._respond(writer, 413, {"error": "body too large"}, True)
+                    return
+                body = await reader.readexactly(length) if length else b""
+                path = target.split("?", 1)[0]
+                status, payload = await self._route(method.upper(), path, body)
+                if status >= 400:
+                    self._errors += 1
+                close = (
+                    headers.get("connection", "").lower() == "close"
+                    or version.strip().upper() == "HTTP/1.0"
+                )
+                self._latencies.append(time.perf_counter() - started)
+                await self._respond(writer, status, payload, close)
+                if close:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # mid-request disconnects are the client's prerogative
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    _REASONS = {
+        200: "OK", 400: "Bad Request", 404: "Not Found", 413: "Payload Too Large",
+        431: "Request Header Fields Too Large", 501: "Not Implemented",
+        503: "Service Unavailable",
+    }
+
+    async def _respond(self, writer, status: int, payload: dict, close: bool) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {self._REASONS.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (``port=0`` = ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._handle,
+            self.config.host,
+            self.config.port,
+            limit=_MAX_HEADER_BYTES,
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually bound ``(host, port)`` (resolves ``port=0``)."""
+        assert self._server is not None, "gateway not started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "gateway not started"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, cancel shard flushers, release worker threads."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for batcher in self._batchers.values():
+            await batcher.close()
+
+
+def run(config: GatewayConfig | None = None) -> int:
+    """Blocking entry point for ``python -m repro serve``."""
+
+    async def _serve() -> None:
+        gateway = BatchingGateway(config)
+        await gateway.start()
+        host, port = gateway.address
+        print(
+            f"repro serve: listening on http://{host}:{port} "
+            f"(max_batch={gateway.config.max_batch}, "
+            f"max_wait={gateway.config.max_wait_ms}ms, "
+            f"queue_limit={gateway.config.queue_limit})",
+            flush=True,
+        )
+        try:
+            await gateway.serve_forever()
+        finally:
+            await gateway.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0

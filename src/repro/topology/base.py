@@ -48,6 +48,7 @@ Conventions shared by every backend
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 
@@ -90,6 +91,11 @@ class Topology(ABC):
         self._predecessor_table: np.ndarray | None = None
         self._neighbour_table: np.ndarray | None = None
         self._predecessor_columns: tuple[np.ndarray, ...] | None = None
+        # instances are shared process-wide (registry cache) and the server
+        # may touch a cold backend from several threads at once: the lazy
+        # table builds below are guarded so no reader ever sees a
+        # half-built table
+        self._tables_lock = threading.RLock()
 
     # -- identity --------------------------------------------------------------
     @property
@@ -138,17 +144,21 @@ class Topology(ABC):
     @property
     def successor_table(self) -> np.ndarray:
         if self._successor_table is None:
-            table = np.ascontiguousarray(self._build_successor_table())
-            table.flags.writeable = False
-            self._successor_table = table
+            with self._tables_lock:
+                if self._successor_table is None:
+                    table = np.ascontiguousarray(self._build_successor_table())
+                    table.flags.writeable = False
+                    self._successor_table = table
         return self._successor_table
 
     @property
     def predecessor_table(self) -> np.ndarray:
         if self._predecessor_table is None:
-            table = np.ascontiguousarray(self._build_predecessor_table())
-            table.flags.writeable = False
-            self._predecessor_table = table
+            with self._tables_lock:
+                if self._predecessor_table is None:
+                    table = np.ascontiguousarray(self._build_predecessor_table())
+                    table.flags.writeable = False
+                    self._predecessor_table = table
         return self._predecessor_table
 
     @property
@@ -159,25 +169,31 @@ class Topology(ABC):
         the successor/predecessor concatenation.
         """
         if self._neighbour_table is None:
-            if self.directed:
-                table = np.hstack([self.successor_table, self.predecessor_table])
-                table.flags.writeable = False
-                self._neighbour_table = table
-            else:
-                self._neighbour_table = self.successor_table
+            with self._tables_lock:
+                if self._neighbour_table is None:
+                    if self.directed:
+                        table = np.hstack(
+                            [self.successor_table, self.predecessor_table]
+                        )
+                        table.flags.writeable = False
+                        self._neighbour_table = table
+                    else:
+                        self._neighbour_table = self.successor_table
         return self._neighbour_table
 
     @property
     def predecessor_columns(self) -> tuple[np.ndarray, ...]:
         """Contiguous columns of the predecessor table (the kernel's gathers)."""
         if self._predecessor_columns is None:
-            pred = self.predecessor_table
-            cols = tuple(
-                np.ascontiguousarray(pred[:, a]) for a in range(pred.shape[1])
-            )
-            for col in cols:
-                col.flags.writeable = False
-            self._predecessor_columns = cols
+            with self._tables_lock:
+                if self._predecessor_columns is None:
+                    pred = self.predecessor_table
+                    cols = tuple(
+                        np.ascontiguousarray(pred[:, a]) for a in range(pred.shape[1])
+                    )
+                    for col in cols:
+                        col.flags.writeable = False
+                    self._predecessor_columns = cols
         return self._predecessor_columns
 
     # -- fault units -----------------------------------------------------------

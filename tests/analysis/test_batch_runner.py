@@ -81,7 +81,7 @@ class TestRootFallbackRegime:
         # rectangular batch via repetition: duplicated faults remove the same
         # necklaces, so each row's mask is exactly its fault set's mask
         lanes = pack_fault_lanes(codec, codes)
-        results = runner._batched_fallbacks(lanes, list(range(len(fault_sets))))
+        results = runner.executor._batched_fallbacks(lanes, list(range(len(fault_sets))))
         for t, fs in enumerate(fault_sets):
             removed = codec.faulty_necklace_mask(np.asarray(fs, dtype=codec.dtype))
             assert removed[runner.root_code], "crafted mask must kill the root"

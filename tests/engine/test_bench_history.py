@@ -1,0 +1,82 @@
+"""Tests for the serve benchmark and the BENCH_sweep.json run history."""
+
+import json
+
+from repro.engine.bench import (
+    ServeBenchResult,
+    SweepBenchResult,
+    run_serve_bench,
+    write_bench_file,
+)
+
+
+def _sweep_result(scalar_s=1.0) -> SweepBenchResult:
+    return SweepBenchResult(
+        name="sweep_debruijn_2_6", topology="debruijn", d=2, n=6, nodes=64,
+        fault_counts=(1, 2), trials=8, seed=0, batch=64,
+        scalar_s=scalar_s, batched_s=scalar_s / 4, speedup=4.0, rows_equal=True,
+    )
+
+
+class TestRunHistory:
+    def test_runs_accumulate_across_invocations(self, tmp_path):
+        path = str(tmp_path / "BENCH_sweep.json")
+        write_bench_file([_sweep_result(1.0)], path)
+        payload = write_bench_file([_sweep_result(2.0)], path)
+        assert payload["schema"] == 3
+        assert len(payload["runs"]) == 2
+        assert payload["runs"][0]["benchmarks"][0]["scalar_s"] == 1.0
+        assert payload["runs"][1]["benchmarks"][0]["scalar_s"] == 2.0
+        # the top level mirrors the newest run for schema-2 readers
+        assert payload["benchmarks"] == payload["runs"][-1]["benchmarks"]
+        on_disk = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+        assert len(on_disk["runs"]) == 2
+
+    def test_schema_2_snapshot_migrates_into_run_one(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        legacy = {
+            "schema": 2,
+            "unix_time": 123.0,
+            "machine": {"python": "3.11"},
+            "benchmarks": [{"name": "sweep_debruijn_2_12", "speedup": 9.0}],
+        }
+        path.write_text(json.dumps(legacy))
+        payload = write_bench_file([_sweep_result()], str(path))
+        assert len(payload["runs"]) == 2
+        assert payload["runs"][0]["unix_time"] == 123.0
+        assert payload["runs"][0]["benchmarks"][0]["speedup"] == 9.0
+        assert payload["runs"][0]["serve"] == []
+
+    def test_corrupt_history_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        path.write_text("{broken json")
+        payload = write_bench_file([_sweep_result()], str(path))
+        assert payload["schema"] == 3 and len(payload["runs"]) == 1
+
+    def test_serve_entries_are_recorded(self, tmp_path):
+        serve = ServeBenchResult(
+            name="serve_debruijn_2_14", topology="debruijn", d=2, n=14,
+            nodes=2**14, requests=256, concurrency=48, seed=0, max_batch=64,
+            max_wait_ms=2.0, single_s=1.0, single_rps=256.0,
+            single_p50_s=0.1, single_p99_s=0.2, batched_s=0.25,
+            batched_rps=1024.0, batched_p50_s=0.02, batched_p99_s=0.05,
+            batch_occupancy=40.0, throughput_gain=4.0, answers_equal=True,
+        )
+        path = str(tmp_path / "BENCH_sweep.json")
+        payload = write_bench_file([_sweep_result()], path, serve_results=[serve])
+        assert payload["serve"][0]["name"] == "serve_debruijn_2_14"
+        assert payload["runs"][-1]["serve"][0]["throughput_gain"] == 4.0
+
+
+class TestServeBench:
+    def test_quick_serve_bench_end_to_end(self):
+        # small graph + few requests: exercises both serving modes over real
+        # sockets without benchmark-scale runtime
+        result = run_serve_bench(
+            requests=48, concurrency=12, config=("debruijn", 2, 8)
+        )[0]
+        assert result.answers_equal
+        assert result.single_rps > 0 and result.batched_rps > 0
+        assert result.batch_occupancy > 1.0
+        assert result.single_p50_s <= result.single_p99_s
+        assert result.throughput_gain == result.batched_rps / result.single_rps

@@ -208,11 +208,12 @@ class TestCsvFormats:
 class TestBenchCommand:
     def test_quick_bench_writes_file(self, tmp_path, capsys, monkeypatch):
         out = str(tmp_path / "BENCH_sweep.json")
-        assert main(["bench", "--quick", "--repeats", "1", "--out", out]) == 0
+        assert main(["bench", "--quick", "--repeats", "1", "--no-serve",
+                     "--out", out]) == 0
         printed = capsys.readouterr().out
         assert "speedup" in printed and "rows identical" in printed
         data = json.loads((tmp_path / "BENCH_sweep.json").read_text())
-        assert data["schema"] == 2
+        assert data["schema"] == 3
         assert data["machine"]["numpy"]
         names = {b["name"] for b in data["benchmarks"]}
         assert "sweep_debruijn_2_12" in names
@@ -222,6 +223,14 @@ class TestBenchCommand:
             assert entry["speedup"] == pytest.approx(
                 entry["scalar_s"] / entry["batched_s"]
             )
+        # a second invocation appends to the run history instead of
+        # overwriting the snapshot
+        assert main(["bench", "--quick", "--repeats", "1", "--no-serve",
+                     "--out", out]) == 0
+        capsys.readouterr()
+        data = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+        assert len(data["runs"]) == 2
+        assert data["benchmarks"] == data["runs"][-1]["benchmarks"]
 
 
 class TestEmbedCommand:

@@ -1,0 +1,121 @@
+"""Thread-safety regression tests for the concurrent serving stack.
+
+The async gateway dispatches kernel launches and service queries from
+worker threads while sweeps may run in the same process, so the shared
+pieces — service hit/latency counters, the cache-audit registry, the
+executor's scratch workspace, lazy topology tables — must stay consistent
+under concurrency.  These tests hammer each from many threads and assert
+exact counter totals and bit-identical measurements.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.engine import cache_stats, register_cache
+from repro.engine.caches import unregister_cache
+from repro.engine.cache import LRUCache
+from repro.engine.executor import KernelExecutor
+from repro.engine.service import EmbeddingService
+from repro.topology import get_topology
+
+
+def _run_threads(worker, count=8):
+    errors = []
+
+    def wrapped(i):
+        try:
+            worker(i)
+        except BaseException as exc:  # noqa: BLE001 - surfaced via the list
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(count)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, f"worker raised: {errors[0]!r}"
+
+
+class TestServiceCounters:
+    def test_request_and_latency_counters_are_exact_under_threads(self):
+        service = EmbeddingService()
+        per_thread, threads = 25, 8
+
+        def worker(i):
+            for k in range(per_thread):
+                if k % 2:
+                    service.embed(2, 5, faults=[((i + k) % 2,) * 5])
+                else:
+                    service.measure(2, 5, faults=[((i + k) % 2,) * 5])
+
+        _run_threads(worker, threads)
+        stats = service.stats()
+        # a lost update would make this an undercount
+        assert stats["requests"] == per_thread * threads
+        assert stats["total_latency_s"] > 0
+        assert stats["compute_latency_s"] <= stats["total_latency_s"]
+        answers = stats["answers"]
+        # one answer-cache lookup per embed (odd iterations): exact too
+        assert answers["hits"] + answers["misses"] == (per_thread // 2) * threads
+
+    def test_concurrent_cache_audit_and_registration(self):
+        # snapshotting the audit while other threads register caches and
+        # serve queries must neither crash nor corrupt the registry
+        service = EmbeddingService()
+
+        def worker(i):
+            for k in range(10):
+                register_cache(f"test.concurrent_{i}", LRUCache(4, name=f"t{i}"))
+                stats = cache_stats()
+                assert "engine.kernel_executors" in stats
+                service.embed(2, 5, faults=[(k % 2,) * 5])
+
+        try:
+            _run_threads(worker)
+            stats = cache_stats()
+            for i in range(8):
+                assert f"test.concurrent_{i}" in stats
+        finally:
+            # leave the process-wide audit as we found it
+            for i in range(8):
+                unregister_cache(f"test.concurrent_{i}")
+        assert "test.concurrent_0" not in cache_stats()
+
+
+class TestExecutorConcurrency:
+    def test_shared_workspace_launches_stay_bit_identical(self):
+        # 8 threads micro-batching through ONE executor (shared kernel
+        # scratch): every answer must equal the sequential scalar answer
+        executor = KernelExecutor(2, 7)
+        topo = executor.topology
+        rng = np.random.default_rng(3)
+        masks, expected = [], []
+        for _ in range(48):
+            f = int(rng.integers(0, 6))
+            codes = rng.integers(0, topo.num_nodes, size=f).astype(np.int64)
+            masks.append(topo.fault_unit_mask(codes))
+        expected = [executor.measure_mask_with_root(m) for m in masks]
+
+        def worker(i):
+            for _ in range(5):
+                got = executor.measure_masks_batch(masks[i * 6 : (i + 1) * 6])
+                assert got == expected[i * 6 : (i + 1) * 6]
+
+        _run_threads(worker)
+
+    def test_cold_topology_tables_build_once_under_contention(self):
+        # a cold backend touched by many threads at once (the serving
+        # startup shape) must hand every reader the same finished tables
+        topo = get_topology("kautz", 2, 9)
+        topo._successor_table = None
+        topo._predecessor_table = None
+        topo._neighbour_table = None
+        topo._predecessor_columns = None
+        seen = []
+
+        def worker(i):
+            seen.append((id(topo.successor_table), id(topo.predecessor_columns)))
+
+        _run_threads(worker)
+        assert len(set(seen)) == 1

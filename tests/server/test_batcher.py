@@ -1,0 +1,191 @@
+"""Tests for the micro-batcher: coalescing, backpressure, metrics."""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import KernelExecutor
+from repro.exceptions import InvalidParameterError
+from repro.server.batcher import MicroBatcher, QueueFullError, latency_percentiles
+
+
+def _masks(executor, count, seed=0):
+    topo = executor.topology
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        f = int(rng.integers(0, 5))
+        codes = rng.integers(0, topo.num_nodes, size=f).astype(np.int64)
+        out.append(topo.fault_unit_mask(codes))
+    return out
+
+
+class TestCoalescing:
+    def test_concurrent_submits_share_launches_and_match_scalar(self):
+        executor = KernelExecutor(2, 7)
+        masks = _masks(executor, 40)
+        expected = [executor.measure_mask_with_root(m) for m in masks]
+
+        async def main():
+            batcher = MicroBatcher(executor, max_wait_s=0.05)
+            try:
+                results = await asyncio.gather(*[batcher.submit(m) for m in masks])
+                return results, batcher.stats()
+            finally:
+                await batcher.close()
+
+        results, stats = asyncio.run(main())
+        assert list(results) == expected
+        assert stats["completed"] == len(masks)
+        # 40 concurrent submits fit one 64-lane batch (modulo flusher races)
+        assert stats["launches"] < len(masks)
+        assert stats["batch_occupancy"] > 1.0
+        assert stats["p50_s"] >= 0.0
+
+    def test_max_batch_one_serves_every_request_alone(self):
+        executor = KernelExecutor(2, 6)
+        masks = _masks(executor, 10, seed=2)
+
+        async def main():
+            batcher = MicroBatcher(executor, max_batch=1)
+            try:
+                results = await asyncio.gather(*[batcher.submit(m) for m in masks])
+                return results, batcher.stats()
+            finally:
+                await batcher.close()
+
+        results, stats = asyncio.run(main())
+        assert list(results) == [executor.measure_mask_with_root(m) for m in masks]
+        assert stats["launches"] == len(masks)
+        assert stats["batch_occupancy"] == 1.0
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_immediately(self):
+        executor = KernelExecutor(2, 5)
+        release = threading.Event()
+
+        class SlowExecutor:
+            """Wraps the real executor; the first launch blocks until released."""
+
+            topology_key = executor.topology_key
+
+            def measure_masks_batch(self, masks):
+                release.wait(timeout=10)
+                return executor.measure_masks_batch(masks)
+
+        mask = np.zeros(executor.topology.num_nodes, dtype=bool)
+
+        async def main():
+            batcher = MicroBatcher(SlowExecutor(), max_batch=1, max_queue=2)
+            first = asyncio.ensure_future(batcher.submit(mask))
+            await asyncio.sleep(0.05)  # flusher now blocked inside the launch
+            second = asyncio.ensure_future(batcher.submit(mask))
+            third = asyncio.ensure_future(batcher.submit(mask))
+            await asyncio.sleep(0.05)  # both queued: the queue (maxsize 2) is full
+            with pytest.raises(QueueFullError):
+                await batcher.submit(mask)
+            assert batcher.stats()["rejected"] == 1
+            release.set()
+            results = await asyncio.gather(first, second, third)
+            await batcher.close()
+            return results
+
+        results = asyncio.run(main())
+        assert all(r == executor.measure_mask_with_root(mask) for r in results)
+
+    def test_close_fails_queued_waiters_instead_of_hanging_them(self):
+        executor = KernelExecutor(2, 5)
+        release = threading.Event()
+
+        class SlowExecutor:
+            topology_key = executor.topology_key
+
+            def measure_masks_batch(self, masks):
+                release.wait(timeout=10)
+                return executor.measure_masks_batch(masks)
+
+        mask = np.zeros(executor.topology.num_nodes, dtype=bool)
+
+        async def main():
+            batcher = MicroBatcher(SlowExecutor(), max_batch=1, max_queue=4)
+            first = asyncio.ensure_future(batcher.submit(mask))
+            await asyncio.sleep(0.05)  # flusher blocked inside the launch
+            stuck = asyncio.ensure_future(batcher.submit(mask))
+            await asyncio.sleep(0.05)  # now queued behind the blocked launch
+            await batcher.close()
+            release.set()
+            # the queued waiter must resolve (with an error), never hang
+            with pytest.raises(QueueFullError, match="closed"):
+                await asyncio.wait_for(stuck, timeout=5)
+            first.cancel()
+
+        asyncio.run(main())
+
+    def test_parameters_validated(self):
+        executor = KernelExecutor(2, 4)
+        with pytest.raises(InvalidParameterError):
+            MicroBatcher(executor, max_batch=0)
+        with pytest.raises(InvalidParameterError):
+            MicroBatcher(executor, max_batch=65)
+        with pytest.raises(InvalidParameterError):
+            MicroBatcher(executor, max_wait_s=-1)
+        with pytest.raises(InvalidParameterError):
+            MicroBatcher(executor, max_queue=0)
+
+
+class TestFailurePropagation:
+    def test_executor_exception_reaches_every_waiter(self):
+        class BrokenExecutor:
+            topology_key = "broken"
+
+            def measure_masks_batch(self, masks):
+                raise RuntimeError("kernel exploded")
+
+        mask = np.zeros(4, dtype=bool)
+
+        async def main():
+            batcher = MicroBatcher(BrokenExecutor(), max_wait_s=0.01)
+            try:
+                results = await asyncio.gather(
+                    *[batcher.submit(mask) for _ in range(3)],
+                    return_exceptions=True,
+                )
+                return results
+            finally:
+                await batcher.close()
+
+        results = asyncio.run(main())
+        assert len(results) == 3
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+
+class TestLatencyPercentiles:
+    def test_empty_and_singleton(self):
+        assert latency_percentiles([]) == {"p50_s": 0.0, "p99_s": 0.0}
+        assert latency_percentiles([0.5]) == {"p50_s": 0.5, "p99_s": 0.5}
+
+    def test_orders_samples(self):
+        stats = latency_percentiles([0.3, 0.1, 0.2, 0.4])
+        assert stats["p50_s"] == 0.3
+        assert stats["p99_s"] == 0.4
+
+    def test_wait_bound_is_respected_roughly(self):
+        # a lone request must not wait for a full batch: it flushes after
+        # max_wait_s, not after 63 lane-mates show up
+        executor = KernelExecutor(2, 5)
+        mask = np.zeros(executor.topology.num_nodes, dtype=bool)
+
+        async def main():
+            batcher = MicroBatcher(executor, max_wait_s=0.01)
+            try:
+                start = time.perf_counter()
+                await batcher.submit(mask)
+                return time.perf_counter() - start
+            finally:
+                await batcher.close()
+
+        assert asyncio.run(main()) < 5.0

@@ -141,7 +141,7 @@ class TestRootFallback:
         size, ecc = runner.measure_mask(removed)
         assert size > 0  # fell back to a neighbouring root
         # batched path agrees bit-for-bit (the dead-root trial is peeled)
-        assert runner._fallback_stats(removed) == (size, ecc)
+        assert runner.executor._fallback_stats(removed) == (size, ecc)
 
     def test_all_nodes_removed_yields_zero(self):
         runner = FaultSweepRunner(2, 3, topology="shuffle_exchange")
