@@ -70,6 +70,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..engine.cache import LRUCache
+from ..engine.caches import register_cache
 from ..engine.executor import KernelExecutor, cached_executor
 from ..exceptions import InvalidParameterError
 from ..graphs.msbfs import WORD_WIDTH
@@ -267,6 +268,7 @@ class FaultSweepRunner:
 #: :func:`~repro.engine.executor.cached_executor`, so backend tables and
 #: kernel scratch exist once per process however many layers ask.
 _RUNNER_CACHE = LRUCache(maxsize=8, name="analysis.fault_runners")
+register_cache("analysis.fault_runners", _RUNNER_CACHE)
 
 
 def _cached_runner(

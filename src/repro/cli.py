@@ -29,6 +29,15 @@ Three subcommands expose the engine subsystem and the experiment registry:
     ``/embed`` and ``/measure`` requests over HTTP, coalesced into up to
     64-lane kernel launches, with backpressure and ``/stats`` metrics.
 
+``repro lint [paths]``
+    The AST invariant auditor (:mod:`repro.lint`): the REP rule catalogue
+    guarding determinism (seeded RNG streams), cache hygiene (bounded +
+    audit-registered caches), locked lazy shared state, executor-only
+    kernel access, non-blocking server coroutines and assert-free library
+    code.  ``--format json`` emits a versioned machine-readable report;
+    ``--baseline``/``--select``/``--ignore`` and ``# repro: noqa[REP0xx]``
+    control suppression.  CI's ``analysis`` job gates every PR on it.
+
 Faulty nodes are written either as compact digit strings (``020`` for the
 word ``(0, 2, 0)``, alphabets up to 10) or comma-separated digits
 (``10,3,0`` for ``(10, 3, 0)`` in larger alphabets).
@@ -194,6 +203,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-cached-answers", type=int, default=256,
                        help="bound on the gateway and service answer LRUs")
 
+    lint = sub.add_parser(
+        "lint", help="audit the source tree against the REP invariant catalogue"
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     embed = sub.add_parser(
         "embed", help="query the embedding service for one fault-free ring"
     )
@@ -350,6 +366,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .server.gateway import GatewayConfig, run
 
@@ -399,6 +421,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_embed(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except BrokenPipeError:  # e.g. `repro experiment --all | head`
         import os
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from ..engine.caches import register_cache
 from ..exceptions import InvalidParameterError
 from ..gf.modular import (
     prime_factorization,
@@ -206,3 +207,11 @@ def hypercube_vs_debruijn(n_cube: int = 12, d: int = 4, n: int = 6, f: int = 2) 
         "debruijn_cycle": node_fault_cycle_bound(d, n, f),
         "debruijn_edges": d ** (n + 1),
     }
+
+
+# Audit registration (REP001): the bound tables memoise per (d, n, f) and a
+# resident sweep service hits them constantly; the /stats audit must see them.
+register_cache("bounds.strategy_for_prime", strategy_for_prime)
+register_cache("bounds.psi_prime_power", psi_prime_power)
+register_cache("bounds.psi", psi)
+register_cache("bounds.edge_fault_phi", edge_fault_phi)

@@ -501,7 +501,9 @@ class FFCEngine:
 
         # T' parent of every node: the minimal predecessor at the previous
         # level (the tie rule of the paper), computed for all nodes at once.
-        preds = codec.predecessor_table[alive].astype(np.int64)  # (N, d)
+        # Construction-time read of the codec table (not a kernel-measurement
+        # path, which must go through KernelExecutor).
+        preds = codec.predecessor_table[alive].astype(np.int64)  # repro: noqa[REP004]
         want = (levels[alive] - 1)[:, None]
         candidates = np.where(levels[preds] == want, preds, size)
         parents = candidates.min(axis=1)

@@ -28,6 +28,8 @@ sweep engine imports the analysis layer, and lazy loading keeps that
 mutual dependency acyclic at import time.
 """
 
+from typing import Any
+
 from .cache import CacheStats, LRUCache
 
 __all__ = [
@@ -75,7 +77,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     if name in _LAZY:
         from importlib import import_module
 

@@ -30,7 +30,8 @@ import os
 import platform
 import sys
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 from dataclasses import asdict, dataclass
 
 import numpy as np
@@ -120,7 +121,7 @@ class ServeBenchResult:
     answers_equal: bool
 
 
-def _best_time(fn, repeats: int):
+def _best_time(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
     """Minimum wall time over ``repeats`` runs (noise only ever inflates)."""
     best = float("inf")
     result = None
@@ -237,7 +238,10 @@ def run_serve_bench(
             await gateway.close()
         return answers, elapsed, latencies, occupancy
 
-    async def both_modes():
+    async def both_modes() -> tuple[
+        tuple[list[dict], float, list[float], float],
+        tuple[list[dict], float, list[float], float],
+    ]:
         single = await one_mode(1)
         batched = await one_mode(64)
         return single, batched

@@ -11,13 +11,16 @@ service layer surfaces it through :meth:`EmbeddingService.stats`.
 Imports happen lazily inside the registry function so that importing
 :mod:`repro.engine` does not drag in the whole package.
 
-Two kinds of entry coexist: the *static* registry below (caches living in
-modules this one would otherwise have to import eagerly) and *registered*
-entries added at import time by the cache owners themselves via
-:func:`register_cache` (e.g. the kernel-executor cache).  Registration
-mutates shared module state, and the concurrent server registers/queries
-from several threads, so both the registration dict and its enumeration are
-guarded by one module lock.
+Registration is the *single* mechanism: every cache owner calls
+:func:`register_cache` at import time next to the cache it defines (the
+REP001 lint rule enforces this for every ``functools.lru_cache`` in the
+tree).  :func:`_registry` merely imports the known cache-owning modules so
+their registrations have run before the audit is enumerated — an audit
+that listed caches statically here drifted twice in past PRs when new
+caches landed without a registry entry.  Registration mutates shared
+module state, and the concurrent server registers/queries from several
+threads, so both the registration dict and its enumeration are guarded by
+one module lock.
 """
 
 from __future__ import annotations
@@ -61,29 +64,20 @@ def _registry() -> dict[str, Any]:
     """Name -> cache object, for every audited cache in the process.
 
     Values are either :class:`~repro.engine.cache.LRUCache` instances or
-    :func:`functools.lru_cache`-wrapped callables.
+    :func:`functools.lru_cache`-wrapped callables.  The imports below are
+    for their side effect only: each module registers its caches via
+    :func:`register_cache` at import time, so importing them here
+    guarantees the audit is complete even in a process that never touched
+    e.g. the ``gf`` layer.
     """
-    from ..analysis import fault_simulation
-    from ..core import bounds
-    from ..gf import field, modular, primitive
-    from ..words import codec
+    from ..analysis import fault_simulation  # noqa: F401
+    from ..core import bounds  # noqa: F401
+    from ..engine import executor  # noqa: F401
+    from ..gf import field, modular, primitive  # noqa: F401
+    from ..words import codec  # noqa: F401
 
-    registry = {
-        "words.get_codec": codec.get_codec,
-        "analysis.fault_runners": fault_simulation._RUNNER_CACHE,
-        "gf.GF": field.GF,
-        "gf.smallest_irreducible": field._smallest_irreducible,
-        "gf.primitive_polynomial_coefficients": primitive.primitive_polynomial_coefficients,
-        "gf.prime_factorization": modular.prime_factorization,
-        "gf.primitive_root": modular.primitive_root,
-        "bounds.strategy_for_prime": bounds.strategy_for_prime,
-        "bounds.psi_prime_power": bounds.psi_prime_power,
-        "bounds.psi": bounds.psi,
-        "bounds.edge_fault_phi": bounds.edge_fault_phi,
-    }
     with _LOCK:
-        registry.update(_REGISTERED)
-    return registry
+        return dict(_REGISTERED)
 
 
 def _snapshot(name: str, cache: Any) -> dict[str, Any]:

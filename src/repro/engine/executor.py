@@ -44,6 +44,7 @@ from ..exceptions import InvalidParameterError
 from ..graphs.components import bfs_levels_table
 from ..graphs.msbfs import (
     WORD_WIDTH,
+    BatchStats,
     BatchWorkspace,
     batched_root_stats,
     lane_removed_mask,
@@ -240,7 +241,7 @@ class KernelExecutor:
         return results
 
     # -- kernel launch ---------------------------------------------------------
-    def _launch(self, lanes: np.ndarray, root, batch: int):
+    def _launch(self, lanes: np.ndarray, root: int | np.ndarray, batch: int) -> BatchStats:
         """One bit-parallel sweep through the executor's shared workspace."""
         with self._kernel_lock:
             return batched_root_stats(

@@ -353,7 +353,14 @@ class ParallelSweepEngine:
         return self._aggregate(rows, trials, completed)
 
     # -- execution modes ------------------------------------------------------
-    def _run_serial(self, seeds, pending, completed, total, checkpoint) -> None:
+    def _run_serial(
+        self,
+        seeds: dict[int, list[np.random.SeedSequence]],
+        pending: list[tuple[int, int]],
+        completed: dict[tuple[int, int], tuple[int, int]],
+        total: int,
+        checkpoint: _Checkpoint | None,
+    ) -> None:
         if self._runner is not None:
             executor = self._runner.executor
         else:
@@ -379,7 +386,14 @@ class ParallelSweepEngine:
                     done += 1
                     self._report(done, total, f)
 
-    def _run_parallel(self, seeds, pending, completed, total, checkpoint) -> None:
+    def _run_parallel(
+        self,
+        seeds: dict[int, list[np.random.SeedSequence]],
+        pending: list[tuple[int, int]],
+        completed: dict[tuple[int, int], tuple[int, int]],
+        total: int,
+        checkpoint: _Checkpoint | None,
+    ) -> None:
         # workers rebuild the backend from its registry key, so the swept
         # topology must resolve to the very backend measuring here — fail
         # with a clear message instead of diverging inside the pool
@@ -427,7 +441,7 @@ class ParallelSweepEngine:
                     self._report(done, total, f)
 
     # -- helpers --------------------------------------------------------------
-    def _checkpoint(self, rows, trials, seed) -> _Checkpoint | None:
+    def _checkpoint(self, rows: Sequence[int], trials: int, seed: int) -> _Checkpoint | None:
         if self.checkpoint_path is None:
             return None
         # The header pins everything the trial streams depend on.  The swept
@@ -444,12 +458,17 @@ class ParallelSweepEngine:
         info = {"trials": int(trials), "fault_counts": list(rows)}
         return _Checkpoint(self.checkpoint_path, header, info)
 
-    def _report(self, done, total, f) -> None:
+    def _report(self, done: int, total: int, f: int) -> None:
         if self.progress is not None:
             self.progress(SweepProgress(done_trials=done, total_trials=total, f=f))
 
-    def _aggregate(self, rows, trials, completed) -> list[FaultSimulationRow]:
-        out = []
+    def _aggregate(
+        self,
+        rows: Sequence[int],
+        trials: int,
+        completed: dict[tuple[int, int], tuple[int, int]],
+    ) -> list[FaultSimulationRow]:
+        out: list[FaultSimulationRow] = []
         for f in rows:
             sizes = np.empty(trials, dtype=np.int64)
             eccs = np.empty(trials, dtype=np.int64)

@@ -17,6 +17,7 @@ __all__ = [
     "FaultBudgetExceededError",
     "DisconnectedGraphError",
     "ProtocolError",
+    "ServerStateError",
     "SimulationError",
     "UnknownTopologyError",
     "CheckpointMismatchError",
@@ -90,6 +91,15 @@ class DisconnectedGraphError(EmbeddingError):
 
 class ProtocolError(ReproError):
     """A distributed protocol reached an inconsistent state."""
+
+
+class ServerStateError(ReproError):
+    """A server object was used outside its lifecycle (e.g. before ``start()``).
+
+    Raised instead of ``assert`` so the check survives ``python -O`` and
+    callers get a catchable :class:`ReproError` rather than an
+    ``AssertionError`` from deep inside the event loop.
+    """
 
 
 class SimulationError(ReproError):

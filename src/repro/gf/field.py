@@ -26,6 +26,7 @@ from __future__ import annotations
 from functools import lru_cache
 from itertools import product
 
+from ..engine.caches import register_cache
 from ..exceptions import InvalidParameterError, NotPrimePowerError
 from .modular import as_prime_power, prime_factorization, primitive_root
 
@@ -362,3 +363,10 @@ def _smallest_irreducible(p: int, e: int) -> tuple[int, ...]:
     raise InvalidParameterError(  # pragma: no cover - irreducibles always exist
         f"no irreducible polynomial of degree {e} over Z_{p}"
     )
+
+
+# Audit registration (REP001): every lru_cache in a resident process must be
+# visible to the engine's /stats cache audit — bounded is not enough if the
+# operator cannot enumerate, snapshot and clear it.
+register_cache("gf.GF", GF)
+register_cache("gf.smallest_irreducible", _smallest_irreducible)

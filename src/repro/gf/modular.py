@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from ..engine.caches import register_cache
 from ..exceptions import InvalidParameterError, NotPrimePowerError
 
 __all__ = [
@@ -286,3 +287,8 @@ def _discrete_log(target: int, base: int, p: int) -> int:
             return i * m + baby[gamma]
         gamma = gamma * factor % p
     raise InvalidParameterError(f"no discrete log of {target} base {base} mod {p}")
+
+
+# Audit registration (REP001): see repro.engine.caches.
+register_cache("gf.prime_factorization", prime_factorization)
+register_cache("gf.primitive_root", primitive_root)

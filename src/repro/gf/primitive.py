@@ -16,6 +16,7 @@ from __future__ import annotations
 from functools import lru_cache
 from itertools import product
 
+from ..engine.caches import register_cache
 from ..exceptions import InvalidParameterError, NoPrimitivePolynomialError
 from .field import GF, GaloisField
 from .modular import prime_factorization
@@ -141,3 +142,7 @@ def primitive_polynomial_coefficients(q: int, degree: int) -> tuple[int, ...]:
     field = GF(q)
     poly = find_primitive_polynomial(field, degree)
     return poly.recurrence_coefficients()
+
+
+# Audit registration (REP001): see repro.engine.caches.
+register_cache("gf.primitive_polynomial_coefficients", primitive_polynomial_coefficients)

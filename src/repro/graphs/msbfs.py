@@ -43,6 +43,7 @@ which is statistically rare in the tabulated regimes.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Protocol
 
 import numpy as np
 
@@ -106,7 +107,24 @@ class BatchWorkspace:
         self.scratch = np.empty(self.size, dtype=np.uint64)
 
 
-def pack_fault_lanes(source, fault_codes: np.ndarray | Sequence) -> np.ndarray:
+class KernelSource(Protocol):
+    """Structural contract on the graph supplier of the packed kernels.
+
+    Satisfied by :class:`~repro.words.codec.WordCodec` and every
+    :class:`~repro.topology.base.Topology` backend; the kernels read only
+    the node count and the contiguous predecessor gather columns (plus, for
+    fault packing, an optional ``fault_unit_members`` closure probed with
+    ``getattr``).
+    """
+
+    @property
+    def size(self) -> int: ...
+
+    @property
+    def predecessor_columns(self) -> tuple[np.ndarray, ...]: ...
+
+
+def pack_fault_lanes(source: KernelSource, fault_codes: np.ndarray | Sequence) -> np.ndarray:
     """Pack a batch of trials' fault sets into removed-lanes: ``uint64[size]``.
 
     ``source`` is a :class:`~repro.words.codec.WordCodec` (necklace fault
@@ -183,7 +201,7 @@ def lane_popcounts(lanes: np.ndarray, batch: int) -> np.ndarray:
 
 
 def batched_root_stats(
-    source,
+    source: KernelSource,
     removed_lanes: np.ndarray,
     root: int | np.ndarray,
     batch: int,

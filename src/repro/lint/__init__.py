@@ -1,0 +1,36 @@
+"""repro.lint — the AST invariant auditor (``python -m repro lint``).
+
+A stdlib-:mod:`ast` static analysis pass enforcing the repo-specific
+invariants behind the reproduction's bit-for-bit determinism, cache
+hygiene and server concurrency: see :mod:`repro.lint.rules` for the REP
+rule catalogue and :mod:`repro.lint.engine` for the visitor framework,
+``# repro: noqa[REPxxx]`` suppressions and the baseline workflow.  Wired
+into CI as the ``analysis`` job; ``python -m repro lint src`` must stay
+clean (empty baseline) at every commit.
+"""
+
+from .engine import (
+    JSON_SCHEMA_VERSION,
+    FileContext,
+    Finding,
+    LintResult,
+    Rule,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    parse_codes,
+)
+from .rules import all_rules
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "parse_codes",
+]

@@ -1,0 +1,86 @@
+"""The ``repro lint`` subcommand: argument surface and report rendering.
+
+Kept separate from :mod:`repro.cli` so the top-level CLI only pays for the
+lint machinery when the subcommand actually runs (parity with the other
+lazily imported subcommand bodies).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .engine import lint_paths, load_baseline, parse_codes
+from .rules import all_rules
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` subcommand's arguments to its subparser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to audit (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="diagnostic output format (json includes schema_version and "
+        "per-rule statistics)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="JSON baseline of grandfathered findings (suppressed from the "
+        "report and the exit code; the committed baseline is empty)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=[], metavar="REP0xx",
+        help="run only these rule codes (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="REP0xx",
+        help="skip these rule codes (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="print a findings-per-rule summary after the diagnostics",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint``: 0 = clean, 1 = findings, 2 = usage error."""
+    rules = all_rules()
+    baseline = load_baseline(args.baseline) if args.baseline else set()
+    result = lint_paths(
+        args.paths,
+        rules=rules,
+        select=parse_codes(args.select),
+        ignore=parse_codes(args.ignore),
+        baseline=baseline,
+    )
+
+    if args.format == "json":
+        print(json.dumps(result.as_dict(rules), indent=2))
+    else:
+        for finding in result.active:
+            print(finding.render())
+        summary = (
+            f"{len(result.active)} finding(s) in {result.files} file(s)"
+        )
+        extras = []
+        if result.suppressed:
+            extras.append(f"{len(result.suppressed)} noqa-suppressed")
+        if result.baselined:
+            extras.append(f"{len(result.baselined)} baselined")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        print(summary, file=sys.stderr)
+
+    if args.statistics and args.format != "json":
+        stats = result.statistics()
+        by_code = {rule.code: rule for rule in rules}
+        for code in sorted(by_code):
+            count = stats.get(code, 0)
+            print(f"{code} {by_code[code].name:<28} {count}", file=sys.stderr)
+
+    return 1 if result.active else 0

@@ -37,10 +37,29 @@ __all__ = [
 ]
 
 
+def _require_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Normalise the ``rng`` argument: a Generator, or an explicit seed.
+
+    ``None`` is rejected.  Historically these samplers fell back to an
+    *unseeded* ``np.random.default_rng()``, which silently broke the
+    package-wide determinism contract (every stream descends from an
+    explicit seed) for any caller that forgot to pass one — the exact
+    failure mode the REP002 lint rule now guards against.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise InvalidParameterError(
+        "fault sampling requires an explicit np.random.Generator or integer "
+        "seed (rng=None would draw from an unseeded, irreproducible stream)"
+    )
+
+
 def sample_fault_codes(
     total: int,
     f: int,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     exclude_codes: Sequence[int] = (),
 ) -> list[int]:
     """Draw ``f`` distinct faulty codes from ``range(total)``, in acceptance order.
@@ -56,8 +75,7 @@ def sample_fault_codes(
     generators (the frozen-reference rows) and per-trial streams
     reproducible alike.
     """
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = _require_rng(rng)
     total = int(total)
     rejected = set(int(c) for c in exclude_codes)
     if f < 0 or f > total - len(rejected):
@@ -85,7 +103,7 @@ def sample_node_fault_codes(
     d: int,
     n: int,
     f: int,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     exclude_codes: Sequence[int] = (),
 ) -> list[int]:
     """Draw ``f`` distinct faulty node codes of ``B(d, n)``, in acceptance order.
@@ -123,7 +141,11 @@ def sample_fault_code_batch(
 
 
 def sample_node_faults(
-    d: int, n: int, f: int, rng: np.random.Generator | None = None, exclude: tuple[Word, ...] = ()
+    d: int,
+    n: int,
+    f: int,
+    rng: np.random.Generator | int | None = None,
+    exclude: tuple[Word, ...] = (),
 ) -> list[Word]:
     """Draw ``f`` distinct faulty processors of ``B(d, n)`` uniformly at random.
 
@@ -133,8 +155,7 @@ def sample_node_faults(
     Tuple boundary over :func:`sample_node_fault_codes`: same draws, with the
     accepted codes decoded to words on the way out.
     """
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = _require_rng(rng)
     total = d**n
     excluded = {w for w in exclude}
     if f < 0 or f > total - len(excluded):
@@ -150,15 +171,18 @@ def sample_node_faults(
 
 
 def sample_edge_faults(
-    d: int, n: int, f: int, rng: np.random.Generator | None = None, allow_loops: bool = False
+    d: int,
+    n: int,
+    f: int,
+    rng: np.random.Generator | int | None = None,
+    allow_loops: bool = False,
 ) -> list[Word]:
     """Draw ``f`` distinct faulty links of ``B(d, n)``, returned as ``(n+1)``-tuple labels.
 
     Loop edges are excluded by default since no Hamiltonian cycle ever uses
     them (their failure is irrelevant to ring embedding).
     """
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = _require_rng(rng)
     total = d ** (n + 1)
     if f < 0 or f > total:
         raise InvalidParameterError(f"cannot place {f} edge faults in B({d},{n})")

@@ -24,6 +24,8 @@ Symbols are loaded lazily (PEP 562) so importing :mod:`repro.server` stays
 cheap for callers that only want one piece.
 """
 
+from typing import Any
+
 __all__ = [
     "BatchingGateway",
     "GatewayConfig",
@@ -43,7 +45,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     if name in _LAZY:
         from importlib import import_module
 

@@ -27,12 +27,17 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
+from collections.abc import Iterable
 from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..graphs.msbfs import WORD_WIDTH
 from ..exceptions import InvalidParameterError
+
+if TYPE_CHECKING:
+    from ..engine.executor import KernelExecutor
 
 __all__ = ["MicroBatcher", "QueueFullError", "latency_percentiles"]
 
@@ -41,7 +46,7 @@ class QueueFullError(RuntimeError):
     """Raised by ``submit`` when the shard's bounded request queue is full."""
 
 
-def latency_percentiles(samples) -> dict:
+def latency_percentiles(samples: Iterable[float]) -> dict[str, float]:
     """``{p50, p99}`` (seconds) of an iterable of latency samples."""
     data = sorted(samples)
     if not data:
@@ -77,7 +82,7 @@ class MicroBatcher:
 
     def __init__(
         self,
-        executor,
+        executor: KernelExecutor,
         max_batch: int = WORD_WIDTH,
         max_wait_s: float = 0.002,
         max_queue: int = 1024,
@@ -158,7 +163,7 @@ class MicroBatcher:
                     break
             await self._dispatch(batch)
 
-    async def _dispatch(self, batch) -> None:
+    async def _dispatch(self, batch: list[tuple[np.ndarray, asyncio.Future, float]]) -> None:
         loop = asyncio.get_running_loop()
         masks = [mask for mask, _, _ in batch]
         try:

@@ -14,6 +14,7 @@ import asyncio
 import json
 import time
 import urllib.request
+from collections.abc import Iterable, Sequence
 
 __all__ = ["ServeClient", "AsyncServeClient", "fire_measure"]
 
@@ -36,14 +37,28 @@ class ServeClient:
         with urllib.request.urlopen(request, timeout=self.timeout) as response:
             return json.loads(response.read().decode("utf-8"))
 
-    def measure(self, d: int, n: int, faults=(), root=None, topology="debruijn") -> dict:
+    def measure(
+        self,
+        d: int,
+        n: int,
+        faults: Iterable[Sequence[int]] = (),
+        root: Sequence[int] | None = None,
+        topology: str = "debruijn",
+    ) -> dict:
         return self._request("POST", "/measure", {
             "topology": topology, "d": d, "n": n,
             "faults": [list(w) for w in faults],
             "root": None if root is None else list(root),
         })
 
-    def embed(self, d: int, n: int, faults=(), root_hint=None, include_cycle=True) -> dict:
+    def embed(
+        self,
+        d: int,
+        n: int,
+        faults: Iterable[Sequence[int]] = (),
+        root_hint: Sequence[int] | None = None,
+        include_cycle: bool = True,
+    ) -> dict:
         return self._request("POST", "/embed", {
             "d": d, "n": n, "faults": [list(w) for w in faults],
             "root_hint": None if root_hint is None else list(root_hint),
@@ -101,8 +116,14 @@ class AsyncServeClient:
         data = await self._reader.readexactly(length)
         return status, json.loads(data.decode("utf-8"))
 
-    async def measure(self, d: int, n: int, faults=(), root=None,
-                      topology="debruijn") -> tuple[int, dict]:
+    async def measure(
+        self,
+        d: int,
+        n: int,
+        faults: Iterable[Sequence[int]] = (),
+        root: Sequence[int] | None = None,
+        topology: str = "debruijn",
+    ) -> tuple[int, dict]:
         return await self.request("POST", "/measure", {
             "topology": topology, "d": d, "n": n,
             "faults": [list(w) for w in faults],

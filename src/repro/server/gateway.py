@@ -51,7 +51,7 @@ import numpy as np
 
 from ..engine.cache import LRUCache
 from ..engine.service import EmbeddingRequest, EmbeddingService, MeasureResponse
-from ..exceptions import ReproError
+from ..exceptions import ReproError, ServerStateError
 from ..graphs.msbfs import WORD_WIDTH
 from ..topology import DEFAULT_TOPOLOGY, get_topology
 from .batcher import MicroBatcher, QueueFullError, latency_percentiles
@@ -104,7 +104,9 @@ class BatchingGateway:
         self._latencies: deque[float] = deque(maxlen=4096)
 
     # -- shards ----------------------------------------------------------------
-    def _shard(self, topology: str, d: int, n: int, root) -> MicroBatcher:
+    def _shard(
+        self, topology: str, d: int, n: int, root: tuple[int, ...] | None
+    ) -> MicroBatcher:
         """The (lazily created) micro-batcher of one executor shard."""
         from ..engine.executor import cached_executor
 
@@ -220,7 +222,9 @@ class BatchingGateway:
         except (ReproError, KeyError, ValueError, TypeError) as exc:
             return 400, {"error": f"{type(exc).__name__}: {exc}"}
 
-    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         try:
             while True:
                 try:
@@ -286,7 +290,9 @@ class BatchingGateway:
         503: "Service Unavailable",
     }
 
-    async def _respond(self, writer, status: int, payload: dict, close: bool) -> None:
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict, close: bool
+    ) -> None:
         data = json.dumps(payload).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {self._REASONS.get(status, 'Error')}\r\n"
@@ -311,11 +317,13 @@ class BatchingGateway:
     @property
     def address(self) -> tuple[str, int]:
         """The actually bound ``(host, port)`` (resolves ``port=0``)."""
-        assert self._server is not None, "gateway not started"
+        if self._server is None:
+            raise ServerStateError("gateway not started: call start() before address")
         return self._server.sockets[0].getsockname()[:2]
 
     async def serve_forever(self) -> None:
-        assert self._server is not None, "gateway not started"
+        if self._server is None:
+            raise ServerStateError("gateway not started: call start() before serve_forever()")
         await self._server.serve_forever()
 
     async def close(self) -> None:

@@ -22,6 +22,7 @@ import argparse
 import asyncio
 import sys
 import urllib.parse
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -105,7 +106,7 @@ async def _run(host: str, port: int, total: int, concurrency: int, seed: int) ->
     return 0
 
 
-def main(argv=None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--url", default="http://127.0.0.1:8787",
                         help="gateway base URL (default http://127.0.0.1:8787)")

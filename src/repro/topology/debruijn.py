@@ -16,6 +16,8 @@ entries), and the same necklace fault units as its directed sibling.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from ..core.ffc import guaranteed_cycle_length
@@ -31,13 +33,13 @@ class _CodecBackedMixin(CodecNodesMixin):
 
     codec: WordCodec
 
-    def fault_unit_mask(self, fault_codes):
+    def fault_unit_mask(self, fault_codes: np.ndarray | Sequence[int]) -> np.ndarray:
         return self.codec.faulty_necklace_mask(fault_codes)
 
-    def fault_unit_members(self, codes):
+    def fault_unit_members(self, codes: np.ndarray) -> np.ndarray:
         return self.codec.necklace_member_matrix(codes)
 
-    def fault_unit_reps(self, codes):
+    def fault_unit_reps(self, codes: np.ndarray | Sequence[int]) -> list[int]:
         arr = np.asarray(codes, dtype=np.int64).reshape(-1)
         if arr.size and (arr.min() < 0 or arr.max() >= self.codec.size):
             raise InvalidParameterError("fault code outside node range")

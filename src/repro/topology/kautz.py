@@ -61,22 +61,33 @@ class KautzTopology(Topology):
 
     # -- enumeration (lazy) ----------------------------------------------------
     def _codes(self) -> tuple[np.ndarray, np.ndarray]:
-        """``(full_codes, index_of)``: the compact <-> base-``q`` coding maps."""
+        """``(full_codes, index_of)``: the compact <-> base-``q`` coding maps.
+
+        Lock-guarded like every lazy table build (REP003): registry-cached
+        backends are shared across server threads, and ``_full_codes`` /
+        ``_index_of`` must never be observed half-assigned.  The base
+        class's ``_tables_lock`` is an RLock, so the gather-table builders
+        (which call back into this method) can nest the acquisition.
+        """
         if self._full_codes is None:
-            q, n = self.q, self.n
-            values = np.arange(q**n, dtype=np.int64)
-            valid = np.ones(values.shape, dtype=bool)
-            for i in range(n - 1):
-                left = (values // q ** (n - 1 - i)) % q
-                right = (values // q ** (n - 2 - i)) % q
-                valid &= left != right
-            full = values[valid]
-            if len(full) != self.num_nodes:  # pragma: no cover - internal check
-                raise AssertionError("Kautz enumeration does not match the census")
-            index_of = np.full(q**n, -1, dtype=np.int64)
-            index_of[full] = np.arange(len(full), dtype=np.int64)
-            self._full_codes = full
-            self._index_of = index_of
+            with self._tables_lock:
+                if self._full_codes is None:
+                    q, n = self.q, self.n
+                    values = np.arange(q**n, dtype=np.int64)
+                    valid = np.ones(values.shape, dtype=bool)
+                    for i in range(n - 1):
+                        left = (values // q ** (n - 1 - i)) % q
+                        right = (values // q ** (n - 2 - i)) % q
+                        valid &= left != right
+                    full = values[valid]
+                    if len(full) != self.num_nodes:  # pragma: no cover
+                        raise InvalidParameterError(
+                            "Kautz enumeration does not match the census"
+                        )
+                    index_of = np.full(q**n, -1, dtype=np.int64)
+                    index_of[full] = np.arange(len(full), dtype=np.int64)
+                    self._index_of = index_of
+                    self._full_codes = full
         return self._full_codes, self._index_of
 
     # -- node coding -----------------------------------------------------------
@@ -143,26 +154,28 @@ class KautzTopology(Topology):
         ``rep[x]`` is the smallest compact code in the orbit of ``x``.
         """
         if self._unit_members is None:
-            full, index_of = self._codes()
-            cyclic = (full // self._high) != (full % self.q)
-            members_full = np.empty((self.n, len(full)), dtype=np.int64)
-            members_full[0] = full
-            for i in range(1, self.n):
-                rotated = (members_full[i - 1] % self._high) * self.q + (
-                    members_full[i - 1] // self._high
-                )
-                # rotations of cyclic words stay cyclic (hence valid nodes);
-                # non-cyclic words are singleton orbits and stay put
-                members_full[i] = np.where(cyclic, rotated, full)
-            members = index_of[members_full]
-            rep = members.min(axis=0)
-            members.flags.writeable = False
-            rep.flags.writeable = False
-            self._unit_members = members
-            self._rep = rep
+            with self._tables_lock:
+                if self._unit_members is None:
+                    full, index_of = self._codes()
+                    cyclic = (full // self._high) != (full % self.q)
+                    members_full = np.empty((self.n, len(full)), dtype=np.int64)
+                    members_full[0] = full
+                    for i in range(1, self.n):
+                        rotated = (members_full[i - 1] % self._high) * self.q + (
+                            members_full[i - 1] // self._high
+                        )
+                        # rotations of cyclic words stay cyclic (hence valid
+                        # nodes); non-cyclic words are singleton orbits
+                        members_full[i] = np.where(cyclic, rotated, full)
+                    members = index_of[members_full]
+                    rep = members.min(axis=0)
+                    members.flags.writeable = False
+                    rep.flags.writeable = False
+                    self._rep = rep
+                    self._unit_members = members
         return self._unit_members, self._rep
 
-    def fault_unit_mask(self, fault_codes):
+    def fault_unit_mask(self, fault_codes: np.ndarray | Sequence[int]) -> np.ndarray:
         codes = np.asarray(fault_codes, dtype=np.int64).reshape(-1)
         if codes.size == 0:
             return np.zeros(self.num_nodes, dtype=bool)
@@ -171,11 +184,11 @@ class KautzTopology(Topology):
         members, rep = self._orbit_tables()
         return np.isin(rep, rep[codes])
 
-    def fault_unit_members(self, codes):
+    def fault_unit_members(self, codes: np.ndarray) -> np.ndarray:
         members, _ = self._orbit_tables()
         return members[:, np.asarray(codes, dtype=np.int64)]
 
-    def fault_unit_reps(self, codes):
+    def fault_unit_reps(self, codes: np.ndarray | Sequence[int]) -> list[int]:
         arr = np.asarray(codes, dtype=np.int64).reshape(-1)
         if arr.size and (arr.min() < 0 or arr.max() >= self.num_nodes):
             raise InvalidParameterError("fault code outside node range")

@@ -180,11 +180,20 @@ def words_as_array(d: int, n: int) -> np.ndarray:
     return digits.astype(dtype)
 
 
-def random_word(d: int, n: int, rng: np.random.Generator | None = None) -> Word:
-    """Return a uniformly random word of length ``n`` over ``Z_d``."""
+def random_word(d: int, n: int, rng: np.random.Generator | int) -> Word:
+    """Return a uniformly random word of length ``n`` over ``Z_d``.
+
+    ``rng`` is required — a Generator or an explicit integer seed.  The
+    historical unseeded fallback broke the package's determinism contract
+    (every random stream descends from an explicit seed; REP002).
+    """
     d = validate_alphabet(d)
-    if rng is None:
-        rng = np.random.default_rng()
+    if not isinstance(rng, np.random.Generator):
+        if not isinstance(rng, (int, np.integer)):
+            raise InvalidParameterError(
+                "random_word requires an explicit np.random.Generator or seed"
+            )
+        rng = np.random.default_rng(int(rng))
     return tuple(int(x) for x in rng.integers(0, d, size=n))
 
 

@@ -33,11 +33,13 @@ amortised across trials, protocol runs and benchmark iterations.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Sequence
 from functools import lru_cache
 
 import numpy as np
 
+from ..engine.caches import register_cache
 from ..exceptions import InvalidParameterError
 from .alphabet import Word, int_to_word, validate_alphabet, word_to_int
 
@@ -107,6 +109,12 @@ class WordCodec:
         self._both: np.ndarray | None = None
         self._pred_cols: tuple[np.ndarray, ...] | None = None
         self._necklace_reps: np.ndarray | None = None
+        # codecs are shared process-wide (get_codec's lru_cache) and the
+        # server touches cold instances from several threads at once: the
+        # lazy table builds below are lock-guarded so no reader ever sees a
+        # half-built table (REP003).  RLock: neighbour_table composes the
+        # successor/predecessor builds under the same guard.
+        self._tables_lock = threading.RLock()
 
     # -- scalar word algebra -------------------------------------------------
     def encode(self, word: Sequence[int]) -> int:
@@ -175,22 +183,29 @@ class WordCodec:
     def successor_table(self) -> np.ndarray:
         """The read-only ``(d**n, d)`` successor matrix ``S[x, a] = (x*d + a) mod d**n``."""
         if self._succ is None:
-            codes = np.arange(self.size, dtype=self.dtype)
-            base = (codes * self.d) % self.size
-            succ = base[:, None] + np.arange(self.d, dtype=self.dtype)[None, :]
-            succ.flags.writeable = False
-            self._succ = succ
+            with self._tables_lock:
+                if self._succ is None:
+                    codes = np.arange(self.size, dtype=self.dtype)
+                    base = (codes * self.d) % self.size
+                    succ = base[:, None] + np.arange(self.d, dtype=self.dtype)[None, :]
+                    succ.flags.writeable = False
+                    self._succ = succ
         return self._succ
 
     @property
     def predecessor_table(self) -> np.ndarray:
         """The read-only ``(d**n, d)`` predecessor matrix ``P[x, a] = x // d + a*d**(n-1)``."""
         if self._pred is None:
-            codes = np.arange(self.size, dtype=self.dtype)
-            base = codes // self.d
-            pred = base[:, None] + np.arange(self.d, dtype=self.dtype)[None, :] * self.high
-            pred.flags.writeable = False
-            self._pred = pred
+            with self._tables_lock:
+                if self._pred is None:
+                    codes = np.arange(self.size, dtype=self.dtype)
+                    base = codes // self.d
+                    pred = (
+                        base[:, None]
+                        + np.arange(self.d, dtype=self.dtype)[None, :] * self.high
+                    )
+                    pred.flags.writeable = False
+                    self._pred = pred
         return self._pred
 
     @property
@@ -201,9 +216,11 @@ class WordCodec:
         otherwise concatenate the two tables on every frontier expansion.
         """
         if self._both is None:
-            both = np.hstack([self.successor_table, self.predecessor_table])
-            both.flags.writeable = False
-            self._both = both
+            with self._tables_lock:
+                if self._both is None:
+                    both = np.hstack([self.successor_table, self.predecessor_table])
+                    both.flags.writeable = False
+                    self._both = both
         return self._both
 
     @property
@@ -216,11 +233,15 @@ class WordCodec:
         faster on these cached contiguous copies.
         """
         if self._pred_cols is None:
-            pred = self.predecessor_table
-            cols = tuple(np.ascontiguousarray(pred[:, a]) for a in range(self.d))
-            for col in cols:
-                col.flags.writeable = False
-            self._pred_cols = cols
+            with self._tables_lock:
+                if self._pred_cols is None:
+                    pred = self.predecessor_table
+                    cols = tuple(
+                        np.ascontiguousarray(pred[:, a]) for a in range(self.d)
+                    )
+                    for col in cols:
+                        col.flags.writeable = False
+                    self._pred_cols = cols
         return self._pred_cols
 
     def necklace_member_matrix(self, codes: np.ndarray) -> np.ndarray:
@@ -245,10 +266,12 @@ class WordCodec:
     def necklace_reps(self) -> np.ndarray:
         """Codes of all necklace representatives, ascending (read-only, cached)."""
         if self._necklace_reps is None:
-            codes = np.arange(self.size, dtype=self.dtype)
-            reps = codes[self.rep == codes]
-            reps.flags.writeable = False
-            self._necklace_reps = reps
+            with self._tables_lock:
+                if self._necklace_reps is None:
+                    codes = np.arange(self.size, dtype=self.dtype)
+                    reps = codes[self.rep == codes]
+                    reps.flags.writeable = False
+                    self._necklace_reps = reps
         return self._necklace_reps
 
     def necklace_members(self, code: int) -> list[int]:
@@ -287,3 +310,6 @@ def get_codec(d: int, n: int) -> WordCodec:
     revisit the same one or two graphs thousands of times.
     """
     return WordCodec(int(d), int(n))
+
+
+register_cache("words.get_codec", get_codec)

@@ -1,0 +1,27 @@
+"""REP001 true positives: unbounded / unregistered caches.
+
+Linted under a virtual ``src/repro/...`` path by ``tests/lint/test_rules.py``.
+"""
+
+import functools
+from functools import lru_cache
+
+
+@functools.cache
+def unbounded_cache(n):
+    return n * n
+
+
+@lru_cache
+def bare_decorator(n):
+    return n + 1
+
+
+@lru_cache(maxsize=None)
+def explicitly_unbounded(n):
+    return n - 1
+
+
+@lru_cache(maxsize=64)
+def bounded_but_unregistered(n):
+    return 2 * n

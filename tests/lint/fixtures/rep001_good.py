@@ -1,0 +1,23 @@
+"""REP001 true negatives: bounded caches registered with the audit."""
+
+from functools import lru_cache
+
+from repro.engine.caches import register_cache
+
+
+@lru_cache(maxsize=128)
+def bounded_and_registered(n):
+    return n * n
+
+
+@lru_cache(maxsize=1024)
+def also_registered(n):
+    return n + 1
+
+
+def undecorated(n):
+    return n  # plain function: no cache, nothing to register
+
+
+register_cache("fixture.bounded_and_registered", bounded_and_registered)
+register_cache("fixture.also_registered", also_registered)

@@ -1,0 +1,16 @@
+"""REP002 true positives: unseeded / global-state randomness."""
+
+import numpy as np
+
+
+def unseeded_fallback(rng=None):
+    return rng if rng is not None else np.random.default_rng()
+
+
+def legacy_global_draw(n):
+    return np.random.rand(n)
+
+
+def legacy_global_shuffle(items):
+    np.random.shuffle(items)
+    return items

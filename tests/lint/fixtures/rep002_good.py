@@ -1,0 +1,20 @@
+"""REP002 true negatives: every stream descends from an explicit seed."""
+
+import numpy as np
+
+
+def seeded(seed):
+    return np.random.default_rng(seed)
+
+
+def from_seed_sequence(seed, spawn_key):
+    ss = np.random.SeedSequence(seed, spawn_key=spawn_key)
+    return np.random.default_rng(ss)
+
+
+def typed_generator(rng: np.random.Generator):
+    return rng.random()
+
+
+def explicit_bit_generator(seed):
+    return np.random.Generator(np.random.PCG64(seed))

@@ -1,0 +1,26 @@
+"""REP003 true positives: lazy shared-state init without a lock.
+
+Must be linted under a server-reachable virtual path, e.g.
+``src/repro/words/fixture.py``.
+"""
+
+
+class BareLazyTables:
+    def __init__(self):
+        self._table = None
+        self._other = None
+
+    @property
+    def table(self):
+        if self._table is None:
+            self._table = self._build()  # racy: no lock held
+        return self._table
+
+    def other(self):
+        if self._other is None:
+            rows = self._build()
+            self._other = rows  # racy even via a temporary
+        return self._other
+
+    def _build(self):
+        return [1, 2, 3]

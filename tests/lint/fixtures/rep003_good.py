@@ -1,0 +1,32 @@
+"""REP003 true negatives: double-checked locking and non-lazy patterns."""
+
+import threading
+
+
+class LockedLazyTables:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._table = None
+
+    @property
+    def table(self):
+        if self._table is None:
+            with self._lock:
+                if self._table is None:
+                    self._table = self._build()
+        return self._table
+
+    def _build(self):
+        return [1, 2, 3]
+
+
+class NotLazyInit:
+    def __init__(self):
+        # assignment in __init__ before any sharing: not a lazy-init test
+        self._table = [0]
+
+    def reset(self, flusher):
+        # compound test (`or`): asyncio single-thread idiom, not lazy init
+        if flusher is None or flusher.done():
+            flusher = object()
+        return flusher

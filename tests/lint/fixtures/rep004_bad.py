@@ -1,0 +1,16 @@
+"""REP004 true positives: kernel calls / table reads outside the executor.
+
+Must be linted under a virtual path *not* in the rule's allow-list, e.g.
+``src/repro/analysis/fixture.py``.
+"""
+
+from repro.graphs.msbfs import batched_root_stats, pack_fault_lanes
+
+
+def rogue_measurement(levels, roots, lanes):
+    packed = pack_fault_lanes(lanes)
+    return batched_root_stats(levels, roots, packed)
+
+
+def rogue_table_read(codec, alive):
+    return codec.predecessor_table[alive]

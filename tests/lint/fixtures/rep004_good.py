@@ -1,0 +1,10 @@
+"""REP004 true negatives: measurements routed through the executor."""
+
+
+def measured_via_executor(executor, request):
+    return executor.measure(request)
+
+
+def harmless_attribute(codec):
+    # not a gather-table attribute: fine anywhere
+    return codec.alphabet_size

@@ -1,0 +1,21 @@
+"""REP005 true positives: blocking calls on the event loop.
+
+Must be linted under a ``src/repro/server/`` virtual path.
+"""
+
+import subprocess
+import time
+
+
+async def handler(request):
+    time.sleep(0.1)  # blocks every coalesced request
+    return request
+
+
+async def spawn(cmd):
+    return subprocess.run(cmd)
+
+
+async def read_config(path):
+    with open(path) as fh:
+        return fh.read()

@@ -1,0 +1,20 @@
+"""REP005 true negatives: async-safe idioms and sync-context blocking."""
+
+import asyncio
+import time
+
+
+async def handler(loop, work):
+    # blocking work explicitly pushed off the event loop
+    return await loop.run_in_executor(None, work)
+
+
+async def paced():
+    await asyncio.sleep(0.1)
+
+
+def sync_helper(path):
+    # blocking calls are fine outside async def
+    time.sleep(0.01)
+    with open(path) as fh:
+        return fh.read()

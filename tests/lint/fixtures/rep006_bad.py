@@ -1,0 +1,16 @@
+"""REP006 true positives: raw asserts in library code."""
+
+
+def guarded(value):
+    assert value is not None, "value required"
+    return value
+
+
+class Lifecycle:
+    def __init__(self):
+        self._server = None
+
+    @property
+    def address(self):
+        assert self._server is not None, "not started"
+        return self._server

@@ -1,0 +1,20 @@
+"""REP006 true negatives: typed exceptions instead of assert."""
+
+from repro.exceptions import InvalidParameterError, ServerStateError
+
+
+def guarded(value):
+    if value is None:
+        raise InvalidParameterError("value required")
+    return value
+
+
+class Lifecycle:
+    def __init__(self):
+        self._server = None
+
+    @property
+    def address(self):
+        if self._server is None:
+            raise ServerStateError("not started")
+        return self._server

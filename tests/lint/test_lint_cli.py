@@ -1,0 +1,74 @@
+"""Tests for the ``python -m repro lint`` command surface."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+BAD = FIXTURES / "rep006_bad.py"
+GOOD = FIXTURES / "rep006_good.py"
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert main(["lint", str(GOOD)]) == 0
+        err = capsys.readouterr().err
+        assert "0 finding(s) in 1 file(s)" in err
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", str(BAD)]) == 1
+        out = capsys.readouterr().out
+        assert "REP006" in out and "rep006_bad.py" in out
+
+
+class TestTableFormat:
+    def test_renders_path_line_col_rule(self, capsys):
+        main(["lint", str(BAD)])
+        first = capsys.readouterr().out.splitlines()[0]
+        path, line, col, rest = first.split(":", 3)
+        assert path.endswith("rep006_bad.py")
+        assert int(line) > 0 and int(col) > 0
+        assert rest.strip().startswith("REP006")
+
+    def test_statistics_flag_prints_per_rule_counts(self, capsys):
+        main(["lint", str(BAD), "--statistics"])
+        err = capsys.readouterr().err
+        assert "REP006 no-raw-assert" in err
+        assert "REP001 bounded-registered-cache" in err  # zero rows included
+
+
+class TestJsonFormat:
+    def test_document_shape(self, capsys):
+        assert main(["lint", str(BAD), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 1
+        assert doc["statistics"] == {"REP006": 2}
+        assert all(f["rule"] == "REP006" for f in doc["findings"])
+
+    def test_clean_document(self, capsys):
+        assert main(["lint", str(GOOD), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"] == [] and doc["files"] == 1
+
+
+class TestSelection:
+    def test_select_limits_rules(self, capsys):
+        assert main(["lint", str(BAD), "--select", "REP001"]) == 0
+        assert main(["lint", str(BAD), "--select", "REP001,REP006"]) == 1
+
+    def test_ignore_drops_rules(self, capsys):
+        assert main(["lint", str(BAD), "--ignore", "REP006"]) == 0
+
+
+class TestBaselineFlag:
+    def test_baseline_grandfathers_findings(self, capsys, tmp_path):
+        main(["lint", str(BAD), "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        keys = [f"{f['path']}:{f['line']}:{f['rule']}" for f in doc["findings"]]
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"schema_version": 1, "entries": keys}))
+        assert main(["lint", str(BAD), "--baseline", str(baseline)]) == 0
+        err = capsys.readouterr().err
+        assert "2 baselined" in err

@@ -1,0 +1,172 @@
+"""Engine-level tests: suppressions, baseline, selection, JSON report."""
+
+import json
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.lint import (
+    JSON_SCHEMA_VERSION,
+    Finding,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    parse_codes,
+)
+from repro.lint.rules import all_rules
+
+ASSERT_SNIPPET = "def f(x):\n    assert x\n    return x\n"
+
+
+class TestNoqa:
+    def test_bare_noqa_suppresses_every_rule(self):
+        source = "def f(x):\n    assert x  # repro: noqa\n    return x\n"
+        result = lint_source(source, path="src/repro/x.py")
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["REP006"]
+
+    def test_coded_noqa_suppresses_only_listed_rules(self):
+        source = "def f(x):\n    assert x  # repro: noqa[REP006]\n    return x\n"
+        result = lint_source(source, path="src/repro/x.py")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        source = "def f(x):\n    assert x  # repro: noqa[REP001]\n    return x\n"
+        result = lint_source(source, path="src/repro/x.py")
+        assert [f.rule for f in result.findings] == ["REP006"]
+
+    def test_multi_code_noqa(self):
+        source = (
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    assert np.random.rand(x)  # repro: noqa[REP002, REP006]\n"
+        )
+        result = lint_source(source, path="src/repro/x.py")
+        assert result.findings == []
+        assert {f.rule for f in result.suppressed} == {"REP002", "REP006"}
+
+    def test_suppressed_findings_do_not_gate(self):
+        source = "def f(x):\n    assert x  # repro: noqa\n    return x\n"
+        result = lint_source(source, path="src/repro/x.py")
+        assert result.active == []
+
+
+class TestBaseline:
+    def test_baselined_finding_does_not_gate(self):
+        probe = lint_source(ASSERT_SNIPPET, path="src/repro/x.py")
+        key = probe.findings[0].key
+        result = lint_source(ASSERT_SNIPPET, path="src/repro/x.py", baseline={key})
+        assert result.findings == []
+        assert [f.key for f in result.baselined] == [key]
+        assert result.active == []
+
+    def test_baseline_is_exact_on_path_line_rule(self):
+        result = lint_source(
+            ASSERT_SNIPPET, path="src/repro/x.py",
+            baseline={"src/repro/x.py:999:REP006"},
+        )
+        assert len(result.findings) == 1  # wrong line: still gates
+
+    def test_load_baseline_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "schema_version": 1,
+            "entries": ["src/repro/x.py:2:REP006"],
+        }))
+        assert load_baseline(path) == {"src/repro/x.py:2:REP006"}
+
+    def test_load_baseline_rejects_malformed_documents(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(["not", "an", "object"]))
+        with pytest.raises(InvalidParameterError):
+            load_baseline(path)
+        path.write_text(json.dumps({"entries": [1, 2]}))
+        with pytest.raises(InvalidParameterError):
+            load_baseline(path)
+
+
+class TestSelection:
+    def test_parse_codes_accepts_repeated_and_comma_separated(self):
+        assert parse_codes(["REP001,REP002", "rep006"]) == {
+            "REP001", "REP002", "REP006",
+        }
+
+    def test_parse_codes_rejects_garbage(self):
+        with pytest.raises(InvalidParameterError):
+            parse_codes(["REP1"])
+        with pytest.raises(InvalidParameterError):
+            parse_codes(["E501"])
+
+    def test_select_runs_only_listed_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nassert np.random.rand(3)\n")
+        result = lint_paths([bad], select={"REP002"})
+        assert {f.rule for f in result.findings} == {"REP002"}
+
+    def test_ignore_drops_listed_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nassert np.random.rand(3)\n")
+        result = lint_paths([bad], ignore={"REP006"})
+        assert {f.rule for f in result.findings} == {"REP002"}
+
+    def test_unknown_code_raises(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1\n")
+        with pytest.raises(InvalidParameterError, match="REP999"):
+            lint_paths([bad], select={"REP999"})
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_rep000(self):
+        result = lint_source("def broken(:\n", path="src/repro/x.py")
+        assert [f.rule for f in result.parse_errors] == ["REP000"]
+        assert result.active  # parse failures always gate
+
+    def test_rep000_cannot_be_noqa_suppressed(self):
+        result = lint_source("def broken(:  # repro: noqa\n", path="src/repro/x.py")
+        assert result.active
+
+
+class TestJsonReport:
+    def test_schema_version_and_layout(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(ASSERT_SNIPPET)
+        rules = all_rules()
+        doc = lint_paths([bad], rules=rules).as_dict(rules)
+        assert doc["schema_version"] == JSON_SCHEMA_VERSION == 1
+        assert doc["tool"] == "repro.lint"
+        assert doc["files"] == 1
+        assert set(doc["rules"]) == {r.code for r in rules}
+        assert doc["statistics"] == {"REP006": 1}
+        (finding,) = doc["findings"]
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        json.dumps(doc)  # must be serialisable as-is
+
+    def test_statistics_counts_per_rule(self):
+        source = "import numpy as np\nassert np.random.rand(3)\nassert True\n"
+        result = lint_source(source, path="src/repro/x.py")
+        assert result.statistics() == {"REP002": 1, "REP006": 2}
+
+
+class TestFindingIdentity:
+    def test_key_and_render(self):
+        f = Finding("REP006", "src/repro/x.py", 2, 5, "raw assert")
+        assert f.key == "src/repro/x.py:2:REP006"
+        assert f.render() == "src/repro/x.py:2:5: REP006 raw assert"
+
+
+class TestLintPaths:
+    def test_directory_recursion_and_ordering(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text(ASSERT_SNIPPET)
+        (tmp_path / "a.py").write_text(ASSERT_SNIPPET)
+        result = lint_paths([tmp_path])
+        assert result.files == 2
+        assert [f.path for f in result.findings] == sorted(
+            f.path for f in result.findings
+        )
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="no such file"):
+            lint_paths([tmp_path / "missing"])

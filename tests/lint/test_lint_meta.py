@@ -1,0 +1,77 @@
+"""Meta-tests: the tree itself is lint-clean, and regressions are caught.
+
+These are the tests the CI ``analysis`` job leans on: ``repro lint src``
+must be clean with an *empty* baseline at HEAD, and deliberately
+reintroducing either of the two bug classes this PR fixed (the unseeded
+RNG fallback in ``network/faults.py``; a kernel call bypassing the
+:class:`~repro.engine.executor.KernelExecutor`) must produce findings.
+"""
+
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import lint_paths, lint_source, load_baseline
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+class TestTreeIsClean:
+    def test_lint_src_is_clean_without_baseline(self):
+        result = lint_paths([SRC])
+        assert result.active == [], [f.render() for f in result.active]
+        assert result.files > 50  # the whole tree was audited, not a subset
+
+    def test_cli_entry_point_is_clean(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+
+    def test_committed_baseline_is_empty(self):
+        # the acceptance bar: violations were fixed, not grandfathered
+        assert load_baseline(REPO / "lint-baseline.json") == set()
+
+
+class TestRegressionsAreCaught:
+    def test_reintroduced_unseeded_rng_fallback_is_caught(self):
+        path = SRC / "repro" / "network" / "faults.py"
+        source = path.read_text(encoding="utf-8")
+        assert "rng = _require_rng(rng)" in source  # the fix is in place
+        mutated = source.replace(
+            "rng = _require_rng(rng)",
+            "rng = rng if rng is not None else np.random.default_rng()",
+            1,
+        )
+        result = lint_source(mutated, path=path.as_posix())
+        assert any(f.rule == "REP002" for f in result.findings)
+
+    def test_reintroduced_executor_bypass_is_caught(self):
+        path = SRC / "repro" / "engine" / "sweep.py"
+        source = path.read_text(encoding="utf-8")
+        mutated = source + (
+            "\n\ndef _rogue_dispatch(levels, roots, lanes):\n"
+            "    packed = pack_fault_lanes(lanes)\n"
+            "    return batched_root_stats(levels, roots, packed)\n"
+        )
+        result = lint_source(mutated, path=path.as_posix())
+        assert {f.rule for f in result.findings} >= {"REP004"}
+
+    def test_reintroduced_raw_assert_is_caught(self):
+        path = SRC / "repro" / "server" / "gateway.py"
+        source = path.read_text(encoding="utf-8")
+        mutated = source.replace(
+            'raise ServerStateError("gateway not started: call start() before address")',
+            'assert self._server is not None, "gateway not started"',
+            1,
+        )
+        assert mutated != source
+        result = lint_source(mutated, path=path.as_posix())
+        assert any(f.rule == "REP006" for f in result.findings)
+
+    def test_unlocking_codec_lazy_build_is_caught(self):
+        path = SRC / "repro" / "words" / "codec.py"
+        source = path.read_text(encoding="utf-8")
+        result = lint_source(source, path=path.as_posix())
+        assert not any(f.rule == "REP003" for f in result.findings)
+        mutated = source.replace("with self._tables_lock:", "if True:")
+        assert mutated != source
+        result = lint_source(mutated, path=path.as_posix())
+        assert any(f.rule == "REP003" for f in result.findings)

@@ -1,0 +1,142 @@
+"""Fixture-driven rule tests: every REP rule has true positives and negatives.
+
+Each fixture under ``tests/lint/fixtures/`` is linted *as source* under a
+virtual ``src/repro/...`` path (the :func:`repro.lint.lint_source` API), so
+path-scoped rules (REP003/REP004/REP005) see the package they guard without
+the snippets living there.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule -> (virtual path the snippets are linted under, expected bad count)
+CASES = {
+    # 1 @functools.cache, 2 for bare @lru_cache (bare + unregistered),
+    # 2 for maxsize=None (unbounded + unregistered), 1 bounded-unregistered
+    "REP001": ("src/repro/gf/fixture.py", 6),
+    "REP002": ("src/repro/network/fixture.py", 3),
+    "REP003": ("src/repro/words/fixture.py", 2),
+    "REP004": ("src/repro/analysis/fixture.py", 3),
+    "REP005": ("src/repro/server/fixture.py", 3),
+    "REP006": ("src/repro/core/fixture.py", 2),
+}
+
+
+def lint_fixture(name: str, virtual_path: str):
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(source, path=virtual_path)
+
+
+class TestTruePositives:
+    @pytest.mark.parametrize("rule", sorted(CASES))
+    def test_bad_fixture_is_flagged(self, rule):
+        virtual, _ = CASES[rule]
+        result = lint_fixture(f"{rule.lower()}_bad.py", virtual)
+        codes = {f.rule for f in result.findings}
+        assert rule in codes, f"{rule} missed its bad fixture entirely"
+
+    @pytest.mark.parametrize("rule", sorted(CASES))
+    def test_bad_fixture_finding_count(self, rule):
+        virtual, expected = CASES[rule]
+        result = lint_fixture(f"{rule.lower()}_bad.py", virtual)
+        hits = [f for f in result.findings if f.rule == rule]
+        assert len(hits) == expected, [f.render() for f in hits]
+
+    def test_findings_carry_location_and_message(self):
+        virtual, _ = CASES["REP006"]
+        result = lint_fixture("rep006_bad.py", virtual)
+        f = next(f for f in result.findings if f.rule == "REP006")
+        assert f.path == virtual
+        assert f.line > 0 and f.col > 0
+        assert "assert" in f.message
+
+
+class TestTrueNegatives:
+    @pytest.mark.parametrize("rule", sorted(CASES))
+    def test_good_fixture_is_clean(self, rule):
+        virtual, _ = CASES[rule]
+        result = lint_fixture(f"{rule.lower()}_good.py", virtual)
+        hits = [f for f in result.findings if f.rule == rule]
+        assert hits == [], [f.render() for f in hits]
+
+
+class TestPathScoping:
+    """Path-scoped rules must stay silent outside the packages they guard."""
+
+    def test_rep003_ignores_unshared_packages(self):
+        result = lint_fixture("rep003_bad.py", "src/repro/gf/fixture.py")
+        assert not any(f.rule == "REP003" for f in result.findings)
+
+    def test_rep004_allows_the_executor_itself(self):
+        result = lint_fixture("rep004_bad.py", "src/repro/engine/executor.py")
+        assert not any(f.rule == "REP004" for f in result.findings)
+
+    def test_rep004_allows_topology_table_builders(self):
+        result = lint_fixture("rep004_bad.py", "src/repro/topology/debruijn.py")
+        assert not any(f.rule == "REP004" for f in result.findings)
+
+    def test_rep005_only_applies_to_server(self):
+        result = lint_fixture("rep005_bad.py", "src/repro/analysis/fixture.py")
+        assert not any(f.rule == "REP005" for f in result.findings)
+
+
+class TestRuleEdgeCases:
+    def test_rep001_non_constant_maxsize_is_accepted(self):
+        source = (
+            "from functools import lru_cache\n"
+            "from repro.engine.caches import register_cache\n"
+            "LIMIT = 32\n"
+            "@lru_cache(maxsize=LIMIT)\n"
+            "def f(n):\n"
+            "    return n\n"
+            "register_cache('x.f', f)\n"
+        )
+        result = lint_source(source, path="src/repro/gf/x.py")
+        assert not any(f.rule == "REP001" for f in result.findings)
+
+    def test_rep002_seeded_default_rng_with_keyword(self):
+        source = "import numpy as np\nrng = np.random.default_rng(seed=7)\n"
+        result = lint_source(source, path="src/repro/x.py")
+        assert not any(f.rule == "REP002" for f in result.findings)
+
+    def test_rep003_lock_in_outer_scope_is_not_credited(self):
+        # a `with lock` in the *enclosing* function does not protect a
+        # lazy build inside a nested function (it may run later, unlocked)
+        source = (
+            "class C:\n"
+            "    def outer(self):\n"
+            "        with self._lock:\n"
+            "            def inner():\n"
+            "                if self._t is None:\n"
+            "                    self._t = 1\n"
+            "            return inner\n"
+        )
+        result = lint_source(source, path="src/repro/words/x.py")
+        assert any(f.rule == "REP003" for f in result.findings)
+
+    def test_rep004_flags_method_style_kernel_calls(self):
+        source = "def f(mod, levels, roots):\n    return mod.batched_root_stats(levels, roots)\n"
+        result = lint_source(source, path="src/repro/analysis/x.py")
+        assert any(f.rule == "REP004" for f in result.findings)
+
+    def test_rep004_table_store_is_not_flagged(self):
+        # only Load contexts are measurements; builders assign the attribute
+        source = "def f(self, t):\n    self.successor_table = t\n"
+        result = lint_source(source, path="src/repro/analysis/x.py")
+        assert not any(f.rule == "REP004" for f in result.findings)
+
+    def test_rep005_nested_sync_def_inside_async_is_clean(self):
+        source = (
+            "import time\n"
+            "async def handler():\n"
+            "    def worker():\n"
+            "        time.sleep(1)\n"
+            "    return worker\n"
+        )
+        result = lint_source(source, path="src/repro/server/x.py")
+        assert not any(f.rule == "REP005" for f in result.findings)
