@@ -27,7 +27,14 @@ Three subcommands expose the engine subsystem and the experiment registry:
 ``repro serve``
     The async micro-batching gateway (:mod:`repro.server`): concurrent
     ``/embed`` and ``/measure`` requests over HTTP, coalesced into up to
-    64-lane kernel launches, with backpressure and ``/stats`` metrics.
+    64-lane kernel launches, with backpressure, ``/stats`` metrics, the
+    Prometheus ``/metrics`` exposition and per-request ``/traces``.
+
+``repro stats``
+    Scrape a running gateway's ``GET /metrics`` and pretty-print the
+    metric families (``--raw`` for the untouched exposition text,
+    ``--json`` for parsed machine-readable output, ``--match`` to filter
+    by substring).
 
 ``repro lint [paths]``
     The AST invariant auditor (:mod:`repro.lint`): the REP rule catalogue
@@ -184,6 +191,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip the micro-batching serve benchmark")
     bench.add_argument("--serve-requests", type=int, default=256,
                        help="requests per serving mode in the serve benchmark")
+    bench.add_argument("--no-obs", action="store_true",
+                       help="skip the instrumentation-overhead benchmark "
+                       "(instrumented vs REPRO_OBS_DISABLED sweep)")
 
     serve = sub.add_parser(
         "serve", help="run the async micro-batching gateway (HTTP, JSON)"
@@ -202,6 +212,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        "backpressure kicks in")
     serve.add_argument("--max-cached-answers", type=int, default=256,
                        help="bound on the gateway and service answer LRUs")
+
+    stats = sub.add_parser(
+        "stats", help="scrape and pretty-print a gateway's /metrics exposition"
+    )
+    stats.add_argument("--url", default="http://127.0.0.1:8787",
+                       help="base URL of the running gateway "
+                       "(default: http://127.0.0.1:8787)")
+    stats.add_argument("--raw", action="store_true",
+                       help="print the Prometheus exposition text untouched")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the parsed samples as JSON")
+    stats.add_argument("--match", default=None,
+                       help="only show metric families whose name contains "
+                       "this substring")
 
     lint = sub.add_parser(
         "lint", help="audit the source tree against the REP invariant catalogue"
@@ -278,13 +302,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     fmt = args.format or ("json" if args.json else "table")
 
     def report(progress: SweepProgress) -> None:
-        print(
+        line = (
             f"\r{progress.done_trials}/{progress.total_trials} trials "
-            f"(row f={progress.f})",
-            end="",
-            file=sys.stderr,
-            flush=True,
+            f"(row f={progress.f})"
         )
+        if progress.trials_per_s > 0:
+            line += (
+                f" | {progress.trials_per_s:.0f} trials/s"
+                f" | eta {progress.eta_s:.0f}s"
+            )
+        if progress.workers > 1:
+            line += f" | {progress.workers} workers"
+        if args.checkpoint is not None:
+            line += f" | ckpt lag {progress.checkpoint_lag}"
+        # pad so a shorter rewrite fully covers the previous \r line
+        print(line.ljust(78), end="", file=sys.stderr, flush=True)
 
     engine = ParallelSweepEngine(
         args.d,
@@ -327,7 +359,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .engine.bench import run_serve_bench, run_sweep_bench, write_bench_file
+    from .engine.bench import (
+        run_obs_overhead_bench,
+        run_serve_bench,
+        run_sweep_bench,
+        write_bench_file,
+    )
 
     trials = 24 if args.quick else args.trials
     results = run_sweep_bench(
@@ -339,7 +376,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         serve_results = run_serve_bench(
             requests=64 if args.quick else args.serve_requests, seed=args.seed,
         )
-    write_bench_file(results, args.out, serve_results=serve_results)
+    obs_result = None
+    if not args.no_obs:
+        obs_result = run_obs_overhead_bench(
+            trials=trials, seed=args.seed, batch=args.batch, repeats=args.repeats,
+        )
+    write_bench_file(
+        results, args.out, serve_results=serve_results, obs_result=obs_result
+    )
     for r in results:
         equal = "rows identical" if r.rows_equal else "ROWS DIFFER"
         print(
@@ -359,11 +403,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"occupancy {r.batch_occupancy:.1f}, "
             f"throughput x{r.throughput_gain:.1f} ({equal})"
         )
+    if obs_result is not None:
+        equal = "rows identical" if obs_result.rows_equal else "ROWS DIFFER"
+        print(
+            f"{obs_result.name} [{obs_result.topology}]: "
+            f"instrumented {obs_result.instrumented_s:.3f} s, "
+            f"disabled {obs_result.disabled_s:.3f} s, "
+            f"overhead {obs_result.overhead_frac * 100:+.1f}% ({equal})"
+        )
     print(f"wrote {args.out}")
     ok = all(r.rows_equal for r in results) and all(
         r.answers_equal for r in serve_results
     )
+    if obs_result is not None:
+        ok = ok and obs_result.rows_equal
     return 0 if ok else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import parse_prometheus_text
+    from .server.client import ServeClient
+
+    try:
+        text = ServeClient(args.url).metrics()
+    except OSError as exc:  # no gateway at --url, connection refused, ...
+        print(f"repro stats: cannot scrape {args.url}/metrics: {exc}", file=sys.stderr)
+        return 1
+    if args.raw:
+        print(text, end="")
+        return 0
+    families = parse_prometheus_text(text)
+    if args.match is not None:
+        families = {
+            name: samples
+            for name, samples in families.items()
+            if args.match in name
+        }
+    if args.json:
+        payload = {
+            name: [{"labels": labels, "value": value} for labels, value in samples]
+            for name, samples in sorted(families.items())
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    for name, samples in sorted(families.items()):
+        print(name)
+        for labels, value in samples:
+            label_text = (
+                "{" + ", ".join(f"{k}={v!r}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            rendered = f"{int(value)}" if float(value).is_integer() else f"{value:.6g}"
+            print(f"  {label_text or '(no labels)'}: {rendered}")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -421,6 +514,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_embed(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
         if args.command == "lint":
             return _cmd_lint(args)
     except BrokenPipeError:  # e.g. `repro experiment --all | head`

@@ -43,8 +43,10 @@ from .sweep import ParallelSweepEngine
 __all__ = [
     "SweepBenchResult",
     "ServeBenchResult",
+    "ObsOverheadResult",
     "run_sweep_bench",
     "run_serve_bench",
+    "run_obs_overhead_bench",
     "write_bench_file",
     "DEFAULT_CONFIGS",
     "SERVE_CONFIG",
@@ -250,7 +252,7 @@ def run_serve_bench(
         batched_answers, batched_s, batched_lat, occupancy,
     ) = asyncio.run(both_modes())
 
-    transient = ("cached", "elapsed_s")
+    transient = ("cached", "elapsed_s", "trace_id")
     answers_equal = [
         {k: v for k, v in a.items() if k not in transient} for a in single_answers
     ] == [
@@ -289,6 +291,80 @@ def run_serve_bench(
     ]
 
 
+@dataclass(frozen=True)
+class ObsOverheadResult:
+    """Instrumentation overhead: the same sweep with obs on vs disabled.
+
+    ``overhead_frac`` is ``instrumented_s / disabled_s - 1`` — the price of
+    the :mod:`repro.obs` layer itself (kernel launch/lane/level histograms,
+    sweep counters).  The tracked budget is a few percent; the run history
+    keeps the trajectory so a regression in instrumentation cost is visible
+    the same way a kernel slowdown is.
+    """
+
+    name: str
+    topology: str
+    d: int
+    n: int
+    trials: int
+    seed: int
+    batch: int
+    instrumented_s: float
+    disabled_s: float
+    overhead_frac: float
+    rows_equal: bool
+
+
+def run_obs_overhead_bench(
+    d: int = 2,
+    n: int = 10,
+    trials: int = 192,
+    seed: int = 0,
+    batch: int = 64,
+    repeats: int = 3,
+    topology: str = "debruijn",
+) -> ObsOverheadResult:
+    """Time one batched sweep with instrumentation enabled vs disabled.
+
+    Toggles the process-wide obs gate (:func:`repro.obs.set_obs_disabled`,
+    the runtime form of ``REPRO_OBS_DISABLED=1``) around otherwise identical
+    runs; the gate is always restored.  Rows must be bit-for-bit identical —
+    observability must never change a measurement.
+    """
+    from ..obs import obs_disabled, set_obs_disabled
+
+    if trials < 1:
+        raise InvalidParameterError("at least one trial is required")
+    if repeats < 1:
+        raise InvalidParameterError("at least one repeat is required")
+    topo = get_topology(topology, d, n)
+    engine = ParallelSweepEngine(d, n, batch=batch, topology=topology)
+    fault_counts = (2, 8, 16, 32)
+    kwargs = {"fault_counts": fault_counts, "trials": trials, "seed": seed}
+    engine.run(fault_counts=fault_counts[:1], trials=batch, seed=seed)  # warm
+    prior = obs_disabled()
+    try:
+        set_obs_disabled(False)
+        instrumented_s, rows_on = _best_time(lambda: engine.run(**kwargs), repeats)
+        set_obs_disabled(True)
+        disabled_s, rows_off = _best_time(lambda: engine.run(**kwargs), repeats)
+    finally:
+        set_obs_disabled(prior)
+    return ObsOverheadResult(
+        name=f"obs_overhead_{topo.key}_{d}_{n}",
+        topology=topo.key,
+        d=d,
+        n=n,
+        trials=trials,
+        seed=seed,
+        batch=batch,
+        instrumented_s=instrumented_s,
+        disabled_s=disabled_s,
+        overhead_frac=instrumented_s / disabled_s - 1.0,
+        rows_equal=rows_on == rows_off,
+    )
+
+
 def _load_runs(path: str) -> list[dict]:
     """The existing run history at ``path`` (schema 1/2 files become run #1)."""
     if not os.path.exists(path):
@@ -317,13 +393,15 @@ def write_bench_file(
     results: Sequence[SweepBenchResult],
     path: str,
     serve_results: Sequence[ServeBenchResult] = (),
+    obs_result: ObsOverheadResult | None = None,
 ) -> dict:
     """Append this run to the history at ``path``; return the full payload.
 
     The file is schema 3: ``runs`` holds every recorded invocation (oldest
     first, schema-1/2 snapshots migrated on first contact), while the top
     level mirrors the newest run's entries for schema-2 readers and quick
-    ``cat``-ing.
+    ``cat``-ing.  Runs recorded before the observability layer simply lack
+    the ``obs`` key.
     """
     run = {
         "unix_time": time.time(),
@@ -335,6 +413,7 @@ def write_bench_file(
         },
         "benchmarks": [asdict(r) for r in results],
         "serve": [asdict(r) for r in serve_results],
+        "obs": [] if obs_result is None else [asdict(obs_result)],
     }
     runs = _load_runs(path) + [run]
     payload = {
@@ -344,6 +423,7 @@ def write_bench_file(
         "machine": run["machine"],
         "benchmarks": run["benchmarks"],
         "serve": run["serve"],
+        "obs": run["obs"],
         "runs": runs,
     }
     with open(path, "w", encoding="utf-8") as fh:

@@ -36,6 +36,7 @@ from worker threads while a sweep uses the same cached executor.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -52,11 +53,45 @@ from ..graphs.msbfs import (
     pack_mask_lanes,
 )
 from ..network.faults import sample_code_batch, sample_fault_codes
+from ..obs import DEFAULT_REGISTRY, obs_disabled
+from ..obs.tracing import Trace
 from ..topology import DEFAULT_TOPOLOGY, Topology, get_topology
 from .cache import LRUCache
 from .caches import register_cache
 
 __all__ = ["KernelExecutor", "cached_executor"]
+
+# Process-wide kernel profiling (the register_cache idiom: handles created at
+# import, enumerable through the default registry / the gateway's /metrics).
+# Lane-occupancy buckets mirror the power-of-two batch widths the dispatch
+# heuristic produces; level buckets cover B(2,12)-to-Q(16)-scale diameters.
+_KERNEL_LAUNCHES = DEFAULT_REGISTRY.counter(
+    "repro_kernel_launches_total",
+    "Bit-parallel msbfs kernel launches",
+    labelnames=("topology",),
+)
+_KERNEL_SECONDS = DEFAULT_REGISTRY.histogram(
+    "repro_kernel_launch_seconds",
+    "Wall time of one bit-parallel kernel launch",
+    labelnames=("topology",),
+)
+_KERNEL_LANES = DEFAULT_REGISTRY.histogram(
+    "repro_kernel_lanes",
+    "Lane occupancy (trials packed) per kernel launch",
+    labelnames=("topology",),
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 48.0, 64.0),
+)
+_KERNEL_LEVELS = DEFAULT_REGISTRY.histogram(
+    "repro_kernel_levels",
+    "BFS frontier expansions (sweep depth) per kernel launch",
+    labelnames=("topology",),
+    buckets=(2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0),
+)
+_FALLBACK_SECONDS = DEFAULT_REGISTRY.histogram(
+    "repro_executor_fallback_seconds",
+    "Wall time of root-fallback racing for peeled micro-batch lanes",
+    labelnames=("topology",),
+)
 
 
 class KernelExecutor:
@@ -105,6 +140,13 @@ class KernelExecutor:
         # the frontier/next/scratch arrays mid-flight)
         self._workspace = BatchWorkspace(self.topology.num_nodes)
         self._kernel_lock = threading.Lock()
+        # bound the profiling children once: per-launch cost is then one
+        # histogram observe (a bisect + two adds under the child lock)
+        self._obs_launches = _KERNEL_LAUNCHES.labels(self.topology_key)
+        self._obs_launch_seconds = _KERNEL_SECONDS.labels(self.topology_key)
+        self._obs_lanes = _KERNEL_LANES.labels(self.topology_key)
+        self._obs_levels = _KERNEL_LEVELS.labels(self.topology_key)
+        self._obs_fallback_seconds = _FALLBACK_SECONDS.labels(self.topology_key)
 
     # -- seeded trials ---------------------------------------------------------
     def run_trial(self, f: int, rng: np.random.Generator) -> tuple[int, int]:
@@ -209,7 +251,9 @@ class KernelExecutor:
 
     # -- mask micro-batches (the serving hot path) -----------------------------
     def measure_masks_batch(
-        self, masks: Sequence[np.ndarray]
+        self,
+        masks: Sequence[np.ndarray],
+        traces: Sequence[Trace | None] | None = None,
     ) -> list[tuple[int, int, int | None]]:
         """Measure up to 64 *different requests'* masks in one kernel launch.
 
@@ -222,14 +266,28 @@ class KernelExecutor:
         which also reports the fallback root the micro-batched kernel cannot.
         This is the :mod:`repro.server` gateway's dispatch target: one
         full-graph sweep amortised over every coalesced request.
+
+        ``traces[t]`` (when given, aligned with ``masks``) receives a
+        ``kernel`` span covering the shared launch and — for peeled lanes —
+        a ``fallback`` span covering that request's scalar re-measurement.
         """
         batch = len(masks)
         if not 1 <= batch <= WORD_WIDTH:
             raise InvalidParameterError(
                 f"batch size must be in 1..{WORD_WIDTH}, got {batch}"
             )
+        if traces is not None and len(traces) != batch:
+            raise InvalidParameterError(
+                f"got {len(traces)} traces for {batch} masks"
+            )
         lanes = pack_mask_lanes(masks, self.topology.num_nodes)
+        launch_start = time.perf_counter()
         stats = self._launch(lanes, self.root_code, batch)
+        launch_end = time.perf_counter()
+        if traces is not None:
+            for trace in traces:
+                if trace is not None:
+                    trace.add_span("kernel", launch_start, launch_end)
         results: list[tuple[int, int, int | None]] = [
             (size, ecc, self.root_code)
             for size, ecc in zip(stats.sizes.tolist(), stats.eccs.tolist())
@@ -237,16 +295,33 @@ class KernelExecutor:
         for t in stats.dead_trials():
             # rare in served regimes, and the fallback must report its root:
             # the scalar path answers both
+            fb_start = time.perf_counter()
             results[t] = self.measure_mask_with_root(lane_removed_mask(lanes, t))
+            fb_end = time.perf_counter()
+            if not obs_disabled():
+                self._obs_fallback_seconds.observe(fb_end - fb_start)
+            lane_trace = traces[t] if traces is not None else None
+            if lane_trace is not None:
+                lane_trace.add_span("fallback", fb_start, fb_end)
         return results
 
     # -- kernel launch ---------------------------------------------------------
     def _launch(self, lanes: np.ndarray, root: int | np.ndarray, batch: int) -> BatchStats:
         """One bit-parallel sweep through the executor's shared workspace."""
         with self._kernel_lock:
-            return batched_root_stats(
+            if obs_disabled():
+                return batched_root_stats(
+                    self.topology, lanes, root, batch, workspace=self._workspace
+                )
+            start = time.perf_counter()
+            stats = batched_root_stats(
                 self.topology, lanes, root, batch, workspace=self._workspace
             )
+            self._obs_launch_seconds.observe(time.perf_counter() - start)
+        self._obs_launches.inc()
+        self._obs_lanes.observe(float(batch))
+        self._obs_levels.observe(float(stats.levels))
+        return stats
 
     def _batched_fallbacks(
         self, lanes: np.ndarray, dead: Sequence[int]

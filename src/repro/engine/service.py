@@ -33,7 +33,6 @@ the cache lookup, exactly as the ring cache does.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
@@ -42,6 +41,7 @@ import numpy as np
 
 from ..core.ffc import find_fault_free_cycle, guaranteed_cycle_length
 from ..exceptions import FaultBudgetExceededError, InvalidParameterError
+from ..obs import MetricsRegistry
 from ..topology import DEFAULT_TOPOLOGY, get_topology
 from ..words.alphabet import Word, validate_word
 from ..words.codec import WordCodec, get_codec
@@ -228,18 +228,45 @@ class EmbeddingService:
         Bound on the per-graph codec-table LRU.  (The codec module keeps its
         own small global cache; the service-level LRU pins the graphs *this
         service* actually serves and gives them observable hit counters.)
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` this service reports to.  By
+        default each service owns a private registry (exposed as
+        :attr:`registry`) so concurrent instances never share counters; the
+        server gateway passes its own so ``/metrics`` covers the service.
     """
 
-    def __init__(self, max_cached_answers: int = 256, max_cached_codecs: int = 4) -> None:
+    def __init__(
+        self,
+        max_cached_answers: int = 256,
+        max_cached_codecs: int = 4,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self._answers = LRUCache(max_cached_answers, name="engine.embedding_answers")
         self._measurements = LRUCache(
             max_cached_answers, name="engine.measurement_answers"
         )
         self._codecs = LRUCache(max_cached_codecs, name="engine.codec_tables")
-        self._lock = threading.Lock()
-        self._requests = 0
-        self._total_latency = 0.0
-        self._compute_latency = 0.0
+        #: this service's metrics (request/compute latency histograms) — the
+        #: single backing store for the scalar counters :meth:`stats` reports
+        self.registry = registry if registry is not None else MetricsRegistry()
+        request_seconds = self.registry.histogram(
+            "repro_service_request_seconds",
+            "End-to-end service time per query (cache hits included)",
+            labelnames=("endpoint",),
+        )
+        compute_seconds = self.registry.histogram(
+            "repro_service_compute_seconds",
+            "Service time of cache-missing queries only",
+            labelnames=("endpoint",),
+        )
+        self._obs_request_seconds = {
+            endpoint: request_seconds.labels(endpoint)
+            for endpoint in ("embed", "measure")
+        }
+        self._obs_compute_seconds = {
+            endpoint: compute_seconds.labels(endpoint)
+            for endpoint in ("embed", "measure")
+        }
 
     # -- queries --------------------------------------------------------------
     def embed(
@@ -275,11 +302,7 @@ class EmbeddingService:
 
         bound = self._guarantee_bound(codec.d, codec.n, len(set(fault_words)))
         elapsed = time.perf_counter() - start
-        with self._lock:
-            self._requests += 1
-            self._total_latency += elapsed
-            if not cached:
-                self._compute_latency += elapsed
+        self._observe("embed", elapsed, cached)
         return EmbeddingResponse(
             d=codec.d,
             n=codec.n,
@@ -332,11 +355,7 @@ class EmbeddingService:
 
         size, ecc, measured_root = measured
         elapsed = time.perf_counter() - start
-        with self._lock:
-            self._requests += 1
-            self._total_latency += elapsed
-            if not cached:
-                self._compute_latency += elapsed
+        self._observe("measure", elapsed, cached)
         return MeasureResponse(
             topology=topo.key,
             d=topo.d,
@@ -353,14 +372,30 @@ class EmbeddingService:
         )
 
     # -- observability ---------------------------------------------------------
+    def _observe(self, endpoint: str, elapsed: float, cached: bool) -> None:
+        """Record one answered query into this service's registry."""
+        self._obs_request_seconds[endpoint].observe(elapsed)
+        if not cached:
+            self._obs_compute_seconds[endpoint].observe(elapsed)
+
     def stats(self) -> dict:
-        """Service counters plus the bounded-cache audit of this process."""
+        """Service counters plus the bounded-cache audit of this process.
+
+        The scalar counters are *views* over the service's metrics registry
+        (the request/compute latency histograms); the key set is the stable
+        ``/stats`` schema and must not change.
+        """
         from .caches import cache_stats  # local import: caches pulls many modules
 
-        with self._lock:
-            requests = self._requests
-            total_latency = self._total_latency
-            compute_latency = self._compute_latency
+        requests = sum(
+            child.count for child in self._obs_request_seconds.values()
+        )
+        total_latency = sum(
+            child.sum for child in self._obs_request_seconds.values()
+        )
+        compute_latency = sum(
+            child.sum for child in self._obs_compute_seconds.values()
+        )
         return {
             "requests": requests,
             "total_latency_s": total_latency,

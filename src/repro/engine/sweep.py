@@ -47,6 +47,7 @@ import json
 import math
 import os
 import tempfile
+import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -59,6 +60,7 @@ from ..exceptions import (
     UnknownTopologyError,
 )
 from ..graphs.msbfs import WORD_WIDTH
+from ..obs import DEFAULT_REGISTRY
 from ..topology import DEFAULT_TOPOLOGY, get_topology
 from ..analysis.fault_simulation import (
     PAPER_FAULT_COUNTS,
@@ -72,6 +74,14 @@ __all__ = [
     "SweepProgress",
     "trial_seed_sequences",
 ]
+
+#: Process-wide sweep telemetry (counted in the orchestrating process, so
+#: multiprocess shards report through their parent).
+_SWEEP_TRIALS = DEFAULT_REGISTRY.counter(
+    "repro_sweep_trials_total",
+    "Fault-sweep trials measured",
+    labelnames=("topology",),
+)
 
 #: Target shards per worker per row: small enough to amortise dispatch,
 #: large enough that a slow shard cannot leave the pool idle for long.
@@ -99,11 +109,21 @@ def trial_seed_sequences(
 
 @dataclass(frozen=True)
 class SweepProgress:
-    """Progress snapshot handed to the engine's callback after each batch."""
+    """Progress snapshot handed to the engine's callback after each batch.
+
+    The telemetry fields (defaulted, so pre-observability constructors keep
+    working) describe *this run*: resumed trials from a checkpoint count
+    toward ``done_trials`` but not toward the throughput estimate.
+    """
 
     done_trials: int
     total_trials: int
     f: int  # fault count of the batch that just completed
+    elapsed_s: float = 0.0  # wall time since run() started executing
+    trials_per_s: float = 0.0  # throughput over trials measured this run
+    eta_s: float = 0.0  # projected seconds until the sweep completes
+    checkpoint_lag: int = 0  # trials completed but not yet flushed to disk
+    workers: int = 1  # processes measuring (1 = inline)
 
     @property
     def fraction(self) -> float:
@@ -305,6 +325,9 @@ class ParallelSweepEngine:
         self.progress = progress
         self._runner = runner
         self.batch = int(batch)
+        self._obs_trials = _SWEEP_TRIALS.labels(self.topology)
+        self._run_started = 0.0
+        self._run_initial_done = 0
 
     # -- public entry point ---------------------------------------------------
     def run(
@@ -339,6 +362,8 @@ class ParallelSweepEngine:
         total = len(unique_fs) * trials
 
         if pending:
+            self._run_started = time.perf_counter()
+            self._run_initial_done = total - len(pending)
             try:
                 if self.workers > 1:
                     self._run_parallel(seeds, pending, completed, total, checkpoint)
@@ -376,6 +401,7 @@ class ParallelSweepEngine:
                 results = executor.measure_chunk(f, items, self.batch)
                 for t, size, ecc in results:
                     completed[(f, t)] = (size, ecc)
+                self._obs_trials.inc(len(results))
                 since_flush += len(results)
                 if checkpoint is not None and since_flush >= self.checkpoint_every:
                     checkpoint.save(completed)
@@ -384,7 +410,7 @@ class ParallelSweepEngine:
                 # progress consumers see the same cadence at any batch size
                 for _ in results:
                     done += 1
-                    self._report(done, total, f)
+                    self._report(done, total, f, lag=since_flush)
 
     def _run_parallel(
         self,
@@ -433,12 +459,13 @@ class ParallelSweepEngine:
                     f, results = future.result()
                     for t, size, ecc in results:
                         completed[(f, t)] = (size, ecc)
+                    self._obs_trials.inc(len(results))
                     done += len(results)
                     since_flush += len(results)
                     if checkpoint is not None and since_flush >= self.checkpoint_every:
                         checkpoint.save(completed)
                         since_flush = 0
-                    self._report(done, total, f)
+                    self._report(done, total, f, lag=since_flush)
 
     # -- helpers --------------------------------------------------------------
     def _checkpoint(self, rows: Sequence[int], trials: int, seed: int) -> _Checkpoint | None:
@@ -458,9 +485,24 @@ class ParallelSweepEngine:
         info = {"trials": int(trials), "fault_counts": list(rows)}
         return _Checkpoint(self.checkpoint_path, header, info)
 
-    def _report(self, done: int, total: int, f: int) -> None:
-        if self.progress is not None:
-            self.progress(SweepProgress(done_trials=done, total_trials=total, f=f))
+    def _report(self, done: int, total: int, f: int, lag: int = 0) -> None:
+        if self.progress is None:
+            return
+        elapsed = time.perf_counter() - self._run_started
+        measured = done - self._run_initial_done
+        rate = measured / elapsed if elapsed > 0 else 0.0
+        self.progress(
+            SweepProgress(
+                done_trials=done,
+                total_trials=total,
+                f=f,
+                elapsed_s=elapsed,
+                trials_per_s=rate,
+                eta_s=(total - done) / rate if rate > 0 else 0.0,
+                checkpoint_lag=lag if self.checkpoint_path is not None else 0,
+                workers=self.workers if self.workers > 1 else 1,
+            )
+        )
 
     def _aggregate(
         self,

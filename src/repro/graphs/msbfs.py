@@ -72,14 +72,23 @@ class BatchStats:
 
     ``sizes[t]``/``eccs[t]`` are valid only for trials whose bit is clear in
     ``root_dead``; the caller measures the others via the scalar fallback.
+    ``levels`` is the number of BFS frontier expansions the sweep ran (the
+    deepest level reached by any lane) — profiling metadata, not a result.
     """
 
-    __slots__ = ("sizes", "eccs", "root_dead")
+    __slots__ = ("sizes", "eccs", "root_dead", "levels")
 
-    def __init__(self, sizes: np.ndarray, eccs: np.ndarray, root_dead: int) -> None:
+    def __init__(
+        self,
+        sizes: np.ndarray,
+        eccs: np.ndarray,
+        root_dead: int,
+        levels: int = 0,
+    ) -> None:
         self.sizes = sizes
         self.eccs = eccs
         self.root_dead = root_dead
+        self.levels = levels
 
     def dead_trials(self) -> list[int]:
         """Indices of the trials whose root was removed (to be peeled)."""
@@ -287,4 +296,4 @@ def batched_root_stats(
         eccs[:] = np.where(hit.any(axis=0), depth - np.argmax(hit[::-1], axis=0), 0)
     np.bitwise_xor(alive, avail, out=alive)
     sizes[:] = lane_popcounts(alive, batch)
-    return BatchStats(sizes, eccs, root_dead)
+    return BatchStats(sizes, eccs, root_dead, levels=len(gains))

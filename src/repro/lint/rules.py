@@ -44,6 +44,16 @@ REP006
     Raw ``assert`` is forbidden in ``src/`` (stripped under ``python -O``;
     a production server launched with ``-O`` would silently drop the
     checks).  Use the typed exceptions of :mod:`repro.exceptions`.
+
+REP007
+    Server/engine code must not hand-roll metric aggregation: accumulating
+    ``time.perf_counter()`` deltas into ad-hoc instance attributes
+    (``self._total += elapsed``, ``self._latencies.append(elapsed)``)
+    bypasses :mod:`repro.obs` — the aggregate is unbounded, invisible to
+    ``/metrics``, and usually lock-free.  PR 7 replaced three such
+    accumulators (gateway latency list, batcher wait list, service latency
+    totals) with registry-backed counters/histograms; this rule keeps new
+    ones from growing back.
 """
 
 from __future__ import annotations
@@ -61,6 +71,7 @@ __all__ = [
     "ExecutorBypassRule",
     "BlockingInAsyncRule",
     "RawAssertRule",
+    "AdHocMetricsRule",
 ]
 
 
@@ -250,6 +261,7 @@ class LockedLazyInitRule(Rule):
         "repro/words/",
         "repro/engine/",
         "repro/server/",
+        "repro/obs/",
         "repro/analysis/fault_simulation",
     )
 
@@ -450,6 +462,145 @@ class RawAssertRule(Rule):
                 )
 
 
+class AdHocMetricsRule(Rule):
+    """REP007 — no hand-rolled timing accumulators outside ``repro.obs``."""
+
+    code = "REP007"
+    name = "no-adhoc-metrics"
+    rationale = (
+        "perf_counter deltas accumulated into ad-hoc instance attributes "
+        "bypass repro.obs: unbounded, lock-free, invisible to /metrics"
+    )
+
+    #: the layers whose aggregates must live in the metrics registry.  The
+    #: registry itself (``repro/obs/``) is the one place allowed to hold
+    #: raw timing state.
+    applies_to: tuple[str, ...] = ("repro/server/", "repro/engine/")
+
+    _TIMER_CALLS = {
+        "time.perf_counter", "perf_counter",
+        "time.perf_counter_ns", "perf_counter_ns",
+        "time.monotonic", "monotonic",
+        "time.time",
+    }
+    _SINK_METHODS = {"append", "extend", "add", "insert"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_path(*self.applies_to) or ctx.in_path("repro/obs/"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    # -- per-function taint analysis -------------------------------------------
+    def _check_function(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        nodes = list(self._own_nodes(fn))
+        tainted = self._tainted_names(nodes)
+        for node in nodes:
+            if (
+                isinstance(node, ast.AugAssign)
+                and self._self_attr(node.target) is not None
+                and self._expr_tainted(node.value, tainted)
+            ):
+                attr = self._self_attr(node.target)
+                yield self.finding(
+                    ctx, node,
+                    f"ad-hoc timing accumulator self.{attr} += "
+                    "perf_counter delta: record it in a repro.obs "
+                    "Counter/Histogram instead",
+                )
+            elif isinstance(node, ast.Call):
+                sink = self._self_sink(node)
+                if sink is not None and any(
+                    self._expr_tainted(arg, tainted) for arg in node.args
+                ):
+                    attr, method = sink
+                    yield self.finding(
+                        ctx, node,
+                        f"ad-hoc timing reservoir self.{attr}.{method}"
+                        "(perf_counter delta): use a repro.obs Histogram "
+                        "(bounded sample window) instead",
+                    )
+
+    @staticmethod
+    def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+        """Every node of ``fn``'s own body, not descending into nested defs."""
+        stack = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _tainted_names(self, nodes: list[ast.AST]) -> set[str]:
+        """Local names whose value derives from a monotonic-clock reading.
+
+        Iterated to a fixpoint so chains like ``a = perf_counter()``;
+        ``b = a - start``; ``self._x.append(b)`` resolve regardless of the
+        order :func:`ast.walk` visits them.
+        """
+        tainted: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in nodes:
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                    value = node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets = [node.target]
+                    value = node.value
+                elif isinstance(node, ast.AugAssign):
+                    targets = [node.target]
+                    value = node.value
+                else:
+                    continue
+                if not self._expr_tainted(value, tainted):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id not in tainted:
+                        tainted.add(target.id)
+                        changed = True
+        return tainted
+
+    def _expr_tainted(self, expr: ast.AST, tainted: set[str]) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name in self._TIMER_CALLS:
+                    return True
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in tainted
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> str | None:
+        """``x`` for a ``self.x`` attribute target, else ``None``."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _self_sink(self, call: ast.Call) -> tuple[str, str] | None:
+        """``(attr, method)`` for ``self.attr.append(...)``-style calls."""
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in self._SINK_METHODS:
+            return None
+        attr = self._self_attr(func.value)
+        return None if attr is None else (attr, func.attr)
+
+
 def all_rules() -> list[Rule]:
     """The full catalogue, in code order."""
     return [
@@ -459,4 +610,5 @@ def all_rules() -> list[Rule]:
         ExecutorBypassRule(),
         BlockingInAsyncRule(),
         RawAssertRule(),
+        AdHocMetricsRule(),
     ]

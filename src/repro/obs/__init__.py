@@ -1,0 +1,54 @@
+"""``repro.obs`` — the unified observability layer of the serving stack.
+
+Three small, dependency-free primitives shared by every layer:
+
+* :mod:`repro.obs.metrics` — a thread-safe metrics registry
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram` with label sets)
+  with Prometheus text exposition and a parser for it.  The process-wide
+  :data:`DEFAULT_REGISTRY` backs the kernel/sweep instrumentation; request
+  -scoped owners (a gateway, a service) hold their own
+  :class:`MetricsRegistry` so concurrent instances never share counters.
+* :mod:`repro.obs.tracing` — request tracing: a :class:`Trace` accumulates
+  per-stage :class:`Span` records (queue wait, kernel launch, reply, ...)
+  and a bounded :class:`Tracer` ring keeps recently finished traces,
+  exportable as JSONL (the gateway's ``GET /traces``).
+* the ``REPRO_OBS_DISABLED`` gate — :func:`set_obs_disabled` /
+  :func:`obs_disabled` turn every metric mutation into an early-return
+  no-op, so the benchmark suite can price the instrumentation itself
+  (``python -m repro bench`` records instrumented vs disabled wall times).
+
+The registration idiom mirrors :func:`repro.engine.caches.register_cache`:
+each instrumented module creates its metric handles at import time from the
+registry it reports to, so the exposition endpoint can enumerate everything
+without a central catalogue.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    obs_disabled,
+    parse_prometheus_text,
+    set_obs_disabled,
+)
+from .tracing import Span, Trace, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "Tracer",
+    "get_registry",
+    "obs_disabled",
+    "parse_prometheus_text",
+    "set_obs_disabled",
+]

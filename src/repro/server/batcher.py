@@ -26,15 +26,17 @@ from __future__ import annotations
 
 import asyncio
 import time
-from collections import deque
 from collections.abc import Iterable
 from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..graphs.msbfs import WORD_WIDTH
 from ..exceptions import InvalidParameterError
+from ..obs import MetricsRegistry
+from ..obs.tracing import Trace
 
 if TYPE_CHECKING:
     from ..engine.executor import KernelExecutor
@@ -75,6 +77,13 @@ class MicroBatcher:
     max_queue:
         Bound on queued requests; beyond it ``submit`` raises
         :class:`QueueFullError` (backpressure).
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` this shard reports to
+        (private by default; the gateway passes its own so every shard
+        shows up on ``/metrics`` under its ``shard`` label).
+    shard:
+        The ``shard`` label value for this batcher's metrics (defaults to
+        the executor's topology key).
 
     Must be used from a running asyncio event loop; the internal queue and
     flusher task bind to the loop of the first ``submit``.
@@ -86,6 +95,8 @@ class MicroBatcher:
         max_batch: int = WORD_WIDTH,
         max_wait_s: float = 0.002,
         max_queue: int = 1024,
+        registry: MetricsRegistry | None = None,
+        shard: str | None = None,
     ) -> None:
         if not 1 <= max_batch <= WORD_WIDTH:
             raise InvalidParameterError(
@@ -107,28 +118,49 @@ class MicroBatcher:
         self._pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"batcher-{executor.topology_key}"
         )
-        # -- metrics (single event loop: no lock needed) -----------------------
-        self._launches = 0
-        self._lanes = 0
-        self._completed = 0
-        self._rejected = 0
-        self._latencies: deque[float] = deque(maxlen=4096)
+        # -- metrics: one child per shard in the owning registry ---------------
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.shard = shard if shard is not None else executor.topology_key
+        labels = ("shard",)
+        self._obs_launches = self.registry.counter(
+            "repro_batcher_launches_total", "Kernel launches dispatched", labels
+        ).labels(self.shard)
+        self._obs_lanes = self.registry.counter(
+            "repro_batcher_lanes_total", "Lanes (requests) dispatched", labels
+        ).labels(self.shard)
+        self._obs_completed = self.registry.counter(
+            "repro_batcher_completed_total", "Requests answered", labels
+        ).labels(self.shard)
+        self._obs_rejected = self.registry.counter(
+            "repro_batcher_rejected_total", "Requests shed by backpressure", labels
+        ).labels(self.shard)
+        # bounded reservoir replacing the old unbounded latency lists: the
+        # p50/p99 the shard reports come from this histogram's sample window
+        self._obs_wait_seconds = self.registry.histogram(
+            "repro_batcher_wait_seconds",
+            "Submit-to-answer wall time per request",
+            labels,
+        ).labels(self.shard)
 
     # -- submission ------------------------------------------------------------
-    async def submit(self, mask: np.ndarray) -> tuple[int, int, int | None]:
+    async def submit(
+        self, mask: np.ndarray, trace: Trace | None = None
+    ) -> tuple[int, int, int | None]:
         """Measure one request's removed-node mask; resolves when its batch lands.
 
         Returns ``(region_size, root_eccentricity, measured_root_code)`` —
         bit-for-bit the scalar answer for ``mask`` alone.  Raises
-        :class:`QueueFullError` when the shard queue is at capacity.
+        :class:`QueueFullError` when the shard queue is at capacity.  When a
+        ``trace`` rides along it receives ``queue``/``batch`` spans here and
+        ``kernel`` (plus ``fallback``) spans from the executor.
         """
         self._ensure_started()
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         try:
-            self._queue.put_nowait((mask, future, time.perf_counter()))
+            self._queue.put_nowait((mask, future, time.perf_counter(), trace))
         except asyncio.QueueFull:
-            self._rejected += 1
+            self._obs_rejected.inc()
             raise QueueFullError(
                 f"shard queue full ({self.max_queue} requests pending)"
             ) from None
@@ -163,24 +195,41 @@ class MicroBatcher:
                     break
             await self._dispatch(batch)
 
-    async def _dispatch(self, batch: list[tuple[np.ndarray, asyncio.Future, float]]) -> None:
+    async def _dispatch(
+        self,
+        batch: list[tuple[np.ndarray, asyncio.Future, float, Trace | None]],
+    ) -> None:
         loop = asyncio.get_running_loop()
-        masks = [mask for mask, _, _ in batch]
+        masks = [mask for mask, _, _, _ in batch]
+        traces = [trace for _, _, _, trace in batch]
+        dispatch_start = time.perf_counter()
+        for (_, _, enqueued, trace) in batch:
+            if trace is not None:
+                # queue wait: enqueue to the moment its batch was sealed
+                trace.add_span("queue", enqueued, dispatch_start)
         try:
-            results = await loop.run_in_executor(
-                self._pool, self.executor.measure_masks_batch, masks
-            )
+            call_start = time.perf_counter()
+            if any(t is not None for t in traces):
+                call = partial(self.executor.measure_masks_batch, masks, traces)
+            else:
+                # traceless shape: keeps bare-bones test doubles with a
+                # (masks)-only signature working
+                call = partial(self.executor.measure_masks_batch, masks)
+            results = await loop.run_in_executor(self._pool, call)
         except Exception as exc:  # surface the failure on every waiter
-            for _, future, _ in batch:
+            for _, future, _, _ in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
-        self._launches += 1
-        self._lanes += len(batch)
+        self._obs_launches.inc()
+        self._obs_lanes.inc(len(batch))
         now = time.perf_counter()
-        for (_, future, enqueued), result in zip(batch, results):
-            self._completed += 1
-            self._latencies.append(now - enqueued)
+        for (_, future, enqueued, trace), result in zip(batch, results):
+            self._obs_completed.inc()
+            self._obs_wait_seconds.observe(now - enqueued)
+            if trace is not None:
+                # batch assembly: batch sealed to kernel hand-off
+                trace.add_span("batch", dispatch_start, call_start)
             if not future.done():  # the waiter may have been cancelled
                 future.set_result(result)
 
@@ -202,7 +251,7 @@ class MicroBatcher:
         if self._queue is not None:
             while True:
                 try:
-                    _, future, _ = self._queue.get_nowait()
+                    _, future, _, _ = self._queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
                 if not future.done():
@@ -210,17 +259,23 @@ class MicroBatcher:
         self._pool.shutdown(wait=False)
 
     def stats(self) -> dict:
-        """Batch-occupancy, queue and latency counters of this shard."""
+        """Batch-occupancy, queue and latency counters of this shard.
+
+        Every scalar is a view over this shard's children in the metrics
+        registry; the key set is the stable ``/stats`` schema.
+        """
+        launches = int(self._obs_launches.value())
+        lanes = int(self._obs_lanes.value())
         stats = {
             "max_batch": self.max_batch,
             "max_wait_s": self.max_wait_s,
             "max_queue": self.max_queue,
             "queued": self._queue.qsize() if self._queue is not None else 0,
-            "launches": self._launches,
-            "lanes": self._lanes,
-            "batch_occupancy": self._lanes / self._launches if self._launches else 0.0,
-            "completed": self._completed,
-            "rejected": self._rejected,
+            "launches": launches,
+            "lanes": lanes,
+            "batch_occupancy": lanes / launches if launches else 0.0,
+            "completed": int(self._obs_completed.value()),
+            "rejected": int(self._obs_rejected.value()),
         }
-        stats.update(latency_percentiles(self._latencies))
+        stats.update(latency_percentiles(self._obs_wait_seconds.samples()))
         return stats

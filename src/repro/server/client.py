@@ -71,6 +71,20 @@ class ServeClient:
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def _request_text(self, path: str) -> str:
+        request = urllib.request.Request(self.base_url + path, method="GET")
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition of ``GET /metrics``."""
+        return self._request_text("/metrics")
+
+    def traces(self, trace_id: str | None = None) -> str:
+        """The JSONL trace export of ``GET /traces`` (optionally one id)."""
+        path = "/traces" if trace_id is None else f"/traces?id={trace_id}"
+        return self._request_text(path)
+
 
 class AsyncServeClient:
     """One persistent keep-alive connection; sequential JSON requests.
@@ -91,14 +105,40 @@ class AsyncServeClient:
         reader, writer = await asyncio.open_connection(host, port)
         return cls(reader, writer, host, port)
 
-    async def request(self, method: str, path: str, payload: dict | None = None) -> tuple[int, dict]:
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict]:
         """Issue one request; returns ``(status, decoded_json)``."""
+        status, _, text = await self.request_raw(method, path, payload, headers)
+        return status, json.loads(text)
+
+    async def request_raw(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, str, str]:
+        """Issue one request; returns ``(status, content_type, body_text)``.
+
+        The undecoded variant for the non-JSON routes (``/metrics``
+        exposition text, ``/traces`` JSONL); ``headers`` adds extra request
+        headers such as ``X-Trace-Id``.
+        """
         body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self._host}:{self._port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "\r\n"
         )
         self._writer.write(head.encode("latin-1") + body)
@@ -106,6 +146,7 @@ class AsyncServeClient:
         status_line = await self._reader.readline()
         status = int(status_line.split()[1])
         length = 0
+        content_type = ""
         while True:
             line = await self._reader.readline()
             if line in (b"\r\n", b"\n", b""):
@@ -113,8 +154,10 @@ class AsyncServeClient:
             name, _, value = line.decode("latin-1").partition(":")
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
+            elif name.strip().lower() == "content-type":
+                content_type = value.strip()
         data = await self._reader.readexactly(length)
-        return status, json.loads(data.decode("utf-8"))
+        return status, content_type, data.decode("utf-8")
 
     async def measure(
         self,

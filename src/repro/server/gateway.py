@@ -32,6 +32,23 @@ routes:
 ``GET /healthz``
     Liveness probe.
 
+``GET /metrics``
+    Prometheus text exposition (format 0.0.4) of every metric the process
+    holds: the gateway's own registry (requests, errors, latency, per-shard
+    batcher counters), the embedding service's, and the process-wide
+    default registry (kernel launch/lane/level profiling).  ``python -m
+    repro stats`` scrapes and pretty-prints this endpoint.
+
+``GET /traces``
+    Recently finished request traces as JSON Lines, one trace per line
+    (``?id=<trace_id>`` selects one).  Every ``POST /measure`` is traced:
+    the gateway mints a trace id (or adopts a valid ``X-Trace-Id`` header),
+    the id is echoed in the response's ``trace_id`` field, and the exported
+    spans tile the request — ``gateway`` (parse/normalise/cache lookup),
+    ``queue`` (waiting for lane-mates), ``batch`` (assembly), ``kernel``
+    (the shared launch), ``fallback`` (root-dead peeling, when taken) and
+    ``reply`` (response build).
+
 One executor shard — one :class:`MicroBatcher` over one process-wide
 :func:`~repro.engine.executor.cached_executor` — exists per
 ``(topology, d, n, root)`` served.  Bounded shard queues shed load as HTTP
@@ -44,21 +61,44 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..engine.cache import LRUCache
 from ..engine.service import EmbeddingRequest, EmbeddingService, MeasureResponse
-from ..exceptions import ReproError, ServerStateError
+from ..exceptions import InvalidParameterError, ReproError, ServerStateError
 from ..graphs.msbfs import WORD_WIDTH
+from ..obs import DEFAULT_REGISTRY, MetricsRegistry, Tracer
+from ..obs.metrics import render_registries
+from ..obs.tracing import Trace
 from ..topology import DEFAULT_TOPOLOGY, get_topology
 from .batcher import MicroBatcher, QueueFullError, latency_percentiles
 
 __all__ = ["GatewayConfig", "BatchingGateway", "run"]
 
 _MAX_HEADER_BYTES = 64 * 1024
+
+#: Content type of the Prometheus text exposition format.
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass(frozen=True)
+class _TextResponse:
+    """A non-JSON route result (``/metrics`` exposition, ``/traces`` JSONL)."""
+
+    text: str
+    content_type: str
+
+
+def _query_param(query: str, name: str) -> str | None:
+    """The first value of ``name`` in a raw query string (no unquoting:
+    trace ids are ``[A-Za-z0-9._-]`` so percent-encoding never applies)."""
+    for part in query.split("&"):
+        key, sep, value = part.partition("=")
+        if sep and key == name:
+            return value
+    return None
 
 
 @dataclass(frozen=True)
@@ -90,8 +130,15 @@ class BatchingGateway:
         service: EmbeddingService | None = None,
     ) -> None:
         self.config = config or GatewayConfig()
+        #: this gateway's metrics — the single backing store for /stats and
+        #: the gateway/shard portion of /metrics (per-instance so concurrent
+        #: gateways in one process never share counters)
+        self.registry = MetricsRegistry()
+        #: ring of finished request traces served by GET /traces
+        self.tracer = Tracer()
         self.service = service or EmbeddingService(
-            max_cached_answers=self.config.max_cached_answers
+            max_cached_answers=self.config.max_cached_answers,
+            registry=self.registry,
         )
         self._batchers: dict[tuple, MicroBatcher] = {}
         self._measure_cache = LRUCache(
@@ -99,11 +146,30 @@ class BatchingGateway:
         )
         self._server: asyncio.AbstractServer | None = None
         self._started = time.time()
-        self._requests: dict[str, int] = {}
-        self._errors = 0
-        self._latencies: deque[float] = deque(maxlen=4096)
+        self._obs_requests = self.registry.counter(
+            "repro_gateway_requests_total",
+            "HTTP requests received",
+            labelnames=("endpoint",),
+        )
+        self._obs_errors = self.registry.counter(
+            "repro_gateway_errors_total", "HTTP responses with status >= 400"
+        )
+        # bounded reservoir (the old deque, now a histogram sample window):
+        # p50/p99 on /stats come from .samples(), the buckets feed /metrics
+        self._obs_request_seconds = self.registry.histogram(
+            "repro_gateway_request_seconds",
+            "End-to-end request wall time at the gateway",
+        )
+        self._obs_uptime = self.registry.gauge(
+            "repro_gateway_uptime_seconds", "Seconds since gateway start"
+        )
 
     # -- shards ----------------------------------------------------------------
+    @staticmethod
+    def _shard_name(key: tuple) -> str:
+        """The display/label name of one shard key: ``kautz(2,8)[@root]``."""
+        return f"{key[0]}({key[1]},{key[2]})" + (f"@{key[3]}" if key[3] else "")
+
     def _shard(
         self, topology: str, d: int, n: int, root: tuple[int, ...] | None
     ) -> MicroBatcher:
@@ -118,12 +184,14 @@ class BatchingGateway:
                 max_batch=self.config.max_batch,
                 max_wait_s=self.config.max_wait_ms / 1000.0,
                 max_queue=self.config.queue_limit,
+                registry=self.registry,
+                shard=self._shard_name(key),
             )
             self._batchers[key] = batcher
         return batcher
 
     # -- endpoint implementations ----------------------------------------------
-    async def _measure(self, payload: dict) -> dict:
+    async def _measure(self, payload: dict, trace: Trace | None = None) -> dict:
         start = time.perf_counter()
         topology = str(payload.get("topology", DEFAULT_TOPOLOGY))
         topo = get_topology(topology, int(payload["d"]), int(payload["n"]))
@@ -137,13 +205,19 @@ class BatchingGateway:
 
         measured = self._measure_cache.get(key)
         cached = measured is not None
+        gateway_end = time.perf_counter()
+        if trace is not None:
+            # parse + normalise + cache lookup; the queue/batch/kernel spans
+            # (cache misses only) are recorded downstream
+            trace.add_span("gateway", start, gateway_end)
         if not cached:
             removed = topo.fault_unit_mask(np.asarray(fault_codes, dtype=np.int64))
-            measured = await batcher.submit(removed)
+            measured = await batcher.submit(removed, trace)
             self._measure_cache.put(key, measured)
 
+        reply_start = time.perf_counter()
         size, ecc, measured_root = measured
-        return MeasureResponse(
+        data = MeasureResponse(
             topology=topo.key,
             d=topo.d,
             n=topo.n,
@@ -155,8 +229,15 @@ class BatchingGateway:
             reference_size=topo.reference_size(len(set(fault_codes))),
             guarantee_bound=topo.guarantee_bound(len(set(fault_codes))),
             cached=cached,
-            elapsed_s=time.perf_counter() - start,
+            elapsed_s=0.0,
         ).as_dict()
+        end = time.perf_counter()
+        data["elapsed_s"] = end - start
+        if trace is not None:
+            trace.add_span("reply", reply_start, end)
+            trace.finish(elapsed_s=end - start)
+            data["trace_id"] = trace.trace_id
+        return data
 
     async def _embed(self, payload: dict) -> dict:
         request = EmbeddingRequest.make(
@@ -173,23 +254,29 @@ class BatchingGateway:
         return response.as_dict(include_cycle=bool(payload.get("include_cycle", True)))
 
     def stats(self) -> dict:
-        """Gateway metrics + shard batchers + caches + the engine audit."""
+        """Gateway metrics + shard batchers + caches + the engine audit.
+
+        Every scalar is a view over the gateway's metrics registry; the key
+        set is the stable PR 5 ``/stats`` schema and must not change.
+        """
         shards = {
-            f"{key[0]}({key[1]},{key[2]})" + (f"@{key[3]}" if key[3] else ""): b.stats()
-            for key, b in self._batchers.items()
+            self._shard_name(key): b.stats() for key, b in self._batchers.items()
         }
         launches = sum(s["launches"] for s in shards.values())
         lanes = sum(s["lanes"] for s in shards.values())
         server = {
             "uptime_s": time.time() - self._started,
-            "requests": dict(self._requests),
-            "errors": self._errors,
+            "requests": {
+                labelvalues[0]: int(value)
+                for labelvalues, value in self._obs_requests.items()
+            },
+            "errors": int(self._obs_errors.value()),
             "launches": launches,
             "lanes": lanes,
             "batch_occupancy": lanes / launches if launches else 0.0,
             "rejected": sum(s["rejected"] for s in shards.values()),
         }
-        server.update(latency_percentiles(self._latencies))
+        server.update(latency_percentiles(self._obs_request_seconds.samples()))
         return {
             "server": server,
             "shards": shards,
@@ -197,15 +284,39 @@ class BatchingGateway:
             "service": self.service.stats(),
         }
 
+    def metrics_text(self) -> str:
+        """The full Prometheus exposition: gateway + service + process-wide."""
+        self._obs_uptime.set(time.time() - self._started)
+        registries = [self.registry]
+        if self.service.registry is not self.registry:
+            registries.append(self.service.registry)
+        registries.append(DEFAULT_REGISTRY)
+        return render_registries(registries)
+
     # -- HTTP plumbing ---------------------------------------------------------
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _route(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict | _TextResponse]:
+        headers = headers or {}
+        path, _, query = target.partition("?")
         endpoint = f"{method} {path}"
-        self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+        self._obs_requests.labels(endpoint).inc()
         try:
             if method == "GET" and path == "/healthz":
                 return 200, {"status": "ok"}
             if method == "GET" and path == "/stats":
                 return 200, self.stats()
+            if method == "GET" and path == "/metrics":
+                return 200, _TextResponse(self.metrics_text(), _PROMETHEUS_CONTENT_TYPE)
+            if method == "GET" and path == "/traces":
+                trace_id = _query_param(query, "id")
+                return 200, _TextResponse(
+                    self.tracer.export_jsonl(trace_id), "application/x-ndjson"
+                )
             if method == "POST" and path in ("/measure", "/embed"):
                 try:
                     payload = json.loads(body or b"{}")
@@ -214,7 +325,11 @@ class BatchingGateway:
                 if not isinstance(payload, dict):
                     return 400, {"error": "JSON body must be an object"}
                 if path == "/measure":
-                    return 200, await self._measure(payload)
+                    try:
+                        trace = self.tracer.trace(headers.get("x-trace-id"))
+                    except InvalidParameterError as exc:
+                        return 400, {"error": f"InvalidParameterError: {exc}"}
+                    return 200, await self._measure(payload, trace)
                 return 200, await self._embed(payload)
             return 404, {"error": f"no route {method} {path}"}
         except QueueFullError as exc:
@@ -263,15 +378,14 @@ class BatchingGateway:
                     await self._respond(writer, 413, {"error": "body too large"}, True)
                     return
                 body = await reader.readexactly(length) if length else b""
-                path = target.split("?", 1)[0]
-                status, payload = await self._route(method.upper(), path, body)
+                status, payload = await self._route(method.upper(), target, body, headers)
                 if status >= 400:
-                    self._errors += 1
+                    self._obs_errors.inc()
                 close = (
                     headers.get("connection", "").lower() == "close"
                     or version.strip().upper() == "HTTP/1.0"
                 )
-                self._latencies.append(time.perf_counter() - started)
+                self._obs_request_seconds.observe(time.perf_counter() - started)
                 await self._respond(writer, status, payload, close)
                 if close:
                     return
@@ -291,12 +405,21 @@ class BatchingGateway:
     }
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict, close: bool
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict | _TextResponse,
+        close: bool,
     ) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _TextResponse):
+            data = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {self._REASONS.get(status, 'Error')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             "\r\n"

@@ -35,7 +35,7 @@ WORKLOADS = (
     {"topology": "hypercube", "d": 2, "n": 10},
 )
 
-_TRANSIENT_FIELDS = ("cached", "elapsed_s")
+_TRANSIENT_FIELDS = ("cached", "elapsed_s", "trace_id")
 
 
 def _comparable(payload: dict) -> dict:

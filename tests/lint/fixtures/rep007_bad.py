@@ -1,0 +1,32 @@
+"""REP007 true positives: hand-rolled timing accumulators on ``self``.
+
+Must be linted under a ``src/repro/server/`` or ``src/repro/engine/``
+virtual path.  These are the three shapes PR 7 removed from live code.
+"""
+
+import time
+
+
+class Gateway:
+    def __init__(self):
+        self._latencies = []
+        self._total_latency = 0.0
+
+    def handle(self, request):
+        started = time.perf_counter()
+        response = self.dispatch(request)
+        # unbounded, lock-free, invisible to /metrics
+        self._total_latency += time.perf_counter() - started
+        self._latencies.append(time.perf_counter() - started)
+        return response
+
+    def handle_indirect(self, request):
+        started = time.perf_counter()
+        response = self.dispatch(request)
+        elapsed = time.perf_counter() - started
+        wait = elapsed  # taint flows through renames too
+        self._latencies.append(wait)
+        return response
+
+    def dispatch(self, request):
+        return request

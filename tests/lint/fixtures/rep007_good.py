@@ -1,0 +1,45 @@
+"""REP007 true negatives: timing observed through repro.obs, or no timing.
+
+Locals may hold perf_counter readings (that is how a span is measured);
+only *instance-attribute* accumulation is the registry's job.
+"""
+
+import time
+
+
+class Gateway:
+    def __init__(self, histogram, counter):
+        self._wait_seconds = histogram  # a repro.obs Histogram child
+        self._requests = counter
+        self._tags = []
+
+    def handle(self, request):
+        started = time.perf_counter()
+        response = self.dispatch(request)
+        # observing into a registry histogram is the sanctioned sink
+        self._wait_seconds.observe(time.perf_counter() - started)
+        self._requests.inc()
+        return response
+
+    def label(self, request):
+        # appending non-timing data to instance state is fine
+        self._tags.append(request.topology)
+        return request
+
+    def best_of(self, repeats):
+        # bench-style local accumulation never touches self
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            self.dispatch(None)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    def count(self, results):
+        # += on self with an untainted value is not an accumulator
+        self._done = getattr(self, "_done", 0)
+        self._done += len(results)
+        return self._done
+
+    def dispatch(self, request):
+        return request

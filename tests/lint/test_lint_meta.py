@@ -66,6 +66,23 @@ class TestRegressionsAreCaught:
         result = lint_source(mutated, path=path.as_posix())
         assert any(f.rule == "REP006" for f in result.findings)
 
+    def test_reintroduced_adhoc_latency_accumulator_is_caught(self):
+        # PR 7 moved the gateway's latency list into a repro.obs Histogram;
+        # growing a raw reservoir back must trip REP007
+        path = SRC / "repro" / "server" / "gateway.py"
+        source = path.read_text(encoding="utf-8")
+        assert "_obs_request_seconds" in source  # the registry-backed fix
+        mutated = source + (
+            "\n\nclass _RogueStats:\n"
+            "    def __init__(self):\n"
+            "        self._latencies = []\n"
+            "    def record(self, started):\n"
+            "        import time\n"
+            "        self._latencies.append(time.perf_counter() - started)\n"
+        )
+        result = lint_source(mutated, path=path.as_posix())
+        assert any(f.rule == "REP007" for f in result.findings)
+
     def test_unlocking_codec_lazy_build_is_caught(self):
         path = SRC / "repro" / "words" / "codec.py"
         source = path.read_text(encoding="utf-8")

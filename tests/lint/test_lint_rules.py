@@ -24,6 +24,8 @@ CASES = {
     "REP004": ("src/repro/analysis/fixture.py", 3),
     "REP005": ("src/repro/server/fixture.py", 3),
     "REP006": ("src/repro/core/fixture.py", 2),
+    # += accumulator, direct append, rename-chained append
+    "REP007": ("src/repro/server/fixture.py", 3),
 }
 
 
@@ -83,6 +85,16 @@ class TestPathScoping:
     def test_rep005_only_applies_to_server(self):
         result = lint_fixture("rep005_bad.py", "src/repro/analysis/fixture.py")
         assert not any(f.rule == "REP005" for f in result.findings)
+
+    def test_rep007_only_applies_to_server_and_engine(self):
+        result = lint_fixture("rep007_bad.py", "src/repro/analysis/fixture.py")
+        assert not any(f.rule == "REP007" for f in result.findings)
+
+    def test_rep007_allows_the_registry_itself(self):
+        # repro.obs is the one place allowed to hold raw timing state —
+        # even though it sits behind the server import graph
+        result = lint_fixture("rep007_bad.py", "src/repro/obs/fixture.py")
+        assert not any(f.rule == "REP007" for f in result.findings)
 
 
 class TestRuleEdgeCases:

@@ -23,7 +23,7 @@ from repro.topology import available_topologies, get_topology
 
 _D, _N = 2, 5
 
-_TRANSIENT = ("cached", "elapsed_s")
+_TRANSIENT = ("cached", "elapsed_s", "trace_id")
 
 
 def _canonical(payload: dict) -> str:
