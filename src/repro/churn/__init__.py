@@ -1,0 +1,57 @@
+"""Dynamic-fault workloads: churn traces, generators, chaos, scenarios.
+
+The :mod:`repro.churn` package is the dynamic counterpart of the static
+fault masks everything else measures — the paper's resilience story run as
+a *stream*: faults arrive and heal (:mod:`~repro.churn.trace`,
+:mod:`~repro.churn.generators`), the embedding service repairs its ring
+incrementally (:meth:`repro.engine.service.EmbeddingService.apply_event`),
+the gateway survives injected failures (:mod:`~repro.churn.chaos`), and the
+scenario driver (:mod:`~repro.churn.scenario`) replays it all while holding
+every streamed answer to the offline batch recomputation, bit for bit.
+
+Import discipline: :mod:`repro.server.gateway` imports
+:mod:`repro.churn.chaos`, so nothing imported at this package's top level
+may import :mod:`repro.server` back — :mod:`~repro.churn.scenario` (which
+drives a live gateway through the server clients) is therefore imported
+lazily via ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .chaos import CHAOS_KINDS, ChaosConfig, ChaosDecision, ChaosInjector
+from .generators import GENERATORS, generate_trace
+from .trace import (
+    TRACE_SCHEMA,
+    ChurnEvent,
+    ChurnTrace,
+    loads_trace,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "ChurnEvent",
+    "ChurnTrace",
+    "read_trace",
+    "write_trace",
+    "loads_trace",
+    "GENERATORS",
+    "generate_trace",
+    "CHAOS_KINDS",
+    "ChaosConfig",
+    "ChaosDecision",
+    "ChaosInjector",
+    "ScenarioReport",
+    "run_scenario",
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name in ("ScenarioReport", "run_scenario"):
+        from . import scenario
+
+        return getattr(scenario, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

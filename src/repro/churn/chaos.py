@@ -1,0 +1,130 @@
+"""Seeded fault injection for the serving gateway.
+
+:class:`ChaosInjector` sits in front of the gateway's POST routes and, with
+per-endpoint probability knobs, injects the failure modes the serving tier
+must survive:
+
+``delay``
+    Hold the response for ``delay_ms`` before answering (exercises client
+    timeouts and batching under latency jitter).
+
+``error``
+    Answer HTTP 503 with ``retry: true`` (exercises the clients' seeded
+    exponential-backoff retry path).
+
+``drop``
+    Close the connection without responding (exercises the
+    connection-reset retry path).
+
+``saturate``
+    Behave as if the shard queue were full (exercises backpressure and the
+    graceful-degradation path without needing real overload in CI).
+
+All decisions come from one seeded ``numpy`` Generator behind a lock, so a
+sequential client (the scenario driver) sees a reproducible injection
+sequence for a given seed.  Injections are counted per (endpoint, kind) in
+the owning registry under ``repro_chaos_injections_total`` — the CI
+chaos-smoke job asserts these are nonzero.
+
+This module must stay import-light (stdlib + numpy + ``repro.obs``): the
+gateway imports it, so it must never import :mod:`repro.server` back.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..obs import MetricsRegistry
+
+__all__ = ["CHAOS_KINDS", "ChaosConfig", "ChaosDecision", "ChaosInjector"]
+
+#: Injection kinds, in the fixed order probabilities are evaluated.
+CHAOS_KINDS = ("drop", "error", "delay", "saturate")
+
+#: Endpoints subject to injection by default (mutating POST routes only:
+#: health checks, metrics and traces always answer truthfully).
+_DEFAULT_ENDPOINTS = ("POST /measure", "POST /embed", "POST /churn")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Injection knobs (all probabilities per request, evaluated in
+    ``CHAOS_KINDS`` order; the first hit wins)."""
+
+    seed: int = 0
+    drop_p: float = 0.0
+    error_p: float = 0.0
+    delay_p: float = 0.0
+    saturate_p: float = 0.0
+    delay_ms: float = 25.0
+    endpoints: tuple[str, ...] = _DEFAULT_ENDPOINTS
+
+    def __post_init__(self) -> None:
+        for name in ("drop_p", "error_p", "delay_p", "saturate_p"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise InvalidParameterError(
+                    f"chaos {name} must be in [0, 1], got {value}"
+                )
+        total = self.drop_p + self.error_p + self.delay_p + self.saturate_p
+        if total > 1.0:
+            raise InvalidParameterError(
+                f"chaos probabilities must sum to <= 1, got {total}"
+            )
+        if self.delay_ms < 0:
+            raise InvalidParameterError(
+                f"chaos delay_ms must be >= 0, got {self.delay_ms}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return (self.drop_p + self.error_p + self.delay_p + self.saturate_p) > 0.0
+
+
+@dataclass(frozen=True)
+class ChaosDecision:
+    """One injection verdict: what to do to the current request."""
+
+    kind: str
+    delay_s: float = 0.0
+
+
+class ChaosInjector:
+    """Seeded per-request failure oracle (see module docstring).
+
+    ``decide`` is cheap and non-blocking (one uniform draw under a lock) so
+    it is safe to call from the gateway's event loop; the *effects* (sleeps,
+    resets) are applied by the caller asynchronously.
+    """
+
+    def __init__(
+        self, config: ChaosConfig, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.config = config
+        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(np.random.SeedSequence(config.seed))
+        registry = registry if registry is not None else MetricsRegistry()
+        self._obs_injections = registry.counter(
+            "repro_chaos_injections_total",
+            "Fault injections applied by the chaos middleware",
+            labelnames=("endpoint", "kind"),
+        )
+
+    def decide(self, endpoint: str) -> ChaosDecision | None:
+        """The injection (if any) to apply to one request at ``endpoint``."""
+        if not self.config.enabled or endpoint not in self.config.endpoints:
+            return None
+        with self._lock:
+            draw = float(self._rng.random())
+        threshold = 0.0
+        for kind in CHAOS_KINDS:
+            threshold += float(getattr(self.config, f"{kind}_p"))
+            if draw < threshold:
+                self._obs_injections.labels(endpoint, kind).inc()
+                delay_s = self.config.delay_ms / 1000.0 if kind == "delay" else 0.0
+                return ChaosDecision(kind=kind, delay_s=delay_s)
+        return None

@@ -1,0 +1,207 @@
+"""Seeded churn-trace generators: independent, orbit-correlated, adversarial.
+
+All three walk the same fault-state machine — pick *fault* or *heal*, pick a
+legal target node, emit one :class:`~repro.churn.trace.ChurnEvent` — and
+differ only in how fault targets are chosen:
+
+``independent``
+    Uniform over the currently healthy nodes: the memoryless arrival model
+    the paper's random-fault tables assume, extended with heals.
+
+``orbit``
+    Correlated within necklace fault-units: with probability ``cluster_p`` a
+    new fault lands on a healthy node *inside an already-hit fault unit*
+    (the topology's fault-unit closure — necklace orbits for the De Bruijn
+    family, single nodes elsewhere), modelling faults that percolate through
+    a unit the way incipient-infinite-cluster growth does.  On single-node
+    topologies every unit is one node, so the clustered branch never finds a
+    healthy orbit-mate and the generator degrades to ``independent`` —
+    exactly the right semantics.
+
+``adversarial``
+    Targets the *current fault-free cycle*: each fault lands on a node of
+    the ring the :class:`~repro.engine.service.EmbeddingService` would
+    return for the present fault set, forcing a re-embedding every time.
+    De Bruijn only (the FFC construction is the De Bruijn algorithm).
+
+Determinism contract: one ``numpy`` Generator seeded from the trace seed
+drives every choice, candidates are always drawn from *sorted* code arrays,
+and no wall-clock or global state is consulted — the same
+``(generator, topology, d, n, events, seed, params)`` tuple always yields a
+byte-identical trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..topology import get_topology
+from ..topology.base import Topology
+from .trace import ChurnEvent, ChurnTrace
+
+__all__ = ["GENERATORS", "generate_trace"]
+
+#: Default ceiling on concurrently faulty nodes (forces heals beyond it).
+_DEFAULT_MAX_FAULTS = 8
+
+
+def _sorted_healthy(num_nodes: int, faulty: set[int]) -> np.ndarray:
+    """Sorted codes of currently healthy nodes (deterministic draw domain)."""
+    if not faulty:
+        return np.arange(num_nodes, dtype=np.int64)
+    return np.setdiff1d(
+        np.arange(num_nodes, dtype=np.int64),
+        np.fromiter(faulty, dtype=np.int64, count=len(faulty)),
+        assume_unique=True,
+    )
+
+
+def _pick(rng: np.random.Generator, candidates: np.ndarray) -> int:
+    return int(candidates[int(rng.integers(0, len(candidates)))])
+
+
+def _independent_target(
+    topo: Topology, rng: np.random.Generator, faulty: set[int], params: dict
+) -> int:
+    return _pick(rng, _sorted_healthy(topo.num_nodes, faulty))
+
+
+def _orbit_target(
+    topo: Topology, rng: np.random.Generator, faulty: set[int], params: dict
+) -> int:
+    cluster_p = float(params.get("cluster_p", 0.8))
+    if faulty and rng.random() < cluster_p:
+        # healthy nodes inside already-hit fault units (the unit closure of
+        # the faulty set minus the faulty nodes themselves)
+        codes = np.fromiter(faulty, dtype=np.int64, count=len(faulty))
+        members = np.unique(topo.fault_unit_members(codes))
+        candidates = np.setdiff1d(members, codes, assume_unique=False)
+        if len(candidates):
+            return _pick(rng, candidates)
+    return _independent_target(topo, rng, faulty, params)
+
+
+def _adversarial_target(
+    topo: Topology, rng: np.random.Generator, faulty: set[int], params: dict
+) -> int:
+    # import here: the embedding service pulls the whole engine stack, which
+    # trace generation for non-adversarial workloads never needs
+    from ..engine.service import EmbeddingService
+
+    service: EmbeddingService = params["_service"]
+    response = service.embed(
+        topo.d, topo.n, faults=[topo.decode(c) for c in sorted(faulty)]
+    )
+    cycle_codes = np.sort(
+        np.fromiter(
+            (topo.encode(w) for w in response.cycle),
+            dtype=np.int64,
+            count=len(response.cycle),
+        )
+    )
+    # every ring node is healthy by construction: hit one of them
+    return _pick(rng, cycle_codes)
+
+
+GENERATORS: dict[str, Callable[[Topology, np.random.Generator, set[int], dict], int]] = {
+    "independent": _independent_target,
+    "orbit": _orbit_target,
+    "adversarial": _adversarial_target,
+}
+
+
+def generate_trace(
+    generator: str,
+    topology: str,
+    d: int,
+    n: int,
+    events: int,
+    seed: int,
+    p_fault: float = 0.6,
+    cluster_p: float = 0.8,
+    max_faults: int | None = None,
+) -> ChurnTrace:
+    """Generate a validated, replayable churn trace.
+
+    Parameters
+    ----------
+    generator:
+        ``independent``, ``orbit`` or ``adversarial`` (see module docstring).
+    p_fault:
+        Probability a step faults (vs heals) when both moves are legal.
+    cluster_p:
+        Orbit generator only: probability a fault clusters inside an
+        already-hit fault unit rather than arriving independently.
+    max_faults:
+        Ceiling on concurrently faulty nodes; beyond it the next step heals.
+        Defaults to ``min(8, num_nodes // 4)`` (at least 1).
+    """
+    if generator not in GENERATORS:
+        raise InvalidParameterError(
+            f"unknown churn generator {generator!r}: "
+            f"choose from {sorted(GENERATORS)}"
+        )
+    if events < 0:
+        raise InvalidParameterError(f"events must be >= 0, got {events}")
+    if not 0.0 < p_fault < 1.0:
+        raise InvalidParameterError(f"p_fault must be in (0, 1), got {p_fault}")
+    if not 0.0 <= cluster_p <= 1.0:
+        raise InvalidParameterError(f"cluster_p must be in [0, 1], got {cluster_p}")
+    topo = get_topology(topology, d, n)
+    if generator == "adversarial" and topo.key != "debruijn":
+        raise InvalidParameterError(
+            "the adversarial generator targets the FFC ring and is "
+            f"debruijn-only, got topology {topo.key!r}"
+        )
+    if max_faults is None:
+        max_faults = max(1, min(_DEFAULT_MAX_FAULTS, topo.num_nodes // 4))
+    if max_faults < 1 or max_faults >= topo.num_nodes:
+        raise InvalidParameterError(
+            f"max_faults must be in 1..{topo.num_nodes - 1}, got {max_faults}"
+        )
+
+    params: dict = {"p_fault": p_fault, "max_faults": int(max_faults)}
+    if generator == "orbit":
+        params["cluster_p"] = cluster_p
+    target = GENERATORS[generator]
+    call_params = dict(params)
+    if generator == "adversarial":
+        from ..engine.service import EmbeddingService
+
+        # private helper for the target chooser; never serialised
+        call_params["_service"] = EmbeddingService()
+
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    faulty: set[int] = set()
+    out: list[ChurnEvent] = []
+    for seq in range(int(events)):
+        if not faulty:
+            op = "fault"
+        elif len(faulty) >= max_faults:
+            op = "heal"
+        else:
+            op = "fault" if rng.random() < p_fault else "heal"
+        if op == "fault":
+            code = target(topo, rng, faulty, call_params)
+            faulty.add(code)
+        else:
+            code = _pick(
+                rng, np.fromiter(sorted(faulty), dtype=np.int64, count=len(faulty))
+            )
+            faulty.discard(code)
+        out.append(ChurnEvent(seq=seq, op=op, node=topo.decode(code)))
+
+    trace = ChurnTrace(
+        topology=topo.key,
+        d=topo.d,
+        n=topo.n,
+        generator=generator,
+        seed=int(seed),
+        events=tuple(out),
+        params=params,
+    )
+    trace.validate()
+    return trace

@@ -1,0 +1,216 @@
+"""The versioned JSONL churn-trace format.
+
+A churn trace is the replayable unit of the dynamic-fault workload layer:
+a header line naming the graph it was generated for, followed by one event
+per line, each faulting or healing exactly one node.  Traces are plain
+JSON Lines so they diff, grep and stream; they are *seeded artifacts* —
+regenerating with the same generator, parameters and seed yields a
+byte-identical file, and replaying one (see
+:mod:`repro.churn.scenario`) yields a byte-identical scenario report.
+
+Schema (version 1)::
+
+    {"schema": 1, "kind": "churn-trace", "topology": "debruijn", "d": 2,
+     "n": 8, "generator": "orbit", "seed": 7, "events": 200,
+     "params": {...}}
+    {"seq": 0, "op": "fault", "node": [0, 1, 0, ...]}
+    {"seq": 1, "op": "heal",  "node": [0, 1, 0, ...]}
+    ...
+
+Legality is part of the schema: ``fault`` must target a currently healthy
+node, ``heal`` a currently faulty one, and ``seq`` must count up from 0
+without gaps.  :func:`read_trace` validates all of it and raises
+:class:`~repro.exceptions.ChurnTraceError` with the offending line number,
+so a scenario never discovers mid-stream that its trace was nonsense.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from ..exceptions import ChurnTraceError
+from ..topology import available_topologies
+from ..words.alphabet import Word
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "ChurnEvent",
+    "ChurnTrace",
+    "read_trace",
+    "write_trace",
+    "loads_trace",
+]
+
+#: Version of the JSONL trace schema this module reads and writes.
+TRACE_SCHEMA = 1
+
+_OPS = ("fault", "heal")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One fault-state transition: node ``node`` faults or heals at step ``seq``."""
+
+    seq: int
+    op: str
+    node: Word
+
+    def as_dict(self) -> dict:
+        return {"seq": self.seq, "op": self.op, "node": list(self.node)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChurnEvent":
+        op = str(data["op"])
+        if op not in _OPS:
+            raise ChurnTraceError(f"unknown churn op {op!r}: expected one of {_OPS}")
+        return cls(
+            seq=int(data["seq"]),
+            op=op,
+            node=tuple(int(x) for x in data["node"]),
+        )
+
+
+@dataclass(frozen=True)
+class ChurnTrace:
+    """A parsed churn trace: the header plus its ordered event list.
+
+    ``params`` records the generator knobs for provenance; it never affects
+    replay (the events are fully materialised).  ``header()`` is the
+    canonical dict embedded in scenario reports.
+    """
+
+    topology: str
+    d: int
+    n: int
+    generator: str
+    seed: int
+    events: tuple[ChurnEvent, ...]
+    params: dict = field(default_factory=dict)
+
+    def header(self) -> dict:
+        return {
+            "schema": TRACE_SCHEMA,
+            "kind": "churn-trace",
+            "topology": self.topology,
+            "d": self.d,
+            "n": self.n,
+            "generator": self.generator,
+            "seed": self.seed,
+            "events": len(self.events),
+            "params": dict(self.params),
+        }
+
+    def validate(self) -> None:
+        """Check seq continuity and fault/heal legality of the event list."""
+        faulty: set[Word] = set()
+        for position, event in enumerate(self.events):
+            if event.seq != position:
+                raise ChurnTraceError(
+                    f"event {position} carries seq {event.seq}: "
+                    f"seq must count up from 0 without gaps"
+                )
+            if len(event.node) != self.n:
+                raise ChurnTraceError(
+                    f"event {event.seq} node {event.node} has length "
+                    f"{len(event.node)}, expected {self.n}"
+                )
+            if event.op == "fault":
+                if event.node in faulty:
+                    raise ChurnTraceError(
+                        f"event {event.seq} faults {event.node}, "
+                        f"which is already faulty"
+                    )
+                faulty.add(event.node)
+            else:
+                if event.node not in faulty:
+                    raise ChurnTraceError(
+                        f"event {event.seq} heals {event.node}, "
+                        f"which is not faulty"
+                    )
+                faulty.discard(event.node)
+
+    def dumps(self) -> str:
+        """The byte-exact JSONL text of this trace (header + one event/line)."""
+        lines = [json.dumps(self.header(), sort_keys=True)]
+        lines.extend(json.dumps(e.as_dict(), sort_keys=True) for e in self.events)
+        return "\n".join(lines) + "\n"
+
+
+def write_trace(trace: ChurnTrace, path: str) -> None:
+    """Write ``trace`` to ``path`` as schema-1 JSONL (validated first)."""
+    trace.validate()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace.dumps())
+
+
+def _parse_lines(lines: Iterator[str], origin: str) -> ChurnTrace:
+    header = None
+    events: list[ChurnEvent] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ChurnTraceError(f"{origin}:{lineno}: invalid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ChurnTraceError(f"{origin}:{lineno}: expected a JSON object")
+        if header is None:
+            if data.get("kind") != "churn-trace":
+                raise ChurnTraceError(
+                    f"{origin}:{lineno}: first line must be a churn-trace "
+                    f"header (kind='churn-trace'), got {data.get('kind')!r}"
+                )
+            if data.get("schema") != TRACE_SCHEMA:
+                raise ChurnTraceError(
+                    f"{origin}:{lineno}: unsupported trace schema "
+                    f"{data.get('schema')!r} (this build reads {TRACE_SCHEMA})"
+                )
+            topology = str(data.get("topology", ""))
+            if topology not in available_topologies():
+                raise ChurnTraceError(
+                    f"{origin}:{lineno}: unknown topology {topology!r}"
+                )
+            header = data
+            continue
+        try:
+            events.append(ChurnEvent.from_dict(data))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ChurnTraceError(f"{origin}:{lineno}: bad event: {exc}") from None
+    if header is None:
+        raise ChurnTraceError(f"{origin}: empty trace (no header line)")
+    declared = int(header.get("events", len(events)))
+    if declared != len(events):
+        raise ChurnTraceError(
+            f"{origin}: header declares {declared} events, file holds "
+            f"{len(events)} (truncated trace?)"
+        )
+    trace = ChurnTrace(
+        topology=str(header["topology"]),
+        d=int(header["d"]),
+        n=int(header["n"]),
+        generator=str(header.get("generator", "unknown")),
+        seed=int(header.get("seed", 0)),
+        events=tuple(events),
+        params=dict(header.get("params", {})),
+    )
+    trace.validate()
+    return trace
+
+
+def read_trace(source: str | os.PathLike | Iterable[str]) -> ChurnTrace:
+    """Parse and fully validate a trace from a path or an iterable of lines."""
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, encoding="utf-8") as fh:
+            return _parse_lines(iter(fh), str(source))
+    return _parse_lines(iter(source), "<stream>")
+
+
+def loads_trace(text: str) -> ChurnTrace:
+    """Parse a trace from in-memory JSONL text (inverse of ``dumps``)."""
+    return _parse_lines(iter(io.StringIO(text)), "<string>")

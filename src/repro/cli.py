@@ -36,6 +36,16 @@ Three subcommands expose the engine subsystem and the experiment registry:
     ``--json`` for parsed machine-readable output, ``--match`` to filter
     by substring).
 
+``repro churn gen`` / ``repro churn run``
+    The dynamic-fault churn engine (:mod:`repro.churn`): ``gen`` writes a
+    seeded, bit-for-bit replayable JSONL churn trace (independent,
+    orbit-correlated or adversarial fault arrivals/heals); ``run`` replays
+    a trace — offline against an in-process service, or with ``--url``
+    against a live gateway (surviving injected chaos via client retries) —
+    asserting every streamed answer is bit-for-bit identical to the
+    offline batch recomputation, and optionally appending the scenario
+    report to the ``BENCH_sweep.json`` run history.
+
 ``repro lint [paths]``
     The AST invariant auditor (:mod:`repro.lint`): the REP rule catalogue
     guarding determinism (seeded RNG streams), cache hygiene (bounded +
@@ -165,6 +175,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        "(validated against topology/d/n/root/seed)")
     sweep.add_argument("--no-resume", action="store_true",
                        help="ignore an existing checkpoint and start fresh")
+    sweep.add_argument("--fresh", action="store_true",
+                       help="delete the checkpoint file before running — the "
+                       "escape hatch for a corrupt or mismatched checkpoint")
     sweep.add_argument("--progress", action="store_true",
                        help="report completed trials on stderr")
     sweep.add_argument("--format", choices=("table", "json", "csv"), default=None,
@@ -212,6 +225,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        "backpressure kicks in")
     serve.add_argument("--max-cached-answers", type=int, default=256,
                        help="bound on the gateway and service answer LRUs")
+    serve.add_argument("--deadline-ms", type=float, default=0.0,
+                       help="default per-request /measure deadline in ms "
+                       "(0 = none; requests may override via 'deadline_ms')")
+    serve.add_argument("--degraded", action="store_true",
+                       help="serve guarantee-bound-only answers flagged "
+                       "'degraded: true' on queue saturation instead of 503")
+    serve.add_argument("--drain-timeout-s", type=float, default=10.0,
+                       help="seconds the SIGTERM/SIGINT graceful drain waits "
+                       "for in-flight batches")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the fault-injection decision stream")
+    serve.add_argument("--chaos-drop-p", type=float, default=0.0,
+                       help="probability of dropping the connection unanswered")
+    serve.add_argument("--chaos-error-p", type=float, default=0.0,
+                       help="probability of answering 503 (retryable)")
+    serve.add_argument("--chaos-delay-p", type=float, default=0.0,
+                       help="probability of delaying the response")
+    serve.add_argument("--chaos-delay-ms", type=float, default=25.0,
+                       help="injected delay length in ms")
+    serve.add_argument("--chaos-saturate-p", type=float, default=0.0,
+                       help="probability of treating the request as queue "
+                       "saturation (degraded answer or 503)")
 
     stats = sub.add_parser(
         "stats", help="scrape and pretty-print a gateway's /metrics exposition"
@@ -233,6 +268,55 @@ def _build_parser() -> argparse.ArgumentParser:
     from .lint.cli import add_lint_arguments
 
     add_lint_arguments(lint)
+
+    churn = sub.add_parser(
+        "churn", help="generate and replay dynamic-fault churn scenarios"
+    )
+    churn_sub = churn.add_subparsers(dest="churn_command", required=True)
+
+    gen = churn_sub.add_parser(
+        "gen", help="write a seeded, replayable JSONL churn trace"
+    )
+    gen.add_argument("--generator", choices=("independent", "orbit", "adversarial"),
+                     default="independent",
+                     help="fault-arrival model (orbit clusters faults within "
+                     "necklace fault-units; adversarial targets the current "
+                     "fault-free cycle, debruijn only)")
+    gen.add_argument("--topology", choices=available_topologies(), default="debruijn",
+                     help="network backend the trace targets")
+    gen.add_argument("--d", type=int, default=2, help="degree/alphabet parameter")
+    gen.add_argument("--n", type=int, required=True, help="word length / dimension")
+    gen.add_argument("--events", type=int, required=True, help="number of events")
+    gen.add_argument("--seed", type=int, default=0, help="trace seed")
+    gen.add_argument("--p-fault", type=float, default=0.6,
+                     help="probability an event is a fault (vs a heal)")
+    gen.add_argument("--cluster-p", type=float, default=0.8,
+                     help="orbit generator: probability a new fault lands in "
+                     "an already-faulty fault-unit")
+    gen.add_argument("--max-faults", type=int, default=None,
+                     help="ceiling on simultaneous faults (default: "
+                     "min(8, nodes//4))")
+    gen.add_argument("--out", default="-",
+                     help="output trace file ('-' = stdout)")
+
+    run_p = churn_sub.add_parser(
+        "run", help="replay a churn trace and hold every answer to the oracle"
+    )
+    run_p.add_argument("--trace", required=True, help="JSONL trace file to replay")
+    run_p.add_argument("--url", default=None,
+                       help="base URL of a live gateway (omitted = offline "
+                       "replay against an in-process service)")
+    run_p.add_argument("--retries", type=int, default=0,
+                       help="client retries per request (503 / dropped "
+                       "connections) when driving a live gateway")
+    run_p.add_argument("--report", default=None,
+                       help="write the scenario report JSON to this file "
+                       "(default: print to stdout)")
+    run_p.add_argument("--bench-out", default=None,
+                       help="append the report to this BENCH_sweep.json "
+                       "run history")
+    run_p.add_argument("--no-strict", action="store_true",
+                       help="report mismatches instead of failing on them")
 
     embed = sub.add_parser(
         "embed", help="query the embedding service for one fault-free ring"
@@ -300,6 +384,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .topology import get_topology
 
     fmt = args.format or ("json" if args.json else "table")
+
+    if args.fresh and args.checkpoint is not None:
+        import os
+
+        try:
+            os.unlink(args.checkpoint)
+            print(f"repro sweep: discarded checkpoint {args.checkpoint}",
+                  file=sys.stderr)
+        except FileNotFoundError:
+            pass
 
     def report(progress: SweepProgress) -> None:
         line = (
@@ -466,8 +560,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .churn.chaos import ChaosConfig
     from .server.gateway import GatewayConfig, run
 
+    chaos = ChaosConfig(
+        seed=args.chaos_seed,
+        drop_p=args.chaos_drop_p,
+        error_p=args.chaos_error_p,
+        delay_p=args.chaos_delay_p,
+        saturate_p=args.chaos_saturate_p,
+        delay_ms=args.chaos_delay_ms,
+    )
     return run(GatewayConfig(
         host=args.host,
         port=args.port,
@@ -475,7 +578,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         queue_limit=args.queue_limit,
         max_cached_answers=args.max_cached_answers,
+        deadline_ms=args.deadline_ms,
+        degraded=args.degraded,
+        chaos=chaos if chaos.enabled else None,
+        drain_timeout_s=args.drain_timeout_s,
     ))
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from .churn import generate_trace, read_trace, run_scenario, write_trace
+    from .exceptions import ScenarioMismatchError
+
+    if args.churn_command == "gen":
+        trace = generate_trace(
+            args.generator,
+            topology=args.topology,
+            d=args.d,
+            n=args.n,
+            events=args.events,
+            seed=args.seed,
+            p_fault=args.p_fault,
+            cluster_p=args.cluster_p,
+            max_faults=args.max_faults,
+        )
+        if args.out == "-":
+            print(trace.dumps(), end="")
+        else:
+            write_trace(trace, args.out)
+            print(f"wrote {len(trace.events)} events to {args.out}", file=sys.stderr)
+        return 0
+
+    trace = read_trace(args.trace)
+    client = None
+    if args.url is not None:
+        from .server.client import ServeClient
+
+        client = ServeClient(args.url, retries=args.retries)
+    status = 0
+    try:
+        report = run_scenario(
+            trace,
+            client=client,
+            strict=not args.no_strict,
+            bench_path=args.bench_out,
+        )
+    except ScenarioMismatchError as exc:
+        if exc.report is None:
+            raise
+        report = exc.report
+        status = 1
+        print(f"repro churn: {exc}", file=sys.stderr)
+    payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    if args.report is None:
+        print(payload)
+    else:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+    summary = (
+        f"{report.events} events [{report.transport}]: "
+        f"{report.incremental} incremental, {report.full} full, "
+        f"{report.replayed} replayed, {report.degraded} degraded, "
+        f"{report.retries} retries, {len(report.mismatches)} mismatches"
+    )
+    print(f"repro churn: {summary}", file=sys.stderr)
+    return status
 
 
 def _cmd_embed(args: argparse.Namespace) -> int:
@@ -514,6 +680,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_embed(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "churn":
+            return _cmd_churn(args)
         if args.command == "stats":
             return _cmd_stats(args)
         if args.command == "lint":

@@ -47,6 +47,7 @@ __all__ = [
     "run_sweep_bench",
     "run_serve_bench",
     "run_obs_overhead_bench",
+    "append_run",
     "write_bench_file",
     "DEFAULT_CONFIGS",
     "SERVE_CONFIG",
@@ -389,19 +390,26 @@ def _load_runs(path: str) -> list[dict]:
     return runs if isinstance(runs, list) else []
 
 
-def write_bench_file(
-    results: Sequence[SweepBenchResult],
+def _as_entries(items: Sequence[Any]) -> list[dict]:
+    """Result entries as plain dicts (dataclass instances are converted)."""
+    return [item if isinstance(item, dict) else asdict(item) for item in items]
+
+
+def append_run(
     path: str,
-    serve_results: Sequence[ServeBenchResult] = (),
-    obs_result: ObsOverheadResult | None = None,
+    benchmarks: Sequence[Any] = (),
+    serve: Sequence[Any] = (),
+    obs: Sequence[Any] = (),
+    churn: Sequence[Any] = (),
 ) -> dict:
-    """Append this run to the history at ``path``; return the full payload.
+    """Append one run to the history at ``path``; return the full payload.
 
     The file is schema 3: ``runs`` holds every recorded invocation (oldest
     first, schema-1/2 snapshots migrated on first contact), while the top
     level mirrors the newest run's entries for schema-2 readers and quick
-    ``cat``-ing.  Runs recorded before the observability layer simply lack
-    the ``obs`` key.
+    ``cat``-ing.  Entries may be result dataclasses or already-built dicts
+    (churn scenario reports arrive as dicts).  Runs recorded before a
+    section existed simply lack its key (``obs``, ``churn``).
     """
     run = {
         "unix_time": time.time(),
@@ -411,9 +419,10 @@ def write_bench_file(
             "python": sys.version.split()[0],
             "numpy": np.__version__,
         },
-        "benchmarks": [asdict(r) for r in results],
-        "serve": [asdict(r) for r in serve_results],
-        "obs": [] if obs_result is None else [asdict(obs_result)],
+        "benchmarks": _as_entries(benchmarks),
+        "serve": _as_entries(serve),
+        "obs": _as_entries(obs),
+        "churn": _as_entries(churn),
     }
     runs = _load_runs(path) + [run]
     payload = {
@@ -424,9 +433,25 @@ def write_bench_file(
         "benchmarks": run["benchmarks"],
         "serve": run["serve"],
         "obs": run["obs"],
+        "churn": run["churn"],
         "runs": runs,
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     return payload
+
+
+def write_bench_file(
+    results: Sequence[SweepBenchResult],
+    path: str,
+    serve_results: Sequence[ServeBenchResult] = (),
+    obs_result: ObsOverheadResult | None = None,
+) -> dict:
+    """Append this bench invocation's run to ``path`` (see :func:`append_run`)."""
+    return append_run(
+        path,
+        benchmarks=results,
+        serve=serve_results,
+        obs=() if obs_result is None else (obs_result,),
+    )

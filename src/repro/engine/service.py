@@ -33,9 +33,10 @@ the cache lookup, exactly as the ring cache does.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -53,6 +54,26 @@ __all__ = [
     "MeasureResponse",
     "EmbeddingService",
 ]
+
+
+@dataclass
+class _ChurnSession:
+    """Mutable per-(d, n, root_hint) state of one dynamic-fault stream.
+
+    ``rep_key`` is the sorted canonical necklace representative set of the
+    current faults — the only input the FFC cycle depends on (besides the
+    root hint), which is exactly what makes the incremental decision sound:
+    an event that leaves ``rep_key`` unchanged provably leaves the cycle
+    unchanged, so the previous one is reused bit-for-bit.
+    """
+
+    faults: set[Word] = field(default_factory=set)
+    rep_key: tuple[int, ...] = ()
+    cycle: tuple[Word, ...] = ()
+    last_seq: int | None = None
+    last_event: "tuple[str, Word] | None" = None
+    last_response: "EmbeddingResponse | None" = None
+    started: bool = False
 
 
 @dataclass(frozen=True)
@@ -240,12 +261,17 @@ class EmbeddingService:
         max_cached_answers: int = 256,
         max_cached_codecs: int = 4,
         registry: MetricsRegistry | None = None,
+        max_churn_sessions: int = 32,
     ) -> None:
         self._answers = LRUCache(max_cached_answers, name="engine.embedding_answers")
         self._measurements = LRUCache(
             max_cached_answers, name="engine.measurement_answers"
         )
         self._codecs = LRUCache(max_cached_codecs, name="engine.codec_tables")
+        #: per-(d, n, root_hint) dynamic-fault streams (see apply_event);
+        #: bounded so abandoned streams age out instead of accumulating
+        self._churn_sessions = LRUCache(max_churn_sessions, name="engine.churn_sessions")
+        self._churn_lock = threading.RLock()
         #: this service's metrics (request/compute latency histograms) — the
         #: single backing store for the scalar counters :meth:`stats` reports
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -266,6 +292,15 @@ class EmbeddingService:
         self._obs_compute_seconds = {
             endpoint: compute_seconds.labels(endpoint)
             for endpoint in ("embed", "measure")
+        }
+        churn_events = self.registry.counter(
+            "repro_service_churn_events_total",
+            "Churn events applied, by re-embedding decision",
+            labelnames=("decision",),
+        )
+        self._obs_churn = {
+            decision: churn_events.labels(decision)
+            for decision in ("incremental", "full", "replayed")
         }
 
     # -- queries --------------------------------------------------------------
@@ -315,6 +350,136 @@ class EmbeddingService:
             cached=cached,
             elapsed_s=elapsed,
         )
+
+    # -- dynamic faults (churn) ------------------------------------------------
+    def apply_event(
+        self,
+        d: int,
+        n: int,
+        op: str,
+        node: Sequence[int],
+        root_hint: Sequence[int] | None = None,
+        seq: int | None = None,
+    ) -> EmbeddingResponse:
+        """Apply one churn event and return the (possibly repaired) ring.
+
+        The service keeps one session per ``(d, n, root_hint)`` holding the
+        current fault set and the previous fault-free cycle.  The FFC cycle
+        depends only on the *canonical necklace representative set* of the
+        faults (plus the root hint), so an event that leaves that set
+        unchanged — faulting another node of an already-faulty necklace, or
+        healing a node whose necklace stays faulty through a sibling — is
+        answered **incrementally** by reusing the previous cycle, which is
+        bit-for-bit what a full recomputation would return.  Any event that
+        changes the representative set takes the **full** path through
+        :meth:`submit` (the batch recomputation, LRU-backed).  The
+        incremental-vs-full decision counters are exported on
+        :meth:`stats` under ``churn`` and on ``/metrics`` as
+        ``repro_service_churn_events_total``.
+
+        ``seq`` makes event delivery idempotent over lossy transports:
+        events must arrive with consecutive sequence numbers (starting at 0
+        for a fresh session); redelivering the *last applied* ``seq``
+        returns the stored response without re-applying the event, so a
+        client may safely retry after a dropped response.  Out-of-order or
+        gapped sequence numbers are rejected.
+        """
+        start = time.perf_counter()
+        if op not in ("fault", "heal"):
+            raise InvalidParameterError(
+                f"churn op must be 'fault' or 'heal', got {op!r}"
+            )
+        codec = self._codec(d, n)
+        (word,) = self._validated_faults(codec, [node])
+        hint = None if root_hint is None else tuple(int(x) for x in root_hint)
+        key = (codec.d, codec.n, hint)
+        with self._churn_lock:
+            session = self._churn_sessions.get_or_create(key, _ChurnSession)
+            if seq is not None:
+                if session.last_seq is not None and seq == session.last_seq:
+                    if session.last_response is None:  # pragma: no cover
+                        raise InvalidParameterError(
+                            f"churn seq {seq} already applied but no stored response"
+                        )
+                    if session.last_event != (op, word):
+                        raise InvalidParameterError(
+                            f"churn seq {seq} was already applied with a "
+                            f"different event than {(op, word)!r}; replays "
+                            "must redeliver the same event"
+                        )
+                    self._obs_churn["replayed"].inc()
+                    return session.last_response
+                expected = 0 if session.last_seq is None else session.last_seq + 1
+                if seq != expected:
+                    raise InvalidParameterError(
+                        f"churn event out of order for B({d},{n}) session: "
+                        f"got seq {seq}, expected {expected} (replays of seq "
+                        f"{session.last_seq} are the only redelivery allowed)"
+                    )
+            if op == "fault":
+                if word in session.faults:
+                    raise InvalidParameterError(
+                        f"churn fault on {word}: node is already faulty"
+                    )
+                session.faults.add(word)
+            else:
+                if word not in session.faults:
+                    raise InvalidParameterError(
+                        f"churn heal on {word}: node is not faulty"
+                    )
+                session.faults.discard(word)
+            fault_words = sorted(session.faults)
+            rep_key = tuple(
+                sorted({int(codec.rep[codec.encode(w)]) for w in fault_words})
+            )
+            if session.started and rep_key == session.rep_key:
+                # the representative set is untouched: the previous cycle IS
+                # the full recomputation's answer (same cache key), reuse it
+                cycle = session.cycle
+                bound = self._guarantee_bound(codec.d, codec.n, len(fault_words))
+                elapsed = time.perf_counter() - start
+                self._observe("embed", elapsed, cached=True)
+                response = EmbeddingResponse(
+                    d=codec.d,
+                    n=codec.n,
+                    faults=tuple(fault_words),
+                    faulty_necklaces=tuple(codec.decode(c) for c in rep_key),
+                    cycle=cycle,
+                    length=len(cycle),
+                    guarantee_bound=bound,
+                    meets_guarantee=True if bound is None else len(cycle) >= bound,
+                    cached=True,
+                    elapsed_s=elapsed,
+                )
+                self._obs_churn["incremental"].inc()
+            else:
+                response = self.submit(
+                    EmbeddingRequest(
+                        d=codec.d,
+                        n=codec.n,
+                        faults=tuple(fault_words),
+                        root_hint=hint,
+                    )
+                )
+                self._obs_churn["full"].inc()
+            session.rep_key = rep_key
+            session.cycle = response.cycle
+            session.started = True
+            if seq is not None:
+                session.last_seq = seq
+                session.last_event = (op, word)
+                session.last_response = response
+            return response
+
+    def reset_churn(
+        self, d: int, n: int, root_hint: Sequence[int] | None = None
+    ) -> None:
+        """Drop the churn session of ``(d, n, root_hint)``: next event starts
+        from an empty fault set at seq 0."""
+        hint = None if root_hint is None else tuple(int(x) for x in root_hint)
+        codec = self._codec(d, n)
+        with self._churn_lock:
+            self._churn_sessions.put((codec.d, codec.n, hint), _ChurnSession())
 
     def measure(
         self,
@@ -404,6 +569,12 @@ class EmbeddingService:
             "answers": self._answers.stats().as_dict(),
             "measurements": self._measurements.stats().as_dict(),
             "codecs": self._codecs.stats().as_dict(),
+            "churn": {
+                "incremental": int(self._obs_churn["incremental"].value()),
+                "full": int(self._obs_churn["full"].value()),
+                "replayed": int(self._obs_churn["replayed"].value()),
+                "sessions": len(self._churn_sessions),
+            },
             "process_caches": cache_stats(),
         }
 
@@ -412,6 +583,8 @@ class EmbeddingService:
         self._answers.clear()
         self._measurements.clear()
         self._codecs.clear()
+        with self._churn_lock:
+            self._churn_sessions.clear()
         if include_process_caches:
             from .caches import clear_caches
 

@@ -55,6 +55,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import (
+    CheckpointCorruptionError,
     CheckpointMismatchError,
     InvalidParameterError,
     UnknownTopologyError,
@@ -174,11 +175,25 @@ class _Checkpoint:
         self.info = info or {}
 
     def load_completed(self) -> dict[tuple[int, int], tuple[int, int]]:
-        """Return ``(f, trial) -> (size, ecc)`` from disk, validating the header."""
+        """Return ``(f, trial) -> (size, ecc)`` from disk, validating the header.
+
+        An unparseable or structurally broken file (truncated write, disk
+        corruption, concurrent scribbling) raises
+        :class:`~repro.exceptions.CheckpointCorruptionError` naming the path
+        and the ``--fresh`` escape hatch, instead of surfacing a raw
+        ``JSONDecodeError`` stack.
+        """
         if not os.path.exists(self.path):
             return {}
-        with open(self.path, encoding="utf-8") as fh:
-            data = json.load(fh)
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointCorruptionError(self.path, f"not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise CheckpointCorruptionError(
+                self.path, f"expected a JSON object, found {type(data).__name__}"
+            )
         # pre-registry checkpoints (PR 3 format) predate the topology field
         # and were all De Bruijn sweeps
         stored = {"topology": data.get("topology", DEFAULT_TOPOLOGY)}
@@ -186,9 +201,14 @@ class _Checkpoint:
         if stored != self.header:
             raise CheckpointMismatchError(self.path, stored, self.header)
         completed: dict[tuple[int, int], tuple[int, int]] = {}
-        for f_key, trials in data.get("completed", {}).items():
-            for trial_key, (size, ecc) in trials.items():
-                completed[(int(f_key), int(trial_key))] = (int(size), int(ecc))
+        try:
+            for f_key, trials in data.get("completed", {}).items():
+                for trial_key, (size, ecc) in trials.items():
+                    completed[(int(f_key), int(trial_key))] = (int(size), int(ecc))
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise CheckpointCorruptionError(
+                self.path, f"malformed completed-trials table: {exc}"
+            ) from exc
         return completed
 
     def save(self, completed: dict[tuple[int, int], tuple[int, int]]) -> None:

@@ -21,6 +21,10 @@ __all__ = [
     "SimulationError",
     "UnknownTopologyError",
     "CheckpointMismatchError",
+    "CheckpointCorruptionError",
+    "DeadlineExceededError",
+    "ChurnTraceError",
+    "ScenarioMismatchError",
 ]
 
 
@@ -57,6 +61,52 @@ class CheckpointMismatchError(InvalidParameterError):
             f"(mismatched field(s): {', '.join(mismatched) or 'header'}): "
             f"stored {stored} != requested {requested}"
         )
+
+
+class CheckpointCorruptionError(CheckpointMismatchError):
+    """A sweep checkpoint exists but cannot be parsed as a checkpoint at all.
+
+    Truncated writes and garbage files land here instead of surfacing a raw
+    ``json.JSONDecodeError`` from deep inside the engine.  The message names
+    the offending path and the ``--fresh`` CLI escape hatch that discards it.
+    """
+
+    def __init__(self, path: str, detail: str) -> None:
+        self.path = path
+        self.stored: dict = {}
+        self.requested: dict = {}
+        self.detail = detail
+        ReproError.__init__(
+            self,
+            f"checkpoint {path} is corrupt ({detail}); delete the file or "
+            f"rerun with --fresh to discard it and start over",
+        )
+
+
+class DeadlineExceededError(ReproError):
+    """A request's per-request deadline elapsed before its answer landed.
+
+    Raised by :meth:`repro.server.batcher.MicroBatcher.submit` when the
+    caller supplied a deadline; timed-out masks leave their batch without
+    failing coalesced lane-mates.  The gateway maps this to HTTP 504.
+    """
+
+
+class ChurnTraceError(InvalidParameterError):
+    """A churn trace file violates the JSONL schema or event legality rules
+    (faulting an already-faulty node, healing a healthy one, seq gaps)."""
+
+
+class ScenarioMismatchError(ReproError):
+    """A streamed churn answer diverged from the offline batch recomputation.
+
+    Carries the finished :class:`~repro.churn.scenario.ScenarioReport` (with
+    its ``mismatches`` list populated) as the ``report`` attribute.
+    """
+
+    def __init__(self, message: str, report: object = None) -> None:
+        self.report = report
+        super().__init__(message)
 
 
 class AlphabetError(InvalidParameterError):

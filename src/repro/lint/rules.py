@@ -262,6 +262,7 @@ class LockedLazyInitRule(Rule):
         "repro/engine/",
         "repro/server/",
         "repro/obs/",
+        "repro/churn/",
         "repro/analysis/fault_simulation",
     )
 

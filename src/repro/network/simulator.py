@@ -104,6 +104,39 @@ class SynchronousDeBruijnNetwork:
             if not self.graph.has_edge(a, b):
                 raise SimulationError(f"({a}, {b}) is not a link of B({d},{n})")
 
+    # -- dynamic faults ----------------------------------------------------------
+    def fail_node(self, node: Sequence[int]) -> None:
+        """Mark one processor as totally failed (next ``run`` excludes it)."""
+        word = validate_word(node, self.d)
+        if word in self.faulty_nodes:
+            raise SimulationError(f"node {word} is already faulty")
+        self.faulty_nodes = self.faulty_nodes | {word}
+
+    def heal_node(self, node: Sequence[int]) -> None:
+        """Return one failed processor to service."""
+        word = validate_word(node, self.d)
+        if word not in self.faulty_nodes:
+            raise SimulationError(f"cannot heal node {word}: it is not faulty")
+        self.faulty_nodes = self.faulty_nodes - {word}
+
+    def fail_edge(self, src: Sequence[int], dst: Sequence[int]) -> None:
+        """Mark one directed link as faulty (it drops every crossing message)."""
+        edge = (validate_word(src, self.d), validate_word(dst, self.d))
+        if not self.graph.has_edge(*edge):
+            raise SimulationError(
+                f"({edge[0]}, {edge[1]}) is not a link of B({self.d},{self.n})"
+            )
+        if edge in self.faulty_edges:
+            raise SimulationError(f"link {edge} is already faulty")
+        self.faulty_edges = self.faulty_edges | {edge}
+
+    def heal_edge(self, src: Sequence[int], dst: Sequence[int]) -> None:
+        """Return one failed link to service (it stops dropping messages)."""
+        edge = (validate_word(src, self.d), validate_word(dst, self.d))
+        if edge not in self.faulty_edges:
+            raise SimulationError(f"cannot heal link {edge}: it is not faulty")
+        self.faulty_edges = self.faulty_edges - {edge}
+
     # -- execution ---------------------------------------------------------------
     def run(
         self,

@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..graphs.msbfs import WORD_WIDTH
-from ..exceptions import InvalidParameterError
+from ..exceptions import DeadlineExceededError, InvalidParameterError
 from ..obs import MetricsRegistry
 from ..obs.tracing import Trace
 
@@ -141,10 +141,25 @@ class MicroBatcher:
             "Submit-to-answer wall time per request",
             labels,
         ).labels(self.shard)
+        self._obs_expired = self.registry.counter(
+            "repro_batcher_deadline_expired_total",
+            "Requests that missed their per-request deadline",
+            labels,
+        ).labels(self.shard)
+        self._obs_isolated = self.registry.counter(
+            "repro_batcher_isolated_failures_total",
+            "Invalid masks failed individually without poisoning their batch",
+            labels,
+        ).labels(self.shard)
+        #: lanes currently inside a kernel launch (drain watches this)
+        self._dispatching = 0
 
     # -- submission ------------------------------------------------------------
     async def submit(
-        self, mask: np.ndarray, trace: Trace | None = None
+        self,
+        mask: np.ndarray,
+        trace: Trace | None = None,
+        deadline_s: float | None = None,
     ) -> tuple[int, int, int | None]:
         """Measure one request's removed-node mask; resolves when its batch lands.
 
@@ -153,18 +168,39 @@ class MicroBatcher:
         :class:`QueueFullError` when the shard queue is at capacity.  When a
         ``trace`` rides along it receives ``queue``/``batch`` spans here and
         ``kernel`` (plus ``fallback``) spans from the executor.
+
+        ``deadline_s`` bounds the submit-to-answer wait: when it elapses the
+        request fails with :class:`~repro.exceptions.DeadlineExceededError`
+        and its mask simply *leaves the batch* — coalesced lane-mates are
+        unaffected (the flusher skips expired entries at pack time; a lane
+        already inside a kernel launch completes and its late answer is
+        discarded).
         """
+        if deadline_s is not None and deadline_s <= 0:
+            raise InvalidParameterError(
+                f"deadline_s must be > 0 when given, got {deadline_s}"
+            )
         self._ensure_started()
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
+        deadline = None if deadline_s is None else loop.time() + deadline_s
         try:
-            self._queue.put_nowait((mask, future, time.perf_counter(), trace))
+            self._queue.put_nowait((mask, future, time.perf_counter(), trace, deadline))
         except asyncio.QueueFull:
             self._obs_rejected.inc()
             raise QueueFullError(
                 f"shard queue full ({self.max_queue} requests pending)"
             ) from None
-        return await future
+        if deadline_s is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, deadline_s)
+        except asyncio.TimeoutError:
+            self._obs_expired.inc()
+            raise DeadlineExceededError(
+                f"request missed its {deadline_s * 1e3:.0f} ms deadline "
+                f"(shard {self.shard})"
+            ) from None
 
     def _ensure_started(self) -> None:
         if self._flusher is None or self._flusher.done():
@@ -195,18 +231,64 @@ class MicroBatcher:
                     break
             await self._dispatch(batch)
 
+    def _mask_error(self, mask: object) -> str | None:
+        """Why ``mask`` cannot join a kernel launch (None when it can).
+
+        Per-mask validation is what isolates a poisoned request: one bad
+        mask in a 64-lane flush fails alone instead of propagating its
+        exception to every coalesced neighbour.  Only shape/type problems
+        are knowable here; anything deeper still fails the whole launch.
+        """
+        if not isinstance(mask, np.ndarray):
+            return f"mask must be a numpy bool array, got {type(mask).__name__}"
+        if mask.dtype != np.bool_:
+            return f"mask dtype must be bool, got {mask.dtype}"
+        num_nodes = getattr(
+            getattr(self.executor, "topology", None), "num_nodes", None
+        )
+        if mask.ndim != 1 or (num_nodes is not None and mask.shape != (num_nodes,)):
+            expected = "(num_nodes,)" if num_nodes is None else f"({num_nodes},)"
+            return f"mask shape must be {expected}, got {mask.shape}"
+        return None
+
     async def _dispatch(
         self,
-        batch: list[tuple[np.ndarray, asyncio.Future, float, Trace | None]],
+        batch: list[
+            tuple[np.ndarray, asyncio.Future, float, Trace | None, float | None]
+        ],
     ) -> None:
         loop = asyncio.get_running_loop()
-        masks = [mask for mask, _, _, _ in batch]
-        traces = [trace for _, _, _, trace in batch]
         dispatch_start = time.perf_counter()
-        for (_, _, enqueued, trace) in batch:
+        live: list[
+            tuple[np.ndarray, asyncio.Future, float, Trace | None, float | None]
+        ] = []
+        for entry in batch:
+            mask, future, enqueued, trace, deadline = entry
+            if future.done():
+                continue  # waiter cancelled (e.g. its wait_for already fired)
+            if deadline is not None and loop.time() >= deadline:
+                # expired while queued: leave the batch, fail only this lane
+                self._obs_expired.inc()
+                future.set_exception(
+                    DeadlineExceededError(
+                        f"request expired in queue (shard {self.shard})"
+                    )
+                )
+                continue
+            error = self._mask_error(mask)
+            if error is not None:
+                self._obs_isolated.inc()
+                future.set_exception(InvalidParameterError(error))
+                continue
             if trace is not None:
                 # queue wait: enqueue to the moment its batch was sealed
                 trace.add_span("queue", enqueued, dispatch_start)
+            live.append(entry)
+        if not live:
+            return
+        masks = [mask for mask, _, _, _, _ in live]
+        traces = [trace for _, _, _, trace, _ in live]
+        self._dispatching = len(live)
         try:
             call_start = time.perf_counter()
             if any(t is not None for t in traces):
@@ -217,14 +299,16 @@ class MicroBatcher:
                 call = partial(self.executor.measure_masks_batch, masks)
             results = await loop.run_in_executor(self._pool, call)
         except Exception as exc:  # surface the failure on every waiter
-            for _, future, _, _ in batch:
+            for _, future, _, _, _ in live:
                 if not future.done():
                     future.set_exception(exc)
             return
+        finally:
+            self._dispatching = 0
         self._obs_launches.inc()
-        self._obs_lanes.inc(len(batch))
+        self._obs_lanes.inc(len(live))
         now = time.perf_counter()
-        for (_, future, enqueued, trace), result in zip(batch, results):
+        for (_, future, enqueued, trace, _), result in zip(live, results):
             self._obs_completed.inc()
             self._obs_wait_seconds.observe(now - enqueued)
             if trace is not None:
@@ -251,12 +335,21 @@ class MicroBatcher:
         if self._queue is not None:
             while True:
                 try:
-                    _, future, _, _ = self._queue.get_nowait()
+                    _, future, _, _, _ = self._queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
                 if not future.done():
                     future.set_exception(QueueFullError("batcher closed"))
         self._pool.shutdown(wait=False)
+
+    def pending(self) -> int:
+        """Requests still in flight: queued plus inside the current launch.
+
+        The gateway's graceful drain polls this to know when the shard has
+        flushed everything it accepted.
+        """
+        queued = self._queue.qsize() if self._queue is not None else 0
+        return queued + self._dispatching
 
     def stats(self) -> dict:
         """Batch-occupancy, queue and latency counters of this shard.
@@ -276,6 +369,8 @@ class MicroBatcher:
             "batch_occupancy": lanes / launches if launches else 0.0,
             "completed": int(self._obs_completed.value()),
             "rejected": int(self._obs_rejected.value()),
+            "deadline_expired": int(self._obs_expired.value()),
+            "isolated_failures": int(self._obs_isolated.value()),
         }
         stats.update(latency_percentiles(self._obs_wait_seconds.samples()))
         return stats

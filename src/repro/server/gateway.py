@@ -60,19 +60,29 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
+import sys
 import time
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
+from ..churn.chaos import ChaosConfig, ChaosInjector
 from ..engine.cache import LRUCache
 from ..engine.service import EmbeddingRequest, EmbeddingService, MeasureResponse
-from ..exceptions import InvalidParameterError, ReproError, ServerStateError
+from ..exceptions import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    ReproError,
+    ServerStateError,
+)
 from ..graphs.msbfs import WORD_WIDTH
 from ..obs import DEFAULT_REGISTRY, MetricsRegistry, Tracer
 from ..obs.metrics import render_registries
 from ..obs.tracing import Trace
 from ..topology import DEFAULT_TOPOLOGY, get_topology
+from ..topology.base import Topology
 from .batcher import MicroBatcher, QueueFullError, latency_percentiles
 
 __all__ = ["GatewayConfig", "BatchingGateway", "run"]
@@ -89,6 +99,10 @@ class _TextResponse:
 
     text: str
     content_type: str
+
+
+class _ChaosDropConnection(Exception):
+    """Raised by the chaos middleware to reset the connection unanswered."""
 
 
 def _query_param(query: str, name: str) -> str | None:
@@ -119,6 +133,16 @@ class GatewayConfig:
     queue_limit: int = 1024
     max_cached_answers: int = 256
     max_body_bytes: int = 1024 * 1024
+    #: default per-request deadline for /measure (0 = none); requests may
+    #: override with a "deadline_ms" payload field
+    deadline_ms: float = 0.0
+    #: serve guarantee-bound-only answers flagged ``degraded: true`` when a
+    #: shard queue saturates, instead of a hard 503
+    degraded: bool = False
+    #: fault-injection middleware knobs (None/disabled = no injection)
+    chaos: ChaosConfig | None = None
+    #: seconds the graceful drain waits for in-flight batches on SIGTERM
+    drain_timeout_s: float = 10.0
 
 
 class BatchingGateway:
@@ -163,6 +187,17 @@ class BatchingGateway:
         self._obs_uptime = self.registry.gauge(
             "repro_gateway_uptime_seconds", "Seconds since gateway start"
         )
+        self._obs_degraded = self.registry.counter(
+            "repro_gateway_degraded_total",
+            "Requests answered in graceful-degradation mode (bound-only)",
+        )
+        self._obs_retried = self.registry.counter(
+            "repro_gateway_retried_requests_total",
+            "Requests arriving with a nonzero X-Retry-Attempt header",
+        )
+        self._chaos: ChaosInjector | None = None
+        if self.config.chaos is not None and self.config.chaos.enabled:
+            self._chaos = ChaosInjector(self.config.chaos, registry=self.registry)
 
     # -- shards ----------------------------------------------------------------
     @staticmethod
@@ -191,7 +226,9 @@ class BatchingGateway:
         return batcher
 
     # -- endpoint implementations ----------------------------------------------
-    async def _measure(self, payload: dict, trace: Trace | None = None) -> dict:
+    async def _measure(
+        self, payload: dict, trace: Trace | None = None, saturate: bool = False
+    ) -> dict:
         start = time.perf_counter()
         topology = str(payload.get("topology", DEFAULT_TOPOLOGY))
         topo = get_topology(topology, int(payload["d"]), int(payload["n"]))
@@ -203,6 +240,14 @@ class BatchingGateway:
         batcher = self._shard(topo.key, topo.d, topo.n, root_key)
         key = (topo.key, topo.d, topo.n, tuple(rep_codes), batcher.executor.root_code)
 
+        if saturate:
+            # injected saturation models a fully saturated shard: it must
+            # bite deterministically, so it is decided before the answer
+            # cache can absorb the request
+            if not self.config.degraded:
+                raise QueueFullError("chaos: injected queue saturation")
+            return self._degraded_measure(topo, fault_codes, rep_codes, start, trace)
+
         measured = self._measure_cache.get(key)
         cached = measured is not None
         gateway_end = time.perf_counter()
@@ -212,7 +257,19 @@ class BatchingGateway:
             trace.add_span("gateway", start, gateway_end)
         if not cached:
             removed = topo.fault_unit_mask(np.asarray(fault_codes, dtype=np.int64))
-            measured = await batcher.submit(removed, trace)
+            deadline_ms = float(
+                payload.get("deadline_ms", self.config.deadline_ms) or 0.0
+            )
+            try:
+                measured = await batcher.submit(
+                    removed,
+                    trace,
+                    deadline_s=deadline_ms / 1000.0 if deadline_ms > 0 else None,
+                )
+            except QueueFullError:
+                if not self.config.degraded:
+                    raise
+                return self._degraded_measure(topo, fault_codes, rep_codes, start, trace)
             self._measure_cache.put(key, measured)
 
         reply_start = time.perf_counter()
@@ -239,6 +296,46 @@ class BatchingGateway:
             data["trace_id"] = trace.trace_id
         return data
 
+    def _degraded_measure(
+        self,
+        topo: Topology,
+        fault_codes: list[int],
+        rep_codes: np.ndarray,
+        start: float,
+        trace: Trace | None,
+    ) -> dict:
+        """Guarantee-bound-only answer served when the queue saturates.
+
+        Graceful degradation: instead of a hard 503 the client gets the
+        analytic fields that need no kernel time (the reference size and the
+        paper's worst-case guarantee bound), with the measured fields null
+        and ``degraded: true`` so no caller can mistake it for a real
+        measurement.  Never cached.
+        """
+        self._obs_degraded.inc()
+        f = len(set(fault_codes))
+        data = {
+            "topology": topo.key,
+            "d": topo.d,
+            "n": topo.n,
+            "faults": [list(topo.decode(c)) for c in fault_codes],
+            "fault_units": [list(topo.decode(int(c))) for c in rep_codes],
+            "root": None,
+            "region_size": None,
+            "root_eccentricity": None,
+            "reference_size": topo.reference_size(f),
+            "guarantee_bound": topo.guarantee_bound(f),
+            "cached": False,
+            "degraded": True,
+            "elapsed_s": 0.0,
+        }
+        end = time.perf_counter()
+        data["elapsed_s"] = end - start
+        if trace is not None:
+            trace.finish(elapsed_s=end - start)
+            data["trace_id"] = trace.trace_id
+        return data
+
     async def _embed(self, payload: dict) -> dict:
         request = EmbeddingRequest.make(
             int(payload["d"]),
@@ -252,6 +349,41 @@ class BatchingGateway:
             None, self.service.submit, request
         )
         return response.as_dict(include_cycle=bool(payload.get("include_cycle", True)))
+
+    async def _churn(self, payload: dict) -> dict:
+        """POST /churn: apply one dynamic-fault event to the embedding service.
+
+        ``{"d": 2, "n": 8, "op": "fault"|"heal"|"reset", "node": [...],
+        "seq": 0, "root_hint": null, "include_cycle": true}`` — see
+        :meth:`EmbeddingService.apply_event` for the incremental
+        re-embedding and seq-idempotency contract.  ``op: "reset"`` clears
+        the session so a scenario always starts from an empty fault set.
+        """
+        op = str(payload.get("op", ""))
+        d, n = int(payload["d"]), int(payload["n"])
+        hint = payload.get("root_hint")
+        loop = asyncio.get_running_loop()
+        if op == "reset":
+            await loop.run_in_executor(
+                None, partial(self.service.reset_churn, d, n, hint)
+            )
+            return {"status": "reset", "d": d, "n": n}
+        seq = payload.get("seq")
+        call = partial(
+            self.service.apply_event,
+            d,
+            n,
+            op,
+            payload["node"],
+            root_hint=hint,
+            seq=None if seq is None else int(seq),
+        )
+        response = await loop.run_in_executor(None, call)
+        data = response.as_dict(include_cycle=bool(payload.get("include_cycle", True)))
+        if seq is not None:
+            # echoed so a retrying client can pair answer with delivery
+            data["seq"] = int(seq)
+        return data
 
     def stats(self) -> dict:
         """Gateway metrics + shard batchers + caches + the engine audit.
@@ -275,6 +407,8 @@ class BatchingGateway:
             "lanes": lanes,
             "batch_occupancy": lanes / launches if launches else 0.0,
             "rejected": sum(s["rejected"] for s in shards.values()),
+            "degraded": int(self._obs_degraded.value()),
+            "retried": int(self._obs_retried.value()),
         }
         server.update(latency_percentiles(self._obs_request_seconds.samples()))
         return {
@@ -317,23 +451,47 @@ class BatchingGateway:
                 return 200, _TextResponse(
                     self.tracer.export_jsonl(trace_id), "application/x-ndjson"
                 )
-            if method == "POST" and path in ("/measure", "/embed"):
+            if method == "POST" and path in ("/measure", "/embed", "/churn"):
+                try:
+                    attempt = int(headers.get("x-retry-attempt", "0") or "0")
+                except ValueError:
+                    attempt = 0
+                if attempt > 0:
+                    self._obs_retried.inc()
+                decision = None if self._chaos is None else self._chaos.decide(endpoint)
+                if decision is not None:
+                    if decision.kind == "drop":
+                        raise _ChaosDropConnection()
+                    if decision.kind == "error":
+                        return 503, {"error": "chaos: injected error", "retry": True}
+                    if decision.kind == "delay":
+                        await asyncio.sleep(decision.delay_s)
                 try:
                     payload = json.loads(body or b"{}")
                 except json.JSONDecodeError as exc:
                     return 400, {"error": f"invalid JSON body: {exc}"}
                 if not isinstance(payload, dict):
                     return 400, {"error": "JSON body must be an object"}
+                saturate = decision is not None and decision.kind == "saturate"
                 if path == "/measure":
                     try:
                         trace = self.tracer.trace(headers.get("x-trace-id"))
                     except InvalidParameterError as exc:
                         return 400, {"error": f"InvalidParameterError: {exc}"}
-                    return 200, await self._measure(payload, trace)
+                    return 200, await self._measure(payload, trace, saturate=saturate)
+                if saturate:
+                    # /embed and /churn have no bound-only fallback: injected
+                    # saturation sheds them as retryable 503s
+                    return 503, {"error": "chaos: injected queue saturation",
+                                 "retry": True}
+                if path == "/churn":
+                    return 200, await self._churn(payload)
                 return 200, await self._embed(payload)
             return 404, {"error": f"no route {method} {path}"}
         except QueueFullError as exc:
             return 503, {"error": str(exc), "retry": True}
+        except DeadlineExceededError as exc:
+            return 504, {"error": str(exc), "retry": True}
         except (ReproError, KeyError, ValueError, TypeError) as exc:
             return 400, {"error": f"{type(exc).__name__}: {exc}"}
 
@@ -378,7 +536,12 @@ class BatchingGateway:
                     await self._respond(writer, 413, {"error": "body too large"}, True)
                     return
                 body = await reader.readexactly(length) if length else b""
-                status, payload = await self._route(method.upper(), target, body, headers)
+                try:
+                    status, payload = await self._route(
+                        method.upper(), target, body, headers
+                    )
+                except _ChaosDropConnection:
+                    return  # injected connection reset: close without replying
                 if status >= 400:
                     self._obs_errors.inc()
                 close = (
@@ -401,7 +564,7 @@ class BatchingGateway:
     _REASONS = {
         200: "OK", 400: "Bad Request", 404: "Not Found", 413: "Payload Too Large",
         431: "Request Header Fields Too Large", 501: "Not Implemented",
-        503: "Service Unavailable",
+        503: "Service Unavailable", 504: "Gateway Timeout",
     }
 
     async def _respond(
@@ -449,6 +612,28 @@ class BatchingGateway:
             raise ServerStateError("gateway not started: call start() before serve_forever()")
         await self._server.serve_forever()
 
+    async def drain(self, timeout_s: float | None = None) -> None:
+        """Graceful drain: stop accepting, then flush everything accepted.
+
+        Closes the listener (new connections are refused), then waits — up
+        to ``timeout_s`` (default :attr:`GatewayConfig.drain_timeout_s`) —
+        until every shard batcher reports no queued or in-flight request.
+        In-flight HTTP exchanges on already-open connections complete
+        normally; nothing dies mid-batch.
+        """
+        if timeout_s is None:
+            timeout_s = self.config.drain_timeout_s
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while any(b.pending() for b in self._batchers.values()):
+            if loop.time() >= deadline:
+                break
+            await asyncio.sleep(0.02)
+
     async def close(self) -> None:
         """Stop accepting, cancel shard flushers, release worker threads."""
         if self._server is not None:
@@ -460,22 +645,52 @@ class BatchingGateway:
 
 
 def run(config: GatewayConfig | None = None) -> int:
-    """Blocking entry point for ``python -m repro serve``."""
+    """Blocking entry point for ``python -m repro serve``.
+
+    SIGTERM/SIGINT trigger a graceful drain: the listener closes, in-flight
+    batches flush (:meth:`BatchingGateway.drain`), a final ``/stats``
+    snapshot lands on stderr as one JSON line, and the process exits 0.
+    """
 
     async def _serve() -> None:
         gateway = BatchingGateway(config)
         await gateway.start()
         host, port = gateway.address
+        extras = ""
+        if gateway.config.degraded:
+            extras += ", degraded-mode"
+        if gateway._chaos is not None:
+            extras += ", chaos-injection"
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without loop signal handlers (e.g. Windows)
+        # the banner doubles as the readiness signal: by the time it prints,
+        # the listener is bound AND a SIGTERM already drains gracefully
         print(
             f"repro serve: listening on http://{host}:{port} "
             f"(max_batch={gateway.config.max_batch}, "
             f"max_wait={gateway.config.max_wait_ms}ms, "
-            f"queue_limit={gateway.config.queue_limit})",
+            f"queue_limit={gateway.config.queue_limit}{extras})",
             flush=True,
         )
+        serve_task = asyncio.ensure_future(gateway.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
         try:
-            await gateway.serve_forever()
+            done, _ = await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if stop_task in done:
+                await gateway.drain()
+                # the final observability snapshot of the drained process
+                print(json.dumps(gateway.stats()), file=sys.stderr, flush=True)
         finally:
+            serve_task.cancel()
+            stop_task.cancel()
+            await asyncio.gather(serve_task, stop_task, return_exceptions=True)
             await gateway.close()
 
     try:

@@ -1,0 +1,67 @@
+"""The seeded fault-injection middleware: deterministic, bounded, observable."""
+
+import pytest
+
+from repro.churn.chaos import CHAOS_KINDS, ChaosConfig, ChaosDecision, ChaosInjector
+from repro.exceptions import InvalidParameterError
+from repro.obs import MetricsRegistry
+
+
+class TestConfig:
+    def test_disabled_by_default(self):
+        assert ChaosConfig().enabled is False
+        assert ChaosConfig(error_p=0.1).enabled is True
+
+    def test_probabilities_are_validated(self):
+        with pytest.raises(InvalidParameterError):
+            ChaosConfig(drop_p=-0.1)
+        with pytest.raises(InvalidParameterError):
+            ChaosConfig(error_p=1.5)
+        with pytest.raises(InvalidParameterError):
+            ChaosConfig(drop_p=0.6, error_p=0.6)  # sum > 1
+        with pytest.raises(InvalidParameterError):
+            ChaosConfig(delay_p=0.1, delay_ms=-1.0)
+
+
+class TestInjector:
+    def test_same_seed_yields_the_same_decision_stream(self):
+        config = ChaosConfig(seed=3, drop_p=0.2, error_p=0.2, delay_p=0.2)
+        a = ChaosInjector(config)
+        b = ChaosInjector(config)
+        decisions_a = [a.decide("POST /measure") for _ in range(200)]
+        decisions_b = [b.decide("POST /measure") for _ in range(200)]
+        assert decisions_a == decisions_b
+        kinds = {d.kind for d in decisions_a if d is not None}
+        assert kinds == {"drop", "error", "delay"}
+
+    def test_uninjected_endpoints_are_left_alone(self):
+        config = ChaosConfig(seed=0, drop_p=1.0)
+        injector = ChaosInjector(config)
+        assert injector.decide("GET /stats") is None
+        assert injector.decide("GET /metrics") is None
+        assert injector.decide("POST /measure") == ChaosDecision(kind="drop")
+
+    def test_delay_decisions_carry_the_configured_delay(self):
+        injector = ChaosInjector(ChaosConfig(seed=0, delay_p=1.0, delay_ms=40.0))
+        decision = injector.decide("POST /embed")
+        assert decision.kind == "delay"
+        assert decision.delay_s == pytest.approx(0.04)
+
+    def test_injections_are_counted_per_endpoint_and_kind(self):
+        registry = MetricsRegistry()
+        injector = ChaosInjector(
+            ChaosConfig(seed=1, error_p=0.5), registry=registry
+        )
+        injected = sum(
+            injector.decide("POST /churn") is not None for _ in range(100)
+        )
+        counter = registry.counter(
+            "repro_chaos_injections_total", "", ("endpoint", "kind")
+        )
+        assert int(counter.labels("POST /churn", "error").value()) == injected
+        assert injected > 0
+
+    def test_kind_order_is_pinned(self):
+        # the cumulative-threshold evaluation order is part of the replay
+        # contract: reordering kinds would change every seeded stream
+        assert CHAOS_KINDS == ("drop", "error", "delay", "saturate")

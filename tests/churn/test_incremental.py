@@ -1,0 +1,123 @@
+"""Incremental re-embedding: bit-for-bit equal to batch recomputation, always.
+
+The property the whole churn engine rests on: for ANY legal event stream,
+``EmbeddingService.apply_event`` returns exactly what a fresh service's full
+``submit`` would return for the same cumulative fault set — the incremental
+path may only ever reuse answers it could have recomputed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.service import EmbeddingService
+from repro.exceptions import InvalidParameterError
+
+GRID = [(2, 4), (2, 5), (3, 3)]
+
+
+def _random_stream(data, d, n, steps):
+    """A legal fault/heal stream drawn from hypothesis: list of (op, node)."""
+    faulty: list = []
+    stream = []
+    for i in range(steps):
+        can_heal = bool(faulty)
+        heal = can_heal and data.draw(st.booleans(), label=f"heal{i}")
+        if heal:
+            node = faulty.pop(data.draw(
+                st.integers(0, len(faulty) - 1), label=f"pick{i}"
+            ))
+            stream.append(("heal", node))
+        else:
+            while True:
+                node = tuple(
+                    data.draw(st.integers(0, d - 1), label=f"digit{i}")
+                    for _ in range(n)
+                )
+                if node not in faulty:
+                    break
+            faulty.append(node)
+            stream.append(("fault", node))
+    return stream
+
+
+class TestIncrementalEqualsFull:
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(GRID), st.data())
+    def test_every_incremental_answer_is_bit_for_bit_the_full_one(self, dn, data):
+        d, n = dn
+        steps = data.draw(st.integers(1, 10), label="steps")
+        stream = _random_stream(data, d, n, steps)
+        service = EmbeddingService()
+        oracle = EmbeddingService(max_cached_answers=1)  # effectively uncached
+        faults: list = []
+        for seq, (op, node) in enumerate(stream):
+            response = service.apply_event(d, n, op, node, seq=seq)
+            if op == "fault":
+                faults.append(node)
+            else:
+                faults.remove(node)
+            full = oracle.embed(d, n, faults=sorted(faults))
+            assert response.cycle == full.cycle
+            assert response.length == full.length
+            assert response.faults == full.faults
+            assert response.faulty_necklaces == full.faulty_necklaces
+            assert response.guarantee_bound == full.guarantee_bound
+            assert response.meets_guarantee == full.meets_guarantee
+
+    def test_same_necklace_event_takes_the_incremental_path(self):
+        service = EmbeddingService()
+        # (0,1) and (1,0) are rotations: one necklace, two nodes
+        service.apply_event(2, 2, "fault", (0, 1), seq=0)
+        before = service.stats()["churn"]
+        response = service.apply_event(2, 2, "fault", (1, 0), seq=1)
+        after = service.stats()["churn"]
+        assert after["incremental"] == before["incremental"] + 1
+        assert after["full"] == before["full"]
+        assert response.cached is True
+        # healing one rotation keeps the necklace faulty: still incremental
+        service.apply_event(2, 2, "heal", (0, 1), seq=2)
+        assert service.stats()["churn"]["incremental"] == before["incremental"] + 2
+
+
+class TestSeqIdempotency:
+    def test_replaying_the_last_seq_returns_the_stored_response(self):
+        service = EmbeddingService()
+        first = service.apply_event(2, 4, "fault", (0, 0, 1, 1), seq=0)
+        replay = service.apply_event(2, 4, "fault", (0, 0, 1, 1), seq=0)
+        assert replay is first
+        assert service.stats()["churn"]["replayed"] == 1
+        # the fault was applied once: healing it twice must fail
+        service.apply_event(2, 4, "heal", (0, 0, 1, 1), seq=1)
+        with pytest.raises(InvalidParameterError, match="not faulty"):
+            service.apply_event(2, 4, "heal", (0, 0, 1, 1), seq=2)
+
+    def test_gapped_and_out_of_order_seqs_are_rejected(self):
+        service = EmbeddingService()
+        service.apply_event(2, 4, "fault", (0, 0, 1, 1), seq=0)
+        with pytest.raises(InvalidParameterError, match="expected 1"):
+            service.apply_event(2, 4, "fault", (0, 1, 1, 1), seq=5)
+        # redelivery of the last seq must carry the same event body
+        with pytest.raises(InvalidParameterError, match="different event"):
+            service.apply_event(2, 4, "fault", (0, 1, 1, 1), seq=0)
+        # fresh sessions must start at 0
+        with pytest.raises(InvalidParameterError, match="expected 0"):
+            service.apply_event(2, 5, "fault", (0, 1, 1, 1, 0), seq=3)
+
+    def test_reset_churn_starts_a_fresh_session(self):
+        service = EmbeddingService()
+        service.apply_event(2, 4, "fault", (0, 0, 1, 1), seq=0)
+        service.reset_churn(2, 4)
+        # the old fault set is gone and seq restarts at 0
+        response = service.apply_event(2, 4, "fault", (0, 1, 0, 1), seq=0)
+        assert response.faults == ((0, 1, 0, 1),)
+
+    def test_illegal_ops_and_nodes_are_rejected(self):
+        service = EmbeddingService()
+        with pytest.raises(InvalidParameterError, match="fault' or 'heal"):
+            service.apply_event(2, 4, "explode", (0, 0, 1, 1))
+        with pytest.raises(InvalidParameterError):
+            service.apply_event(2, 4, "fault", (0, 0, 7, 1))
+        service.apply_event(2, 4, "fault", (0, 0, 1, 1))
+        with pytest.raises(InvalidParameterError, match="already faulty"):
+            service.apply_event(2, 4, "fault", (0, 0, 1, 1))

@@ -1,0 +1,157 @@
+"""The churn-trace format and generators: replayable, validated, seeded."""
+
+import json
+
+import pytest
+
+from repro.churn import (
+    TRACE_SCHEMA,
+    ChurnEvent,
+    ChurnTrace,
+    generate_trace,
+    loads_trace,
+    read_trace,
+    write_trace,
+)
+from repro.exceptions import ChurnTraceError, InvalidParameterError
+from repro.topology import get_topology
+
+
+class TestTraceFormat:
+    def test_round_trip_is_lossless_and_dumps_byte_identical(self, tmp_path):
+        trace = generate_trace("independent", "debruijn", 2, 6, events=50, seed=11)
+        path = tmp_path / "trace.jsonl"
+        write_trace(trace, str(path))
+        loaded = read_trace(str(path))
+        assert loaded == trace
+        assert loaded.dumps() == trace.dumps()
+        assert loads_trace(trace.dumps()) == trace
+
+    def test_header_line_carries_schema_and_event_count(self):
+        trace = generate_trace("independent", "debruijn", 2, 5, events=7, seed=0)
+        header = json.loads(trace.dumps().splitlines()[0])
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["kind"] == "churn-trace"
+        assert header["events"] == 7
+        assert header["params"]["p_fault"] == 0.6
+
+    def test_truncated_trace_is_rejected(self):
+        trace = generate_trace("independent", "debruijn", 2, 5, events=10, seed=1)
+        lines = trace.dumps().splitlines()
+        with pytest.raises(ChurnTraceError, match="truncated"):
+            read_trace(lines[:-2])
+
+    def test_unknown_schema_and_topology_are_rejected(self):
+        good = generate_trace("independent", "debruijn", 2, 5, events=2, seed=1)
+        lines = good.dumps().splitlines()
+        bad_schema = json.loads(lines[0])
+        bad_schema["schema"] = 99
+        with pytest.raises(ChurnTraceError, match="unsupported trace schema"):
+            read_trace([json.dumps(bad_schema)] + lines[1:])
+        bad_topo = json.loads(lines[0])
+        bad_topo["topology"] = "torus"
+        with pytest.raises(ChurnTraceError, match="unknown topology"):
+            read_trace([json.dumps(bad_topo)] + lines[1:])
+
+    def test_illegal_event_streams_are_rejected(self):
+        node = (0, 1, 0, 1, 0)
+        with pytest.raises(ChurnTraceError, match="already faulty"):
+            ChurnTrace(
+                "debruijn", 2, 5, "manual", 0,
+                events=(ChurnEvent(0, "fault", node), ChurnEvent(1, "fault", node)),
+            ).validate()
+        with pytest.raises(ChurnTraceError, match="not faulty"):
+            ChurnTrace(
+                "debruijn", 2, 5, "manual", 0, events=(ChurnEvent(0, "heal", node),)
+            ).validate()
+        with pytest.raises(ChurnTraceError, match="seq must count up"):
+            ChurnTrace(
+                "debruijn", 2, 5, "manual", 0, events=(ChurnEvent(3, "fault", node),)
+            ).validate()
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator", ["independent", "orbit", "adversarial"])
+    def test_same_seed_regenerates_byte_identically(self, generator):
+        a = generate_trace(generator, "debruijn", 2, 5, events=30, seed=9)
+        b = generate_trace(generator, "debruijn", 2, 5, events=30, seed=9)
+        assert a.dumps() == b.dumps()
+
+    def test_different_seeds_differ(self):
+        a = generate_trace("independent", "debruijn", 2, 6, events=30, seed=0)
+        b = generate_trace("independent", "debruijn", 2, 6, events=30, seed=1)
+        assert a.dumps() != b.dumps()
+
+    def test_generated_traces_validate_on_any_topology(self):
+        for topology in ("debruijn", "hypercube", "shuffle_exchange"):
+            trace = generate_trace("independent", topology, 2, 6, events=40, seed=3)
+            trace.validate()  # raises on any illegal stream
+            assert trace.topology == topology
+
+    def test_orbit_generator_clusters_within_fault_units(self):
+        """With cluster_p=1 every fault after the first lands in an
+        already-hit necklace whenever one has a healthy member left."""
+        topo = get_topology("debruijn", 2, 6)
+        trace = generate_trace(
+            "orbit", "debruijn", 2, 6, events=60, seed=4, cluster_p=1.0
+        )
+
+        def rep_of(code):
+            return int(topo.fault_unit_reps([code])[0])
+
+        clustered = independent = 0
+        faulty: set[int] = set()
+        for event in trace.events:
+            code = topo.encode(event.node)
+            if event.op == "heal":
+                faulty.discard(code)
+                continue
+            hit_units = {rep_of(c) for c in faulty}
+            if faulty:
+                if rep_of(code) in hit_units:
+                    clustered += 1
+                else:
+                    independent += 1
+            faulty.add(code)
+        # clustering dominates: the only non-clustered faults are those where
+        # every already-hit unit was fully faulted
+        assert clustered > independent
+
+    def test_adversarial_faults_land_on_the_current_ring(self):
+        from repro.core.ffc import find_fault_free_cycle
+
+        trace = generate_trace("adversarial", "debruijn", 2, 5, events=12, seed=2)
+        faults: list = []
+        for event in trace.events:
+            if event.op == "fault":
+                cycle = set(find_fault_free_cycle(2, 5, faults).cycle)
+                assert event.node in cycle
+                faults.append(event.node)
+            else:
+                faults.remove(event.node)
+
+    def test_adversarial_is_debruijn_only(self):
+        with pytest.raises(InvalidParameterError, match="debruijn-only"):
+            generate_trace("adversarial", "hypercube", 2, 6, events=5, seed=0)
+
+    def test_max_faults_ceiling_is_respected(self):
+        trace = generate_trace(
+            "independent", "debruijn", 2, 6, events=200, seed=5, max_faults=3
+        )
+        faulty: set = set()
+        for event in trace.events:
+            if event.op == "fault":
+                faulty.add(event.node)
+            else:
+                faulty.discard(event.node)
+            assert len(faulty) <= 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError, match="unknown churn generator"):
+            generate_trace("nope", "debruijn", 2, 5, events=5, seed=0)
+        with pytest.raises(InvalidParameterError, match="p_fault"):
+            generate_trace("independent", "debruijn", 2, 5, events=5, seed=0,
+                           p_fault=1.5)
+        with pytest.raises(InvalidParameterError, match="max_faults"):
+            generate_trace("independent", "debruijn", 2, 5, events=5, seed=0,
+                           max_faults=0)

@@ -281,3 +281,28 @@ class TestDomainErrors:
         assert main(base + ["--seed", "1"]) == 1
         err = capsys.readouterr().err
         assert err.startswith("repro sweep:") and "different sweep" in err
+
+
+class TestFreshFlag:
+    def test_corrupt_checkpoint_diagnosed_then_fresh_recovers(self, tmp_path, capsys):
+        path = str(tmp_path / "ck.json")
+        base = ["sweep", "--d", "2", "--n", "5", "--fault-counts", "1",
+                "--trials", "2", "--checkpoint", path]
+        assert main(base) == 0
+        capsys.readouterr()
+        with open(path, "w") as fh:
+            fh.write("{torn")  # corrupt the checkpoint in place
+        assert main(base) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro sweep:") and "Traceback" not in err
+        assert "corrupt" in err and "--fresh" in err
+        # the escape hatch: discard the corrupt file and run clean
+        assert main(base + ["--fresh"]) == 0
+        assert "discarded checkpoint" in capsys.readouterr().err
+
+    def test_fresh_without_an_existing_checkpoint_is_a_no_op(self, tmp_path, capsys):
+        path = str(tmp_path / "never-written.json")
+        argv = ["sweep", "--d", "2", "--n", "5", "--fault-counts", "1",
+                "--trials", "2", "--checkpoint", path, "--fresh"]
+        assert main(argv) == 0
+        assert "discarded" not in capsys.readouterr().err

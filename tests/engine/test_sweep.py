@@ -11,7 +11,11 @@ import pytest
 
 from repro.analysis import simulate_fault_table
 from repro.engine import ParallelSweepEngine, SweepProgress, trial_seed_sequences
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import (
+    CheckpointCorruptionError,
+    CheckpointMismatchError,
+    InvalidParameterError,
+)
 
 FAULT_COUNTS = (0, 1, 3)
 TRIALS = 6
@@ -258,3 +262,47 @@ class TestProgressAndValidation:
             ParallelSweepEngine(2, 5).run((-1,))
         with pytest.raises(InvalidParameterError):
             ParallelSweepEngine(2, 5).run((1,), trials=0)
+
+
+class TestCheckpointCorruption:
+    """Corrupt checkpoint files surface as CheckpointCorruptionError —
+    named path, --fresh escape hatch — never a raw JSONDecodeError."""
+
+    def _engine(self, path):
+        return ParallelSweepEngine(2, 5, checkpoint_path=path)
+
+    def test_truncated_json_is_diagnosed(self, tmp_path):
+        path = tmp_path / "ck.json"
+        self._engine(path).run((1,), trials=2, seed=0)
+        path.write_text(path.read_text()[:-20])  # torn write
+        with pytest.raises(CheckpointCorruptionError, match="--fresh") as excinfo:
+            self._engine(path).run((1,), trials=2, seed=0)
+        assert str(path) in str(excinfo.value)
+
+    def test_garbage_bytes_are_diagnosed(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_bytes(b"\x00\xff not json at all")
+        with pytest.raises(CheckpointCorruptionError, match="not valid JSON"):
+            self._engine(path).run((1,), trials=2, seed=0)
+
+    def test_non_object_payload_is_diagnosed(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointCorruptionError, match="JSON object"):
+            self._engine(path).run((1,), trials=2, seed=0)
+
+    def test_malformed_completed_table_is_diagnosed(self, tmp_path):
+        path = tmp_path / "ck.json"
+        self._engine(path).run((1,), trials=2, seed=0)
+        data = json.loads(path.read_text())
+        data["completed"] = {"1": "definitely-not-a-row-list"}
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointCorruptionError, match="completed-trials"):
+            self._engine(path).run((1,), trials=2, seed=0)
+
+    def test_corruption_is_a_mismatch_subclass(self):
+        # callers already catching CheckpointMismatchError keep working
+        assert issubclass(CheckpointCorruptionError, CheckpointMismatchError)
+        error = CheckpointCorruptionError("/tmp/ck.json", "torn write")
+        assert error.path == "/tmp/ck.json"
+        assert error.detail == "torn write"

@@ -1,0 +1,144 @@
+"""Dynamic faults on the simulator: heal/fail mutators and drop accounting.
+
+The churn engine's network-level contract: a healed link stops dropping, a
+healed processor resumes participating, every loss is attributed to exactly
+one cause, and message conservation (``sent == delivered + dropped``) holds
+across any fault/heal interleaving.
+"""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network import NodeProgram, SynchronousDeBruijnNetwork
+
+
+class FloodOnce(NodeProgram):
+    """Everyone pings every successor once, then halts."""
+
+    def on_start(self, ctx):
+        ctx.state["received"] = 0
+        ctx.send_to_all_successors("ping")
+
+    def on_round(self, ctx, messages):
+        ctx.state["received"] += len(messages)
+        ctx.halt()
+
+    def result(self, ctx):
+        return ctx.state["received"]
+
+
+def _flood(net):
+    return net.run(lambda node: FloodOnce())
+
+
+class TestDropAttribution:
+    def test_fault_free_network_drops_nothing(self):
+        result = _flood(SynchronousDeBruijnNetwork(2, 3))
+        assert result.messages_sent == 16  # 8 nodes x 2 successors
+        assert result.messages_delivered == 16
+        assert result.messages_dropped == 0
+        assert result.dropped_faulty_link == 0
+        assert result.dropped_faulty_node == 0
+        assert result.dropped_no_receiver == 0
+
+    def test_faulty_link_drops_are_attributed_to_the_link(self):
+        net = SynchronousDeBruijnNetwork(2, 3)
+        net.fail_edge((1, 0, 0), (0, 0, 1))
+        result = _flood(net)
+        assert result.dropped_faulty_link == 1
+        assert result.dropped_faulty_node == 0
+        assert result.messages_delivered == 15
+
+    def test_faulty_node_drops_are_attributed_to_the_node(self):
+        net = SynchronousDeBruijnNetwork(2, 3)
+        net.fail_node((0, 0, 0))
+        result = _flood(net)
+        # the faulty node neither sends (7 live senders) nor receives: its
+        # only live predecessor is (1,0,0) — (0,0,0)'s self-loop is dead too
+        assert result.messages_sent == 14
+        assert result.dropped_faulty_node == 1
+        assert result.dropped_faulty_link == 0
+        assert result.messages_delivered == 13
+
+    def test_silent_non_participants_are_their_own_cause(self):
+        net = SynchronousDeBruijnNetwork(2, 3)
+        participants = [w for w in net.graph.nodes() if w != (1, 1, 1)]
+        result = net.run(lambda node: FloodOnce(), participants=participants)
+        assert result.dropped_no_receiver > 0
+        assert result.dropped_faulty_node == 0
+        assert result.dropped_faulty_link == 0
+
+
+class TestHealing:
+    def test_healed_link_stops_dropping(self):
+        net = SynchronousDeBruijnNetwork(2, 3)
+        net.fail_edge((1, 0, 0), (0, 0, 1))
+        assert _flood(net).dropped_faulty_link == 1
+        net.heal_edge((1, 0, 0), (0, 0, 1))
+        healed = _flood(net)
+        assert healed.dropped_faulty_link == 0
+        assert healed.messages_delivered == 16
+
+    def test_healed_node_resumes_sending_and_receiving(self):
+        net = SynchronousDeBruijnNetwork(2, 3, faulty_nodes=[(0, 0, 0)])
+        assert _flood(net).dropped_faulty_node == 1
+        net.heal_node((0, 0, 0))
+        healed = _flood(net)
+        assert healed.messages_sent == 16
+        assert healed.dropped_faulty_node == 0
+        assert healed.node_results[(0, 0, 0)] == 2  # indegree restored
+
+    def test_conservation_across_fault_heal_interleaving(self):
+        net = SynchronousDeBruijnNetwork(2, 3)
+        steps = [
+            ("fail_node", ((0, 0, 0),)),
+            ("fail_edge", ((1, 1, 0), (1, 0, 1))),
+            ("fail_node", ((1, 1, 1),)),
+            ("heal_node", ((0, 0, 0),)),
+            ("fail_edge", ((0, 1, 0), (1, 0, 0))),
+            ("heal_edge", ((1, 1, 0), (1, 0, 1))),
+            ("heal_node", ((1, 1, 1),)),
+            ("heal_edge", ((0, 1, 0), (1, 0, 0))),
+        ]
+        for method, args in steps:
+            getattr(net, method)(*args)
+            result = _flood(net)
+            assert result.messages_sent == (
+                result.messages_delivered + result.messages_dropped
+            )
+            assert result.messages_dropped == (
+                result.dropped_faulty_link
+                + result.dropped_faulty_node
+                + result.dropped_no_receiver
+            )
+        # everything healed: back to the fault-free baseline
+        final = _flood(net)
+        assert final.messages_delivered == 16
+        assert final.messages_dropped == 0
+
+
+class TestMutatorValidation:
+    def test_double_fault_and_heal_of_healthy_are_rejected(self):
+        net = SynchronousDeBruijnNetwork(2, 3)
+        net.fail_node((0, 1, 0))
+        with pytest.raises(SimulationError, match="already faulty"):
+            net.fail_node((0, 1, 0))
+        with pytest.raises(SimulationError, match="not faulty"):
+            net.heal_node((1, 1, 1))
+
+    def test_edge_mutators_validate_the_link(self):
+        net = SynchronousDeBruijnNetwork(2, 3)
+        with pytest.raises(SimulationError, match="not a link"):
+            net.fail_edge((0, 0, 0), (1, 1, 1))  # not a De Bruijn edge
+        net.fail_edge((0, 0, 1), (0, 1, 0))
+        with pytest.raises(SimulationError, match="already faulty"):
+            net.fail_edge((0, 0, 1), (0, 1, 0))
+        with pytest.raises(SimulationError, match="not faulty"):
+            net.heal_edge((0, 1, 0), (1, 0, 0))
+
+    def test_mutators_validate_the_alphabet(self):
+        from repro.exceptions import InvalidParameterError
+
+        net = SynchronousDeBruijnNetwork(2, 3)
+        with pytest.raises(InvalidParameterError):
+            net.fail_node((0, 2, 0))  # digit outside Z_2

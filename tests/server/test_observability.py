@@ -51,17 +51,18 @@ class TestStatsBackwardCompat:
         assert set(stats["server"]) == {
             "uptime_s", "requests", "errors", "launches", "lanes",
             "batch_occupancy", "rejected", "p50_s", "p99_s",
+            "degraded", "retried",
         }
         (shard,) = stats["shards"].values()
         assert set(shard) == {
             "max_batch", "max_wait_s", "max_queue", "queued", "launches",
             "lanes", "batch_occupancy", "completed", "rejected",
-            "p50_s", "p99_s",
+            "p50_s", "p99_s", "deadline_expired", "isolated_failures",
         }
         assert set(stats["service"]) == {
             "requests", "total_latency_s", "compute_latency_s",
             "avg_latency_s", "answers", "measurements", "codecs",
-            "process_caches",
+            "churn", "process_caches",
         }
         # counts are JSON integers, exactly as before the registry move
         assert stats["server"]["requests"]["POST /measure"] == 1
